@@ -1,0 +1,26 @@
+# Convenience targets; everything also works via plain pytest / repro.
+
+PYTHON ?= python
+
+.PHONY: install test bench experiments fuzz clean-cache lines
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+experiments:
+	$(PYTHON) -m repro.cli run-all --scale small
+
+fuzz:
+	$(PYTHON) -m pytest tests/test_differential.py -q
+
+clean-cache:
+	$(PYTHON) -m repro.cli clear-cache
+
+lines:
+	find src tests benchmarks examples -name "*.py" | xargs wc -l | tail -1

@@ -1,0 +1,113 @@
+"""One benchmark per reconstructed table/figure (E1..E11).
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+Each benchmark prints the regenerated rows; EXPERIMENTS.md records how
+they compare with the paper.
+"""
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_SUBSET, run_once
+from repro.experiments import get_experiment
+
+
+def _run(benchmark, exp_id, workloads=None, **kw):
+    module = get_experiment(exp_id)
+    kwargs = {"scale": BENCH_SCALE}
+    if workloads is not None:
+        kwargs["workloads"] = workloads
+    code = module.run.__code__
+    if "fast" in code.co_varnames[: code.co_argcount]:
+        kwargs["fast"] = True
+    kwargs.update(kw)
+    result = run_once(benchmark, module.run, **kwargs)
+    print()
+    print(result.format())
+    return result
+
+
+def bench_e1_characterisation(benchmark):
+    result = _run(benchmark, "E1")
+    assert all(r["branch_reduction"] > 0 for r in result.rows)
+
+
+def bench_e2_baseline_sizes(benchmark):
+    result = _run(benchmark, "E2")
+    assert result.rows[-1]["workload"] == "MEAN"
+
+
+def bench_e3_sfp_coverage(benchmark):
+    result = _run(benchmark, "E3")
+    coverage = result.column("squashable")
+    assert coverage == sorted(coverage, reverse=True)
+
+
+def bench_e4_sfp(benchmark):
+    result = _run(benchmark, "E4")
+    mean = result.rows[-1]
+    assert mean["sfp_filter"] <= mean["base"]
+
+
+def bench_e5_pgu(benchmark):
+    result = _run(benchmark, "E5")
+    mean = result.rows[-1]
+    assert mean["pgu_1024"] <= mean["base_1024"]
+
+
+def bench_e6_combined(benchmark):
+    result = _run(benchmark, "E6")
+    mean = result.rows[-1]
+    assert mean["both"] <= mean["base"]
+
+
+def bench_e7_region_breakdown(benchmark):
+    result = _run(benchmark, "E7")
+    assert result.rows
+
+
+def bench_e8_distance_sweep(benchmark):
+    result = _run(benchmark, "E8", workloads=BENCH_SUBSET)
+    coverage = result.column("squash_coverage")
+    assert coverage == sorted(coverage, reverse=True)
+
+
+def bench_e9_speedup(benchmark):
+    result = _run(benchmark, "E9")
+    assert result.rows[-1]["workload"] == "GEOMEAN"
+
+
+def bench_e10_ablations(benchmark):
+    result = _run(benchmark, "E10", workloads=BENCH_SUBSET)
+    configs = {row["config"] for row in result.rows}
+    assert "pgu/delay=0" in configs
+
+
+def bench_e11_families(benchmark):
+    result = _run(benchmark, "E11", workloads=BENCH_SUBSET)
+    assert {row["predictor"] for row in result.rows} >= {
+        "bimodal", "gshare", "local"
+    }
+
+
+def bench_e12_btb(benchmark):
+    result = _run(benchmark, "E12", workloads=BENCH_SUBSET)
+    assert all(row["techniques_speedup"] > 0 for row in result.rows)
+
+
+def bench_e13_frontend(benchmark):
+    result = _run(benchmark, "E13", workloads=BENCH_SUBSET)
+    geomean = result.rows[-1]
+    assert geomean["hyper_ipc"] > geomean["base_ipc"]
+
+
+def bench_e14_confidence(benchmark):
+    result = _run(benchmark, "E14", workloads=BENCH_SUBSET)
+    by_config = {row["config"]: row for row in result.rows}
+    assert by_config["sfp"]["perfect_cov"] > 0.0
+
+
+def bench_e15_controlled(benchmark):
+    result = _run(benchmark, "E15")
+    noise_rows = [r for r in result.rows if r["knob"].startswith("noise=")]
+    assert noise_rows[0]["benefit"] >= noise_rows[-1]["benefit"]

@@ -1,0 +1,49 @@
+"""Compare predictor families on one workload, with and without the
+paper's predicate techniques, across hardware budgets.
+
+Run:  python examples/compare_predictors.py [workload]
+"""
+
+import sys
+
+from repro.predictors import PGUConfig, SFPConfig, make_predictor
+from repro.sim import SimOptions, simulate
+from repro.workloads import get_workload
+
+FAMILIES = ("bimodal", "gshare", "gselect", "gag", "local", "tournament")
+SIZES = (256, 1024, 4096)
+
+
+def bar(rate: float, scale: float = 300.0) -> str:
+    return "#" * int(rate * scale)
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "lexer"
+    trace = get_workload(name).trace(scale="small", hyperblocks=True)
+    both = SimOptions(sfp=SFPConfig(), pgu=PGUConfig())
+
+    print(f"workload: {name} ({trace.num_branches} dynamic branches)\n")
+    print(f"{'predictor':12s} {'entries':>7s} {'plain':>8s} "
+          f"{'+techniques':>11s}")
+    for family in FAMILIES:
+        for entries in SIZES:
+            plain = simulate(
+                trace, make_predictor(family, entries=entries), SimOptions()
+            )
+            treated = simulate(
+                trace, make_predictor(family, entries=entries), both
+            )
+            print(f"{family:12s} {entries:7d} "
+                  f"{plain.misprediction_rate:8.4f} "
+                  f"{treated.misprediction_rate:11.4f}  "
+                  f"{bar(treated.misprediction_rate)}")
+        print()
+
+    # Oracle bound for context.
+    perfect = simulate(trace, make_predictor("perfect"), SimOptions())
+    print(f"{'perfect':12s} {'-':>7s} {perfect.misprediction_rate:8.4f}")
+
+
+if __name__ == "__main__":
+    main()

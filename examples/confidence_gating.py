@@ -1,0 +1,73 @@
+"""Confidence and hotspots: the diagnostic views an architect uses.
+
+Part 1 — which static branches hurt, and does the predicate machinery
+fix *those* sites or different ones?
+Part 2 — how much of the prediction stream could a pipeline-gating
+consumer trust, with and without the squash filter's perfect class?
+
+Run:  python examples/confidence_gating.py [workload]
+"""
+
+import sys
+
+from repro.predictors import (
+    ConfidenceEstimator,
+    PGUConfig,
+    SFPConfig,
+    make_predictor,
+)
+from repro.sim import SimOptions, simulate_with_confidence, top_hotspots
+from repro.workloads import get_workload
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "parser"
+    workload = get_workload(name)
+    trace = workload.trace(scale="small", hyperblocks=True)
+    from repro.compiler.config import HYPERBLOCK
+
+    compiled = workload.compile("small", HYPERBLOCK)
+    code = compiled.executable.code
+
+    print(f"=== {name}: top mispredicting sites (gshare-1024) ===")
+    plain = SimOptions()
+    both = SimOptions(sfp=SFPConfig(), pgu=PGUConfig())
+    before = top_hotspots(
+        trace, make_predictor("gshare", entries=1024), plain, limit=5
+    )
+    after = {
+        s.pc: s
+        for s in top_hotspots(
+            trace, make_predictor("gshare", entries=1024), both, limit=1000
+        )
+    }
+    from repro.isa.printer import format_instruction
+
+    print(f"{'pc':>6s} {'misp(plain)':>11s} {'misp(both)':>10s} "
+          f"{'sq(both)':>8s}  site")
+    for site in before:
+        treated = after.get(site.pc)
+        print(f"{site.pc:>6d} {site.mispredictions:>11d} "
+              f"{treated.mispredictions if treated else 0:>10d} "
+              f"{treated.squashed if treated else 0:>8d}  "
+              f"{format_instruction(code[site.pc])}")
+
+    print(f"\n=== {name}: confidence classes (JRS threshold 8) ===")
+    print(f"{'config':8s} {'perfect':>8s} {'high':>6s} {'high-acc':>8s} "
+          f"{'trusted':>8s} {'trust-acc':>9s}")
+    for label, options in (("plain", plain), ("sfp", SimOptions(
+            sfp=SFPConfig())), ("both", both)):
+        result = simulate_with_confidence(
+            trace,
+            make_predictor("gshare", entries=1024),
+            ConfidenceEstimator(entries=1024, threshold=8),
+            options,
+        )
+        print(f"{label:8s} {result.perfect_coverage:8.4f} "
+              f"{result.high_coverage:6.4f} {result.high_accuracy:8.4f} "
+              f"{result.trusted_coverage:8.4f} "
+              f"{result.trusted_accuracy:9.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,283 @@
+"""Command-line interface.
+
+::
+
+    repro list                         # workloads, predictors, experiments
+    repro run-experiment E6 [--scale small] [--fast] [--format csv]
+    repro run-all [--scale tiny] [--output results/]
+    repro simulate qsort --predictor gshare --entries 4096 --sfp --pgu
+    repro characterise grep [--scale small]
+    repro analyze grep --regions       # static region statistics
+    repro hotspots lexer --sfp --pgu   # worst-mispredicting sites
+    repro disasm crc [--function main] [--baseline]
+    repro clear-cache
+"""
+
+import argparse
+import sys
+
+from repro.compiler import config as config_mod
+from repro.experiments import experiment_ids, get_experiment
+from repro.predictors import (
+    PGUConfig,
+    SFPConfig,
+    available_predictors,
+    make_predictor,
+)
+from repro.sim import SimOptions, simulate
+from repro.trace import TraceCache
+from repro.workloads import get_workload, workload_names
+
+
+def _cmd_list(args) -> int:
+    print("workloads:")
+    for name in workload_names():
+        workload = get_workload(name)
+        print(f"  {name:12s} {workload.description}")
+    print("\npredictors:")
+    print("  " + ", ".join(available_predictors()))
+    print("\nexperiments:")
+    for exp_id in experiment_ids():
+        spec = get_experiment(exp_id).SPEC
+        print(f"  {exp_id:4s} {spec.title}")
+    return 0
+
+
+def _run_one(exp_id: str, args) -> None:
+    from repro.experiments.report import render, write_result
+
+    module = get_experiment(exp_id)
+    kwargs = {"scale": args.scale}
+    if args.workloads:
+        kwargs["workloads"] = args.workloads.split(",")
+    run = module.run
+    if "fast" in run.__code__.co_varnames[: run.__code__.co_argcount]:
+        kwargs["fast"] = args.fast
+    result = run(**kwargs)
+    fmt = getattr(args, "format", "table") or "table"
+    output = getattr(args, "output", None)
+    if output:
+        path = write_result(result, output, fmt if fmt != "table" else "csv")
+        print(f"wrote {path}")
+    print(render(result, fmt))
+    print()
+
+
+def _cmd_run_experiment(args) -> int:
+    _run_one(args.id, args)
+    return 0
+
+
+def _cmd_run_all(args) -> int:
+    for exp_id in experiment_ids():
+        _run_one(exp_id, args)
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    workload = get_workload(args.workload)
+    trace = workload.trace(scale=args.scale, hyperblocks=not args.baseline)
+    predictor = make_predictor(args.predictor, entries=args.entries)
+    options = SimOptions(
+        distance=args.distance,
+        sfp=SFPConfig() if args.sfp else None,
+        pgu=PGUConfig() if args.pgu else None,
+    )
+    result = simulate(trace, predictor, options)
+    print(f"workload    : {result.workload} ({args.scale})")
+    print(f"predictor   : {predictor.describe()}")
+    print(f"front end   : {options.describe()}")
+    print(f"branches    : {result.branches}")
+    print(f"mispredicts : {result.mispredictions}"
+          f" ({result.misprediction_rate:.4f})")
+    print(f"mpki        : {result.mpki:.2f}")
+    if args.sfp:
+        print(f"squashed    : {result.squashed}"
+              f" ({result.squash_coverage:.4f})")
+    return 0
+
+
+def _cmd_characterise(args) -> int:
+    workload = get_workload(args.workload)
+    trace = workload.trace(scale=args.scale, hyperblocks=not args.baseline)
+    for key, value in trace.summary().items():
+        print(f"{key:22s} {value}")
+    return 0
+
+
+def _cmd_hotspots(args) -> int:
+    from repro.isa.printer import format_instruction
+    from repro.sim.hotspots import top_hotspots
+
+    workload = get_workload(args.workload)
+    trace = workload.trace(scale=args.scale, hyperblocks=not args.baseline)
+    predictor = make_predictor(args.predictor, entries=args.entries)
+    options = SimOptions(
+        sfp=SFPConfig() if args.sfp else None,
+        pgu=PGUConfig() if args.pgu else None,
+    )
+    compiled = workload.compile(
+        args.scale,
+        config_mod.BASELINE if args.baseline else config_mod.HYPERBLOCK,
+    )
+    sites = top_hotspots(trace, predictor, options, limit=args.limit)
+    print(f"{'pc':>6s} {'execs':>8s} {'taken%':>7s} {'misp':>8s} "
+          f"{'rate':>7s} {'sq':>6s}  site")
+    for site in sites:
+        instr = compiled.executable.code[site.pc]
+        marker = "R" if site.region_based else " "
+        print(f"{site.pc:>6d} {site.executions:>8d} "
+              f"{100 * site.taken_rate:6.1f}% {site.mispredictions:>8d} "
+              f"{site.misprediction_rate:7.4f} {site.squashed:>6d} "
+              f"{marker} {format_instruction(instr)}")
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    from repro.compiler.analysis import analyze_executable
+    from repro.compiler import config as cfg
+
+    workload = get_workload(args.workload)
+    config = cfg.BASELINE if args.baseline else cfg.HYPERBLOCK
+    compiled = workload.compile(args.scale, config)
+    report = analyze_executable(compiled.executable)
+    for key, value in report.summary().items():
+        print(f"{key:22s} {value}")
+    if args.regions:
+        print()
+        print(f"{'function':16s} {'region':>6s} {'size':>5s} {'cmps':>5s} "
+              f"{'guarded':>7s} {'branches':>8s}")
+        for region in report.regions:
+            print(f"{region.function:16s} {region.region:>6d} "
+                  f"{region.instructions:>5d} {region.compares:>5d} "
+                  f"{region.guarded_instructions:>7d} "
+                  f"{region.region_branches:>8d}")
+    return 0
+
+
+def _cmd_disasm(args) -> int:
+    from repro.isa.printer import disassemble
+
+    workload = get_workload(args.workload)
+    config = (
+        config_mod.BASELINE if args.baseline else config_mod.HYPERBLOCK
+    )
+    compiled = workload.compile(args.scale, config)
+    if args.function:
+        function = compiled.program.functions.get(args.function)
+        if function is None:
+            print(f"no function {args.function!r}", file=sys.stderr)
+            return 1
+        print(disassemble(function))
+    else:
+        print(disassemble(compiled.executable))
+    return 0
+
+
+def _cmd_clear_cache(args) -> int:
+    removed = TraceCache().clear()
+    print(f"removed {removed} cached trace(s)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Incorporating Predicate Information into "
+            "Branch Predictors' (HPCA-9, 2003)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads/predictors/experiments")
+
+    p = sub.add_parser("run-experiment", help="run one experiment")
+    p.add_argument("id", help="experiment id, e.g. E6")
+    p.add_argument("--scale", default="small",
+                   choices=("tiny", "small", "ref"))
+    p.add_argument("--fast", action="store_true")
+    p.add_argument("--workloads", help="comma-separated subset")
+    p.add_argument("--format", default="table",
+                   choices=("table", "csv", "json"))
+    p.add_argument("--output", help="also write the export to this dir")
+
+    p = sub.add_parser("run-all", help="run every experiment")
+    p.add_argument("--scale", default="small",
+                   choices=("tiny", "small", "ref"))
+    p.add_argument("--fast", action="store_true")
+    p.add_argument("--workloads", help="comma-separated subset")
+    p.add_argument("--format", default="table",
+                   choices=("table", "csv", "json"))
+    p.add_argument("--output", help="also write each export to this dir")
+
+    p = sub.add_parser("simulate", help="one (workload, predictor) run")
+    p.add_argument("workload", choices=workload_names())
+    p.add_argument("--predictor", default="gshare",
+                   choices=available_predictors())
+    p.add_argument("--entries", type=int, default=4096)
+    p.add_argument("--scale", default="small",
+                   choices=("tiny", "small", "ref"))
+    p.add_argument("--distance", type=int, default=4)
+    p.add_argument("--sfp", action="store_true")
+    p.add_argument("--pgu", action="store_true")
+    p.add_argument("--baseline", action="store_true",
+                   help="use the non-predicated compile")
+
+    p = sub.add_parser("characterise", help="trace summary of a workload")
+    p.add_argument("workload", choices=workload_names())
+    p.add_argument("--scale", default="small",
+                   choices=("tiny", "small", "ref"))
+    p.add_argument("--baseline", action="store_true")
+
+    p = sub.add_parser("hotspots", help="worst-mispredicting branch sites")
+    p.add_argument("workload", choices=workload_names())
+    p.add_argument("--scale", default="small",
+                   choices=("tiny", "small", "ref"))
+    p.add_argument("--predictor", default="gshare",
+                   choices=available_predictors())
+    p.add_argument("--entries", type=int, default=1024)
+    p.add_argument("--limit", type=int, default=10)
+    p.add_argument("--sfp", action="store_true")
+    p.add_argument("--pgu", action="store_true")
+    p.add_argument("--baseline", action="store_true")
+
+    p = sub.add_parser("analyze", help="static region statistics")
+    p.add_argument("workload", choices=workload_names())
+    p.add_argument("--scale", default="tiny",
+                   choices=("tiny", "small", "ref"))
+    p.add_argument("--baseline", action="store_true")
+    p.add_argument("--regions", action="store_true",
+                   help="also list every region")
+
+    p = sub.add_parser("disasm", help="disassemble a compiled workload")
+    p.add_argument("workload", choices=workload_names())
+    p.add_argument("--function", help="limit to one function")
+    p.add_argument("--scale", default="tiny",
+                   choices=("tiny", "small", "ref"))
+    p.add_argument("--baseline", action="store_true")
+
+    sub.add_parser("clear-cache", help="delete cached traces")
+    return parser
+
+
+_HANDLERS = {
+    "list": _cmd_list,
+    "run-experiment": _cmd_run_experiment,
+    "run-all": _cmd_run_all,
+    "simulate": _cmd_simulate,
+    "characterise": _cmd_characterise,
+    "hotspots": _cmd_hotspots,
+    "analyze": _cmd_analyze,
+    "disasm": _cmd_disasm,
+    "clear-cache": _cmd_clear_cache,
+}
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

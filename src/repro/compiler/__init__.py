@@ -1,0 +1,41 @@
+"""The ``minic`` compiler: lowering, if-conversion, scheduling, regalloc.
+
+Pipeline (see :func:`repro.compiler.pipeline.compile_source`):
+
+1. parse + semantic analysis (:mod:`repro.lang`);
+2. lowering to virtual-register predicated IR
+   (:mod:`repro.compiler.lower`), with hyperblock formation decided per
+   source ``if`` from a profile (:mod:`repro.compiler.profile`) and the
+   heuristics in :class:`repro.compiler.config.CompileConfig`;
+3. compare hoisting inside predicated regions
+   (:mod:`repro.compiler.schedule`) — the scheduling freedom that gives
+   predicate defines their lead time over the branches they guard;
+4. linear-scan register allocation with spilling
+   (:mod:`repro.compiler.regalloc`);
+5. linking (:meth:`repro.isa.Program.link`).
+
+:mod:`repro.compiler.cfg` and :mod:`repro.compiler.dominance` provide
+control-flow analyses used by tests, statistics and the compiler-explorer
+example.
+"""
+
+from repro.compiler.analysis import StaticReport, analyze_executable
+from repro.compiler.config import CompileConfig
+from repro.compiler.errors import CompileError
+from repro.compiler.pipeline import (
+    CompiledProgram,
+    compile_source,
+    compile_with_profile,
+)
+from repro.compiler.profile import ProfileCollector
+
+__all__ = [
+    "CompileConfig",
+    "StaticReport",
+    "analyze_executable",
+    "CompileError",
+    "CompiledProgram",
+    "ProfileCollector",
+    "compile_source",
+    "compile_with_profile",
+]

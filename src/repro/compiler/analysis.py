@@ -1,0 +1,127 @@
+"""Static analysis of compiled programs: region and branch statistics.
+
+Complements the *dynamic* characterisation (E1) with compile-time facts:
+how many regions hyperblock formation built, how big they are, how many
+guarded branches each contains, and how far each region-based branch's
+guard compare sits above it after scheduling — the static counterpart of
+the dynamic guard-define distance.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import BranchKind, Opcode
+from repro.isa.program import Executable
+
+
+@dataclass
+class RegionInfo:
+    """Static facts about one predicated region."""
+
+    region: int
+    function: str
+    instructions: int = 0
+    compares: int = 0
+    guarded_instructions: int = 0
+    region_branches: int = 0
+    #: static distance (instructions) from each region-based branch back
+    #: to the compare defining its guard
+    guard_distances: List[int] = field(default_factory=list)
+
+
+@dataclass
+class StaticReport:
+    """Whole-program static statistics."""
+
+    regions: List[RegionInfo]
+    static_branch_sites: int
+    region_branch_sites: int
+    predicated_instructions: int
+    total_instructions: int
+
+    @property
+    def num_regions(self) -> int:
+        return len(self.regions)
+
+    @property
+    def mean_region_size(self) -> float:
+        if not self.regions:
+            return 0.0
+        return sum(r.instructions for r in self.regions) / len(self.regions)
+
+    @property
+    def mean_guard_distance(self) -> float:
+        distances = [
+            d for region in self.regions for d in region.guard_distances
+        ]
+        return sum(distances) / len(distances) if distances else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "total_instructions": self.total_instructions,
+            "static_branch_sites": self.static_branch_sites,
+            "region_branch_sites": self.region_branch_sites,
+            "predicated_fraction": (
+                self.predicated_instructions
+                / max(self.total_instructions, 1)
+            ),
+            "regions": self.num_regions,
+            "mean_region_size": self.mean_region_size,
+            "mean_guard_distance": self.mean_guard_distance,
+        }
+
+
+def _guard_distance(code: List[Instruction], pos: int) -> int:
+    """Instructions from the branch at ``pos`` back to its guard's
+    defining compare, or -1 if not found in straight-line scan."""
+    guard = code[pos].qp
+    for back in range(pos - 1, max(-1, pos - 200), -1):
+        instr = code[back]
+        if instr.op is Opcode.CMP and guard in (instr.pd1, instr.pd2):
+            return pos - back
+    return -1
+
+
+def analyze_executable(executable: Executable) -> StaticReport:
+    """Compute static region/branch statistics for a linked program."""
+    code = executable.code
+    regions: Dict[tuple, RegionInfo] = {}
+    static_branches = 0
+    region_branches = 0
+    predicated = 0
+
+    for pos, instr in enumerate(code):
+        if instr.qp != 0:
+            predicated += 1
+        if instr.is_branch_event():
+            static_branches += 1
+        if instr.region >= 0:
+            key = (executable.function_at(pos), instr.region)
+            info = regions.get(key)
+            if info is None:
+                info = RegionInfo(region=instr.region, function=key[0])
+                regions[key] = info
+            info.instructions += 1
+            if instr.op is Opcode.CMP:
+                info.compares += 1
+            if instr.qp != 0:
+                info.guarded_instructions += 1
+            if instr.region_based and instr.op in (
+                Opcode.BR, Opcode.CALL, Opcode.RET
+            ):
+                info.region_branches += 1
+                region_branches += 1
+                distance = _guard_distance(code, pos)
+                if distance >= 0:
+                    info.guard_distances.append(distance)
+
+    return StaticReport(
+        regions=sorted(
+            regions.values(), key=lambda r: (r.function, r.region)
+        ),
+        static_branch_sites=static_branches,
+        region_branch_sites=region_branches,
+        predicated_instructions=predicated,
+        total_instructions=len(code),
+    )

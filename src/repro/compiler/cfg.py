@@ -1,0 +1,130 @@
+"""Control-flow graph construction over linear function code.
+
+Used by tests, the compiler-explorer example, and static statistics
+(E1's static region characterisation).  Block leaders are label targets,
+branch targets and branch fall-throughs, per the classic algorithm.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import BranchKind, Opcode
+from repro.isa.registers import P_TRUE
+from repro.isa.program import Function
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line sequence of instructions."""
+
+    index: int  #: block number in layout order
+    start: int  #: first instruction position
+    end: int  #: one past the last instruction position
+    successors: List[int] = field(default_factory=list)
+    predecessors: List[int] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return self.end - self.start
+
+
+class CFG:
+    """Control-flow graph of one function."""
+
+    def __init__(self, function: Function):
+        self.function = function
+        self.blocks: List[BasicBlock] = []
+        self._block_of: Dict[int, int] = {}
+        self._build()
+
+    def _target_pos(self, instr: Instruction) -> Optional[int]:
+        target = instr.target
+        if isinstance(target, str):
+            return self.function.labels.get(target)
+        if isinstance(target, int):
+            return target
+        return None
+
+    def _build(self) -> None:
+        code = self.function.code
+        n = len(code)
+        if n == 0:
+            return
+        leaders = {0}
+        for pos in self.function.labels.values():
+            if pos < n:
+                leaders.add(pos)
+        for pos, instr in enumerate(code):
+            if instr.op is Opcode.BR:
+                target = self._target_pos(instr)
+                if target is not None and target < n:
+                    leaders.add(target)
+                if pos + 1 < n:
+                    leaders.add(pos + 1)
+            elif instr.op is Opcode.RET and pos + 1 < n:
+                leaders.add(pos + 1)
+        starts = sorted(leaders)
+        for index, start in enumerate(starts):
+            end = starts[index + 1] if index + 1 < len(starts) else n
+            block = BasicBlock(index=index, start=start, end=end)
+            self.blocks.append(block)
+            for pos in range(start, end):
+                self._block_of[pos] = index
+        for block in self.blocks:
+            last = code[block.end - 1]
+            succs = []
+            if last.op is Opcode.BR:
+                target = self._target_pos(last)
+                if target is not None and target < n:
+                    succs.append(self._block_of[target])
+                # A branch falls through unless it is an always-taken jump.
+                if not (
+                    last.kind is BranchKind.UNCOND and last.qp == P_TRUE
+                ) and block.end < n:
+                    succs.append(self._block_of[block.end])
+            elif last.op is Opcode.RET and last.qp == P_TRUE:
+                pass  # unconditional return: no successors
+            elif block.end < n:
+                succs.append(self._block_of[block.end])
+            # Deduplicate while preserving order.
+            seen = set()
+            for succ in succs:
+                if succ not in seen:
+                    seen.add(succ)
+                    block.successors.append(succ)
+        for block in self.blocks:
+            for succ in block.successors:
+                self.blocks[succ].predecessors.append(block.index)
+
+    def block_at(self, pos: int) -> BasicBlock:
+        """The block containing instruction position ``pos``."""
+        return self.blocks[self._block_of[pos]]
+
+    def entry(self) -> BasicBlock:
+        return self.blocks[0]
+
+    def reachable(self) -> List[int]:
+        """Block indices reachable from the entry, in DFS preorder."""
+        seen = []
+        visited = set()
+        stack = [0] if self.blocks else []
+        while stack:
+            index = stack.pop()
+            if index in visited:
+                continue
+            visited.add(index)
+            seen.append(index)
+            stack.extend(reversed(self.blocks[index].successors))
+        return seen
+
+    def back_edges(self) -> List[tuple]:
+        """(src, dst) block pairs where dst dominates src (loop edges)."""
+        from repro.compiler.dominance import dominators
+
+        dom = dominators(self)
+        edges = []
+        for block in self.blocks:
+            for succ in block.successors:
+                if succ in dom.get(block.index, set()):
+                    edges.append((block.index, succ))
+        return edges

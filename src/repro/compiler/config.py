@@ -1,0 +1,84 @@
+"""Compilation configuration: if-conversion heuristics and lowering style."""
+
+from dataclasses import dataclass
+
+#: Bump whenever a compiler change alters generated code, so cached
+#: traces regenerate.
+CODEGEN_REVISION = 8
+
+
+@dataclass(frozen=True)
+class CompileConfig:
+    """Knobs controlling lowering and hyperblock formation.
+
+    The defaults model the IMPACT-style policy the paper assumes: convert
+    hammocks/diamonds whose arms are small and not overwhelmingly biased;
+    keep a cold arm out of the region behind a guarded side exit (the
+    *region-based branch*); never predicate loops.
+
+    Attributes:
+        hyperblocks: master switch — False gives the baseline compile.
+        cond_style: ``"ladder"`` lowers ``&&``/``||`` conditions to branch
+            ladders (realistic baseline); ``"simple"`` emits one compare
+            and one branch per ``if`` (used by the profiling pass so the
+            profile directly gives each ``if``'s bias).
+        max_arm_stmts: an arm larger than this (AST statements, counted
+            recursively) is never predicated.
+        max_region_stmts: a full (both-arm) conversion must fit this total.
+        cold_threshold: if an arm executes with probability below this, it
+            is left out of the region behind a side exit instead of being
+            predicated.
+        tiny_arm_stmts: arms at most this size are predicated regardless
+            of bias (a branch costs more than a couple of nullified ops).
+        schedule_compares: hoist predicate defines inside regions (the
+            compare scheduler); disabling it is an ablation — with no lead
+            time, SFP has nothing to squash.
+        merge_adjacent_regions: fuse back-to-back converted regions so
+            compare hoisting works across them, IMPACT-style.
+        unroll: unroll factor for innermost loops in hyperblock compiles
+            (1 disables).  Unrolled copies merge into one region, so a
+            later copy's guard computations hoist above the earlier
+            copy's code — the main source of predicate lead time in
+            IMPACT-style hyperblocks.
+        max_unroll_stmts: only loops with bodies at most this large
+            (AST statements, recursive) are unrolled.
+        peephole: run the copy-coalescing / immediate-folding / dead-temp
+            peephole pass (see :mod:`repro.compiler.optimize`).
+    """
+
+    hyperblocks: bool = False
+    cond_style: str = "ladder"
+    max_arm_stmts: int = 12
+    max_region_stmts: int = 20
+    cold_threshold: float = 0.12
+    tiny_arm_stmts: int = 3
+    schedule_compares: bool = True
+    merge_adjacent_regions: bool = True
+    unroll: int = 2
+    max_unroll_stmts: int = 24
+    peephole: bool = True
+
+    def cache_key(self) -> str:
+        """A stable string identifying this configuration (plus the
+        code-generator revision, so cached traces invalidate when the
+        compiler's output changes)."""
+        return (
+            f"rev={CODEGEN_REVISION};"
+            f"hb={int(self.hyperblocks)};style={self.cond_style};"
+            f"arm={self.max_arm_stmts};region={self.max_region_stmts};"
+            f"cold={self.cold_threshold};tiny={self.tiny_arm_stmts};"
+            f"sched={int(self.schedule_compares)};"
+            f"merge={int(self.merge_adjacent_regions)};"
+            f"unroll={self.unroll}/{self.max_unroll_stmts};"
+            f"peep={int(self.peephole)}"
+        )
+
+
+#: Baseline: branch ladders, no predication.
+BASELINE = CompileConfig(hyperblocks=False, cond_style="ladder")
+
+#: Profiling pass: one branch per source ``if`` so bias maps 1:1.
+PROFILING = CompileConfig(hyperblocks=False, cond_style="simple")
+
+#: Hyperblock compile with default heuristics.
+HYPERBLOCK = CompileConfig(hyperblocks=True, cond_style="ladder")

@@ -1,0 +1,5 @@
+"""Compiler errors."""
+
+
+class CompileError(Exception):
+    """Lowering or allocation failed (resource exhaustion, internal limit)."""

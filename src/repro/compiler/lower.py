@@ -1,0 +1,739 @@
+"""Lowering ``minic`` ASTs to predicated IR, including if-conversion.
+
+The lowerer produces code over *virtual* registers (numbered from
+:data:`VREG_BASE`); :mod:`repro.compiler.regalloc` maps them to physical
+registers afterwards.  Physical registers appear directly only for the
+argument-staging convention and r0.
+
+If-conversion happens here, structurally: each source ``if`` is lowered in
+one of four modes decided by :meth:`FunctionLowerer._decide_if`:
+
+* ``BRANCH`` — classic control flow (the only mode in baseline compiles);
+* ``FULL`` — both arms predicated under a complementary pair; no branch
+  remains at all;
+* ``THEN_PRED`` — the then-arm is predicated inside the region, the else
+  arm is kept outside behind a guarded *side exit* branch (a region-based
+  branch, taken when the else path is needed);
+* ``ELSE_PRED`` — the mirror image.
+
+Inside a predicated arm, ``break``/``continue``/``return`` become guarded
+region-based exits, calls become predicated calls, and nested ``if``s are
+converted recursively (a nested arm that cannot be predicated falls back
+to a side exit).  Loops are never predicated: an arm containing a loop is
+not predicable, which forces the side-exit form around it — exactly the
+acyclic-region constraint of hyperblock formation.
+
+Correctness invariant (exercised heavily by the differential tests): for
+call-free-``&&``/``||`` programs, every mode computes identical results,
+because predication merely nullifies the instructions of the untaken arm.
+"""
+
+from collections import deque
+from typing import Dict, List, Optional
+
+from repro.compiler.config import CompileConfig
+from repro.compiler.errors import CompileError
+from repro.compiler.profile import ProfileCollector
+from repro.isa.builder import FunctionBuilder
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import BranchKind, CmpType, Opcode, Relation
+from repro.isa.registers import ARG_BASE, MAX_ARGS, P_TRUE
+from repro.lang import ast
+
+#: First virtual register number (physical registers are 0..63).
+VREG_BASE = 100
+
+#: Virtual registers at or above this number are *expression temporaries*:
+#: they never live across a statement, hence never across a label, so the
+#: scheduler may move their definitions across branches (the value is dead
+#: along the taken path).  Variable registers live in [VREG_BASE,
+#: TEMP_BASE) and must not cross branches.
+TEMP_BASE = 1_000_000
+
+#: Maps source comparison operators to CMP relations.
+_RELATIONS = {
+    "==": Relation.EQ,
+    "!=": Relation.NE,
+    "<": Relation.LT,
+    "<=": Relation.LE,
+    ">": Relation.GT,
+    ">=": Relation.GE,
+}
+
+_ARITH_OPS = {
+    "+": Opcode.ADD,
+    "-": Opcode.SUB,
+    "*": Opcode.MUL,
+    "/": Opcode.DIV,
+    "%": Opcode.MOD,
+    "&": Opcode.AND,
+    "|": Opcode.OR,
+    "^": Opcode.XOR,
+    "<<": Opcode.SHL,
+    ">>": Opcode.SRA,  #: ``>>`` is arithmetic shift on signed words
+}
+
+# if-lowering modes
+BRANCH, FULL, THEN_PRED, ELSE_PRED = "branch", "full", "then_pred", "else_pred"
+
+
+class PredAllocator:
+    """Allocates predicate registers p1..p63, rotating through the file.
+
+    Predicates are physical from the start (there are only 63 and their
+    live ranges nest with region structure).  Allocation is FIFO — a
+    released register goes to the *back* of the free queue — so
+    consecutive regions use different predicates.  LIFO reuse would put
+    the same pair on back-to-back compares, and the write-after-read
+    hazard on the reused registers would pin the second compare below
+    everything the first region guards, starving the scheduler of
+    exactly the hoisting freedom the paper's mechanisms feed on (real
+    predicate allocators rotate for the same reason).
+    """
+
+    def __init__(self):
+        self._free = deque(range(1, 64))
+
+    def alloc(self) -> int:
+        if not self._free:
+            raise CompileError(
+                "out of predicate registers (region nesting too deep)"
+            )
+        return self._free.popleft()
+
+    def alloc_pair(self):
+        return self.alloc(), self.alloc()
+
+    def release(self, *preds: int) -> None:
+        for pred in preds:
+            if pred > 0:
+                self._free.append(pred)
+
+
+class FunctionLowerer:
+    """Lowers one function body to virtual-register predicated IR."""
+
+    def __init__(
+        self,
+        func: ast.FuncDecl,
+        global_bases: Dict[str, int],
+        functions: Dict[str, int],
+        config: CompileConfig,
+        profile: Optional[ProfileCollector],
+        region_counter: List[int],
+    ):
+        self.func = func
+        self.global_bases = global_bases
+        self.functions = functions
+        self.config = config
+        self.profile = profile
+        self.region_counter = region_counter
+        self.fb = FunctionBuilder(func.name, nparams=len(func.params))
+        self.preds = PredAllocator()
+        self.vars: Dict[str, int] = {}
+        self._next_var = VREG_BASE
+        self._next_temp = TEMP_BASE
+        self._next_label = 0
+        #: stack of (break_label, continue_label)
+        self._loops: List[tuple] = []
+
+    # -- small helpers ---------------------------------------------------------
+
+    def temp(self) -> int:
+        """A fresh expression temporary (statement-local lifetime)."""
+        reg = self._next_temp
+        self._next_temp += 1
+        return reg
+
+    def var_reg(self) -> int:
+        """A fresh register for a source variable or parameter."""
+        reg = self._next_var
+        self._next_var += 1
+        if reg >= TEMP_BASE:
+            raise CompileError("too many variables in one function")
+        return reg
+
+    def new_label(self, hint: str) -> str:
+        self._next_label += 1
+        return f".{hint}{self._next_label}"
+
+    def _bias(self, node: ast.If) -> Optional[float]:
+        if self.profile is None:
+            return None
+        return self.profile.cond_true_rate(node.node_id)
+
+    @staticmethod
+    def _stmt_weight(stmts) -> int:
+        """Recursive statement count: the size proxy for heuristics."""
+        total = 0
+        for stmt in stmts:
+            total += 1
+            if isinstance(stmt, ast.If):
+                total += FunctionLowerer._stmt_weight(stmt.then_body)
+                total += FunctionLowerer._stmt_weight(stmt.else_body)
+            elif isinstance(stmt, ast.While):
+                total += FunctionLowerer._stmt_weight(stmt.body)
+            elif isinstance(stmt, ast.For):
+                total += FunctionLowerer._stmt_weight(stmt.body) + 2
+        return total
+
+    @classmethod
+    def _arm_predicable(cls, stmts, budget: int) -> bool:
+        """Can this arm be fully predicated (acyclic, within budget)?"""
+        if cls._stmt_weight(stmts) > budget:
+            return False
+        for stmt in stmts:
+            if isinstance(stmt, (ast.While, ast.For)):
+                return False
+            if isinstance(stmt, ast.If):
+                # A nested if needs at least one predicable arm: the other
+                # can always leave the region through a side exit.
+                if not (
+                    cls._arm_predicable(stmt.then_body, budget)
+                    or cls._arm_predicable(stmt.else_body, budget)
+                ):
+                    return False
+        return True
+
+    # -- entry point -----------------------------------------------------------
+
+    def lower(self):
+        """Lower the function; returns the builder's Function (with vregs)."""
+        for index, param in enumerate(self.func.params):
+            reg = self.var_reg()
+            self.vars[param] = reg
+            self.fb.mov(reg, ARG_BASE + index)
+        # Variables are function-scoped; pre-register every declaration so
+        # lowering order (side-exit forms lower the arms out of source
+        # order) cannot matter.  Zero-initialize each one in the prologue:
+        # the language defines an unwritten variable to read 0 (a nullified
+        # predicated declaration must leave the architected zero, and after
+        # register allocation the physical register would otherwise hold
+        # whatever interval lived there before).
+        for stmt in ast.walk_stmts(self.func.body):
+            if isinstance(stmt, ast.VarDecl) and stmt.name not in self.vars:
+                reg = self.var_reg()
+                self.vars[stmt.name] = reg
+                self.fb.movi(reg, 0)
+        self.lower_stmts(self.func.body, P_TRUE, -1)
+        self.fb.ret(imm=0)
+        return self.fb.function
+
+    # -- statements --------------------------------------------------------------
+
+    def lower_stmts(self, stmts, qp: int, region: int) -> None:
+        for stmt in stmts:
+            self.lower_stmt(stmt, qp, region)
+
+    def lower_stmt(self, stmt, qp: int, region: int) -> None:
+        if isinstance(stmt, ast.VarDecl):
+            if stmt.name not in self.vars:
+                self.vars[stmt.name] = self.var_reg()
+            if stmt.init is not None:
+                value = self.lower_expr(stmt.init, qp, region)
+                self._mark(self.fb.mov(self.vars[stmt.name], value, qp=qp),
+                           region)
+        elif isinstance(stmt, ast.Assign):
+            value = self.lower_expr(stmt.value, qp, region)
+            self._mark(self.fb.mov(self.vars[stmt.target], value, qp=qp),
+                       region)
+        elif isinstance(stmt, ast.ArrayAssign):
+            index = self.lower_expr(stmt.index, qp, region)
+            value = self.lower_expr(stmt.value, qp, region)
+            base = self.global_bases[stmt.name]
+            self._mark(self.fb.store(index, value, imm=base, qp=qp), region)
+        elif isinstance(stmt, ast.If):
+            self.lower_if(stmt, qp, region)
+        elif isinstance(stmt, ast.While):
+            self.lower_while(stmt)
+        elif isinstance(stmt, ast.For):
+            self.lower_for(stmt)
+        elif isinstance(stmt, ast.Break):
+            self._lower_jump_out(self._loops[-1][0], qp, region, stmt.node_id)
+        elif isinstance(stmt, ast.Continue):
+            self._lower_jump_out(self._loops[-1][1], qp, region, stmt.node_id)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                value = self.lower_expr(stmt.value, qp, region)
+                instr = self.fb.ret(ra=value, qp=qp)
+            else:
+                instr = self.fb.ret(imm=0, qp=qp)
+            self._mark(instr, region)
+            if qp != P_TRUE:
+                instr.region_based = True
+        elif isinstance(stmt, ast.ExprStmt):
+            self.lower_expr(stmt.expr, qp, region)
+        else:  # pragma: no cover
+            raise CompileError(f"cannot lower {type(stmt).__name__}")
+
+    def _lower_jump_out(self, label: str, qp: int, region: int,
+                        src_id: int) -> None:
+        """break/continue: unconditional outside regions, guarded inside."""
+        if qp == P_TRUE:
+            self.fb.jmp(label)
+        else:
+            instr = self.fb.br(
+                label,
+                qp=qp,
+                kind=BranchKind.EXIT,
+                region=region,
+                region_based=True,
+                src_id=src_id,
+            )
+            self._mark(instr, region)
+
+    def _mark(self, instr: Instruction, region: int) -> None:
+        if region >= 0:
+            instr.region = region
+
+    # -- loops ---------------------------------------------------------------------
+
+    def _synth_id(self) -> int:
+        """Fresh node id for compiler-synthesized AST (unrolling guards);
+        offset far above anything the parser hands out."""
+        self._next_synth = getattr(self, "_next_synth", 1_000_000) + 1
+        return self._next_synth
+
+    def _unroll_factor(self, body) -> int:
+        """How many copies to emit for this loop body (1 = no unroll).
+
+        Only innermost, reasonably small bodies are unrolled, and only in
+        hyperblock compiles: the point is to merge several iterations
+        into one predicated region so guard computations gain lead time
+        over the branches they feed.
+        """
+        config = self.config
+        if not config.hyperblocks or config.unroll <= 1:
+            return 1
+        if self._stmt_weight(body) > config.max_unroll_stmts:
+            return 1
+        for stmt in ast.walk_stmts(body):
+            if isinstance(stmt, (ast.While, ast.For)):
+                return 1
+        return config.unroll
+
+    def _exit_test(self, cond) -> ast.If:
+        """``if (!(cond)) break;`` — the between-copies exit test."""
+        line = cond.line
+        negated = ast.Unary(self._synth_id(), line, "!", cond)
+        brk = ast.Break(self._synth_id(), line)
+        return ast.If(self._synth_id(), line, negated, [brk], [])
+
+    def lower_while(self, stmt: ast.While) -> None:
+        top = self.new_label("while")
+        exit_label = self.new_label("wend")
+        body = list(stmt.body)
+        for _ in range(self._unroll_factor(stmt.body) - 1):
+            body.append(self._exit_test(stmt.cond))
+            body.extend(stmt.body)
+        self.fb.label(top)
+        self.lower_cond_branch(
+            stmt.cond, exit_label, BranchKind.LOOP, stmt.node_id
+        )
+        self._loops.append((exit_label, top))
+        self.lower_stmts(body, P_TRUE, -1)
+        self._loops.pop()
+        self.fb.jmp(top)
+        self.fb.label(exit_label)
+
+    def lower_for(self, stmt: ast.For) -> None:
+        if stmt.init is not None:
+            self.lower_stmt(stmt.init, P_TRUE, -1)
+        top = self.new_label("for")
+        step_label = self.new_label("fstep")
+        exit_label = self.new_label("fend")
+        body = list(stmt.body)
+        if stmt.cond is not None:
+            for _ in range(self._unroll_factor(stmt.body) - 1):
+                if stmt.step is not None:
+                    body.append(stmt.step)
+                body.append(self._exit_test(stmt.cond))
+                body.extend(stmt.body)
+        self.fb.label(top)
+        if stmt.cond is not None:
+            self.lower_cond_branch(
+                stmt.cond, exit_label, BranchKind.LOOP, stmt.node_id
+            )
+        self._loops.append((exit_label, step_label))
+        self.lower_stmts(body, P_TRUE, -1)
+        self._loops.pop()
+        self.fb.label(step_label)
+        if stmt.step is not None:
+            self.lower_stmt(stmt.step, P_TRUE, -1)
+        self.fb.jmp(top)
+        self.fb.label(exit_label)
+
+    # -- if lowering ------------------------------------------------------------------
+
+    def _decide_if(self, stmt: ast.If, qp: int):
+        """Pick the lowering mode for one source ``if``."""
+        config = self.config
+        if not config.hyperblocks:
+            return BRANCH
+        budget = config.max_arm_stmts
+        then_ok = self._arm_predicable(stmt.then_body, budget)
+        else_ok = self._arm_predicable(stmt.else_body, budget)
+        in_region = qp != P_TRUE
+
+        if not then_ok and not else_ok:
+            if in_region:  # pragma: no cover - prevented by _arm_predicable
+                raise CompileError("unpredicable if inside a region")
+            return BRANCH
+
+        bias = self._bias(stmt)  # P(cond true); None if never executed
+        weight_then = self._stmt_weight(stmt.then_body)
+        weight_else = self._stmt_weight(stmt.else_body)
+        tiny = (
+            weight_then <= config.tiny_arm_stmts
+            and weight_else <= config.tiny_arm_stmts
+        )
+        both_fit = (
+            then_ok
+            and else_ok
+            and weight_then + weight_else <= config.max_region_stmts
+        )
+
+        cold = config.cold_threshold
+        then_cold = bias is not None and bias < cold
+        else_cold = bias is not None and bias > 1.0 - cold
+
+        if both_fit and tiny:
+            return FULL
+        if both_fit and not then_cold and not else_cold:
+            return FULL
+        # One side is cold, too big, or unpredicable: keep it out of the
+        # region behind a side exit, predicating the other side.
+        if then_ok and not then_cold and (else_cold or not else_ok
+                                          or not both_fit):
+            return THEN_PRED
+        if else_ok and not else_cold:
+            return ELSE_PRED
+        if in_region:
+            # Must predicate something; prefer the predicable arm.
+            return THEN_PRED if then_ok else ELSE_PRED
+        return BRANCH
+
+    def lower_if(self, stmt: ast.If, qp: int, region: int) -> None:
+        mode = self._decide_if(stmt, qp)
+        if mode == BRANCH:
+            self._lower_if_branching(stmt)
+            return
+        if region < 0:
+            self.region_counter[0] += 1
+            region = self.region_counter[0]
+        p_true, p_false = self.preds.alloc_pair()
+        self.lower_cond_pred(stmt.cond, p_true, p_false, qp, region,
+                             stmt.node_id)
+        if mode == FULL:
+            self.lower_stmts(stmt.then_body, p_true, region)
+            if stmt.else_body:
+                self.lower_stmts(stmt.else_body, p_false, region)
+        elif mode == THEN_PRED:
+            join = self.new_label("join")
+            if stmt.else_body:
+                else_label = self.new_label("else")
+                exit_br = self.fb.br(
+                    else_label,
+                    qp=p_false,
+                    kind=BranchKind.EXIT,
+                    region=region,
+                    region_based=True,
+                    src_id=stmt.node_id,
+                )
+                self.lower_stmts(stmt.then_body, p_true, region)
+                self.fb.jmp(join)
+                self.fb.label(else_label)
+                self.lower_stmts(stmt.else_body, P_TRUE, -1)
+            else:
+                self.lower_stmts(stmt.then_body, p_true, region)
+            self.fb.label(join)
+        else:  # ELSE_PRED: side exit to the then-arm, else stays inline
+            join = self.new_label("join")
+            then_label = self.new_label("then")
+            self.fb.br(
+                then_label,
+                qp=p_true,
+                kind=BranchKind.EXIT,
+                region=region,
+                region_based=True,
+                src_id=stmt.node_id,
+            )
+            if stmt.else_body:
+                self.lower_stmts(stmt.else_body, p_false, region)
+            self.fb.jmp(join)
+            self.fb.label(then_label)
+            self.lower_stmts(stmt.then_body, P_TRUE, -1)
+            self.fb.label(join)
+        self.preds.release(p_true, p_false)
+
+    def _lower_if_branching(self, stmt: ast.If) -> None:
+        """Classic lowering: condition ladder plus explicit arms."""
+        join = self.new_label("join")
+        else_label = self.new_label("else") if stmt.else_body else join
+        self.lower_cond_branch(
+            stmt.cond, else_label, BranchKind.COND, stmt.node_id
+        )
+        self.lower_stmts(stmt.then_body, P_TRUE, -1)
+        if stmt.else_body:
+            self.fb.jmp(join)
+            self.fb.label(else_label)
+            self.lower_stmts(stmt.else_body, P_TRUE, -1)
+        self.fb.label(join)
+
+    # -- conditions ----------------------------------------------------------------------
+
+    def lower_cond_branch(self, cond, false_label: str, kind: BranchKind,
+                          src_id: int) -> None:
+        """Emit code that falls through when ``cond`` is true and branches
+        to ``false_label`` otherwise.
+
+        ``cond_style="ladder"`` expands ``&&``/``||``/``!`` structurally
+        (several branches, a realistic if-ladder); ``"simple"`` evaluates
+        the condition as a value and emits exactly one branch, which the
+        profiling pass relies on.
+        """
+        if self.config.cond_style == "ladder":
+            self._ladder(cond, None, false_label, kind, src_id)
+        else:
+            value = self.lower_expr(cond, P_TRUE, -1)
+            p_true, p_false = self.preds.alloc_pair()
+            self.fb.cmp(Relation.NE, p_true, p_false, ra=value, imm=0,
+                        ctype=CmpType.UNC)
+            self.fb.br(false_label, qp=p_false, kind=kind, src_id=src_id)
+            self.preds.release(p_true, p_false)
+
+    def _ladder(self, cond, true_label: Optional[str],
+                false_label: Optional[str], kind: BranchKind,
+                src_id: int) -> None:
+        """Short-circuit lowering; exactly one of the labels is ``None``,
+        meaning "fall through on that outcome"."""
+        if isinstance(cond, ast.Unary) and cond.op == "!":
+            self._ladder(cond.operand, false_label, true_label, kind, src_id)
+            return
+        if isinstance(cond, ast.Logical) and cond.op == "&&":
+            if false_label is None:
+                # Fall through when false: a&&b false -> skip to a local
+                # label after the true-jump.
+                local_false = self.new_label("and")
+                self._ladder(cond.left, None, local_false, kind, src_id)
+                self._ladder(cond.right, true_label, None, kind, src_id)
+                self.fb.label(local_false)
+            else:
+                self._ladder(cond.left, None, false_label, kind, src_id)
+                self._ladder(cond.right, true_label, false_label, kind,
+                             src_id)
+            return
+        if isinstance(cond, ast.Logical) and cond.op == "||":
+            if true_label is None:
+                local_true = self.new_label("or")
+                self._ladder(cond.left, local_true, None, kind, src_id)
+                self._ladder(cond.right, None, false_label, kind, src_id)
+                self.fb.label(local_true)
+            else:
+                self._ladder(cond.left, true_label, None, kind, src_id)
+                self._ladder(cond.right, true_label, false_label, kind,
+                             src_id)
+            return
+        # Leaf: comparison or arbitrary expression.
+        if isinstance(cond, ast.Binary) and cond.op in _RELATIONS:
+            rel = _RELATIONS[cond.op]
+            left = self.lower_expr(cond.left, P_TRUE, -1)
+            right_reg, right_imm = self._reg_or_imm(cond.right)
+        else:
+            rel = Relation.NE
+            left = self.lower_expr(cond, P_TRUE, -1)
+            right_reg, right_imm = -1, 0
+        p_true, p_false = self.preds.alloc_pair()
+        self.fb.cmp(rel, p_true, p_false, ra=left, rb=right_reg,
+                    imm=right_imm)
+        if true_label is not None and false_label is not None:
+            raise CompileError("ladder leaf needs a fallthrough side")
+        if false_label is not None:
+            self.fb.br(false_label, qp=p_false, kind=kind, src_id=src_id)
+        elif true_label is not None:
+            self.fb.br(true_label, qp=p_true, kind=kind, src_id=src_id)
+        self.preds.release(p_true, p_false)
+
+    def _reg_or_imm(self, expr):
+        """Use the immediate form for literal right-hand sides."""
+        if isinstance(expr, ast.IntLit):
+            return -1, expr.value
+        return self.lower_expr(expr, P_TRUE, -1), 0
+
+    def lower_cond_pred(self, cond, p_true: int, p_false: int, qp: int,
+                        region: int, src_id: int) -> None:
+        """Evaluate ``cond`` into the predicate pair (``p_true``,
+        ``p_false``) under ``qp``, unconditionally-typed so both targets
+        read false whenever ``qp`` is false (nested regions)."""
+        if isinstance(cond, ast.Binary) and cond.op in _RELATIONS:
+            left = self.lower_expr(cond.left, qp, region)
+            if isinstance(cond.right, ast.IntLit):
+                right_reg, right_imm = -1, cond.right.value
+            else:
+                right_reg = self.lower_expr(cond.right, qp, region)
+                right_imm = 0
+            instr = self.fb.cmp(
+                _RELATIONS[cond.op],
+                p_true,
+                p_false,
+                ra=left,
+                rb=right_reg,
+                imm=right_imm,
+                ctype=CmpType.UNC,
+                qp=qp,
+                src_id=src_id,
+            )
+        elif isinstance(cond, ast.Unary) and cond.op == "!":
+            self.lower_cond_pred(cond.operand, p_false, p_true, qp, region,
+                                 src_id)
+            return
+        else:
+            value = self.lower_expr(cond, qp, region)
+            instr = self.fb.cmp(
+                Relation.NE,
+                p_true,
+                p_false,
+                ra=value,
+                imm=0,
+                ctype=CmpType.UNC,
+                qp=qp,
+                src_id=src_id,
+            )
+        self._mark(instr, region)
+
+    # -- expressions ----------------------------------------------------------------------
+
+    def lower_expr(self, expr, qp: int, region: int) -> int:
+        """Lower an expression to a register holding its value.
+
+        Everything emitted is guarded by ``qp``: inside a predicated arm
+        the whole computation is nullified when the arm is off, which is
+        safe because consumers are nullified too.
+        """
+        if isinstance(expr, ast.IntLit):
+            reg = self.temp()
+            self._mark(self.fb.movi(reg, expr.value, qp=qp), region)
+            return reg
+        if isinstance(expr, ast.VarRef):
+            return self.vars[expr.name]
+        if isinstance(expr, ast.ArrayRef):
+            index = self.lower_expr(expr.index, qp, region)
+            reg = self.temp()
+            base = self.global_bases[expr.name]
+            self._mark(self.fb.load(reg, index, imm=base, qp=qp), region)
+            return reg
+        if isinstance(expr, ast.Unary):
+            return self._lower_unary(expr, qp, region)
+        if isinstance(expr, ast.Binary):
+            return self._lower_binary(expr, qp, region)
+        if isinstance(expr, ast.Logical):
+            return self._lower_logical(expr, qp, region)
+        if isinstance(expr, ast.Call):
+            return self._lower_call(expr, qp, region)
+        raise CompileError(  # pragma: no cover
+            f"cannot lower {type(expr).__name__}"
+        )
+
+    def _lower_unary(self, expr: ast.Unary, qp: int, region: int) -> int:
+        reg = self.temp()
+        if expr.op == "-":
+            operand = self.lower_expr(expr.operand, qp, region)
+            instr = self.fb.sub(reg, 0, operand, qp=qp)  # 0 - x via r0
+        elif expr.op == "~":
+            operand = self.lower_expr(expr.operand, qp, region)
+            instr = self.fb.xori(reg, operand, -1, qp=qp)
+        else:  # '!'
+            operand = self.lower_expr(expr.operand, qp, region)
+            pred = self.preds.alloc()
+            cmp_instr = self.fb.cmp(
+                Relation.EQ, pred, -1, ra=operand, imm=0,
+                ctype=CmpType.UNC, qp=qp,
+            )
+            self._mark(cmp_instr, region)
+            self._mark(self.fb.movi(reg, 0, qp=qp), region)
+            instr = self.fb.movi(reg, 1, qp=pred)
+            self.preds.release(pred)
+        self._mark(instr, region)
+        return reg
+
+    def _lower_binary(self, expr: ast.Binary, qp: int, region: int) -> int:
+        # Fold literal-literal arithmetic so workload constants are cheap.
+        if expr.op in _RELATIONS:
+            return self._lower_comparison(expr, qp, region)
+        opcode = _ARITH_OPS[expr.op]
+        left = self.lower_expr(expr.left, qp, region)
+        reg = self.temp()
+        if isinstance(expr.right, ast.IntLit):
+            instr = self.fb.emit(
+                Instruction(op=opcode, qp=qp, rd=reg, ra=left, rb=-1,
+                            imm=expr.right.value)
+            )
+        else:
+            right = self.lower_expr(expr.right, qp, region)
+            instr = self.fb.emit(
+                Instruction(op=opcode, qp=qp, rd=reg, ra=left, rb=right)
+            )
+        self._mark(instr, region)
+        return reg
+
+    def _lower_comparison(self, expr: ast.Binary, qp: int,
+                          region: int) -> int:
+        left = self.lower_expr(expr.left, qp, region)
+        if isinstance(expr.right, ast.IntLit):
+            right_reg, right_imm = -1, expr.right.value
+        else:
+            right_reg = self.lower_expr(expr.right, qp, region)
+            right_imm = 0
+        pred = self.preds.alloc()
+        reg = self.temp()
+        self._mark(
+            self.fb.cmp(
+                _RELATIONS[expr.op], pred, -1, ra=left, rb=right_reg,
+                imm=right_imm, ctype=CmpType.UNC, qp=qp,
+            ),
+            region,
+        )
+        self._mark(self.fb.movi(reg, 0, qp=qp), region)
+        self._mark(self.fb.movi(reg, 1, qp=pred), region)
+        self.preds.release(pred)
+        return reg
+
+    def _lower_logical(self, expr: ast.Logical, qp: int, region: int) -> int:
+        """Eager logical and/or via AND/OR-type compares (no branches).
+
+        Safe because sema bans calls inside the operands.
+        """
+        left = self.lower_expr(expr.left, qp, region)
+        pred = self.preds.alloc()
+        self._mark(
+            self.fb.cmp(Relation.NE, pred, -1, ra=left, imm=0,
+                        ctype=CmpType.UNC, qp=qp),
+            region,
+        )
+        right = self.lower_expr(expr.right, qp, region)
+        ctype = CmpType.AND if expr.op == "&&" else CmpType.OR
+        self._mark(
+            self.fb.cmp(Relation.NE, pred, -1, ra=right, imm=0,
+                        ctype=ctype, qp=qp),
+            region,
+        )
+        reg = self.temp()
+        self._mark(self.fb.movi(reg, 0, qp=qp), region)
+        self._mark(self.fb.movi(reg, 1, qp=pred), region)
+        self.preds.release(pred)
+        return reg
+
+    def _lower_call(self, expr: ast.Call, qp: int, region: int) -> int:
+        if len(expr.args) > MAX_ARGS:
+            raise CompileError(
+                f"{expr.name!r} called with more than {MAX_ARGS} arguments"
+            )
+        arg_regs = [self.lower_expr(arg, qp, region) for arg in expr.args]
+        for index, reg in enumerate(arg_regs):
+            self._mark(self.fb.mov(ARG_BASE + index, reg, qp=qp), region)
+        result = self.temp()
+        instr = self.fb.call(result, expr.name, nargs=len(expr.args), qp=qp)
+        self._mark(instr, region)
+        if qp != P_TRUE:
+            instr.region_based = True
+        return result

@@ -1,0 +1,159 @@
+"""Peephole optimization on virtual-register code.
+
+Runs after lowering, before scheduling and register allocation.  Three
+conservative, obviously-safe rewrites that remove the copy/materialize
+noise straightforward lowering produces — which real compilers do not
+emit, and which matters here beyond aesthetics: shorter def-use chains
+give the compare scheduler more freedom, lengthening the predicate lead
+times the paper's mechanisms measure.
+
+1. **Immediate folding** — ``mov t = imm`` (unguarded) feeding a single
+   ALU/compare second operand becomes that operand's immediate.
+2. **Copy coalescing** — ``op t = ...`` immediately followed by
+   ``mov v = t`` under the same qualifying predicate, where ``t`` has no
+   other readers, becomes ``op v = ...``.  This removes the canonical
+   assignment copy (and the call-result copy).
+3. **Dead temporary elimination** — side-effect-free definitions of
+   expression temporaries that are never read are dropped.
+
+All three reason only about *expression temporaries* (single static
+definition by construction) plus the adjacency/sameness conditions
+stated above, so no dataflow analysis is needed.  Deleting instructions
+renumbers labels, handled by an old-to-new position map.
+"""
+
+from typing import Dict, List
+
+from repro.compiler.lower import TEMP_BASE
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import ALU_OPCODES, Opcode
+from repro.isa.program import Function
+
+#: Definitions pattern 2/3 may rewrite or delete.
+_VALUE_OPS = ALU_OPCODES | {Opcode.MOV, Opcode.LOAD}
+
+
+def _read_fields(instr: Instruction):
+    op = instr.op
+    if op in ALU_OPCODES or op is Opcode.CMP:
+        return ("ra", "rb")
+    if op in (Opcode.MOV, Opcode.LOAD, Opcode.RET):
+        return ("ra",)
+    if op is Opcode.STORE:
+        return ("ra", "rb")
+    return ()
+
+
+def _count_reads(code: List[Instruction]) -> Dict[int, int]:
+    counts: Dict[int, int] = {}
+    for instr in code:
+        for field in _read_fields(instr):
+            reg = getattr(instr, field)
+            if reg >= 0:
+                counts[reg] = counts.get(reg, 0) + 1
+    return counts
+
+
+def _fold_immediates(code: List[Instruction],
+                     reads: Dict[int, int]) -> bool:
+    """``mov t = imm`` (qp=p0, single reader) into the reader's rb slot."""
+    defs: Dict[int, int] = {}
+    def_count: Dict[int, int] = {}
+    for pos, instr in enumerate(code):
+        written = instr.writes_reg()
+        if written >= TEMP_BASE:
+            defs[written] = pos
+            def_count[written] = def_count.get(written, 0) + 1
+    changed = False
+    for instr in code:
+        if instr.op not in ALU_OPCODES and instr.op is not Opcode.CMP:
+            continue
+        rb = instr.rb
+        if rb < TEMP_BASE or reads.get(rb, 0) != 1:
+            continue
+        if def_count.get(rb, 0) != 1:
+            continue
+        producer = code[defs[rb]]
+        if (
+            producer.op is Opcode.MOV
+            and producer.qp == 0
+            and producer.ra < 0
+        ):
+            instr.rb = -1
+            instr.imm = producer.imm
+            reads[rb] = 0  # producer becomes dead; pass 3 removes it
+            changed = True
+    return changed
+
+
+def _coalesce_copies(code: List[Instruction],
+                     reads: Dict[int, int]) -> bool:
+    """``op t = ...; mov v = t`` (adjacent, same qp, sole reader) into
+    ``op v = ...``."""
+    changed = False
+    for pos in range(len(code) - 1):
+        producer = code[pos]
+        copy = code[pos + 1]
+        if copy.op is not Opcode.MOV or copy.ra < TEMP_BASE:
+            continue
+        temp = copy.ra
+        if producer.writes_reg() != temp or reads.get(temp, 0) != 1:
+            continue
+        if producer.op not in _VALUE_OPS and producer.op is not Opcode.CALL:
+            continue
+        if producer.qp != copy.qp:
+            continue
+        if copy.rd == 0:
+            continue  # writes to r0 are dropped anyway; keep it simple
+        producer.rd = copy.rd
+        copy.op = Opcode.NOP
+        copy.rd = copy.ra = copy.rb = -1
+        reads[temp] = 0
+        changed = True
+    return changed
+
+
+def _drop_dead(code: List[Instruction], reads: Dict[int, int]) -> bool:
+    """Mark side-effect-free dead temporary definitions as NOPs."""
+    changed = False
+    for instr in code:
+        if instr.op in _VALUE_OPS:
+            written = instr.writes_reg()
+            if written >= TEMP_BASE and reads.get(written, 0) == 0:
+                for field in _read_fields(instr):
+                    reg = getattr(instr, field)
+                    if reg >= 0:
+                        reads[reg] = reads.get(reg, 0) - 1
+                instr.op = Opcode.NOP
+                instr.rd = instr.ra = instr.rb = -1
+                changed = True
+    return changed
+
+
+def _strip_nops(function: Function) -> None:
+    """Delete NOPs, remapping labels to the following kept instruction."""
+    code = function.code
+    old_to_new: Dict[int, int] = {}
+    new_code: List[Instruction] = []
+    for pos, instr in enumerate(code):
+        old_to_new[pos] = len(new_code)
+        if instr.op is not Opcode.NOP:
+            new_code.append(instr)
+    old_to_new[len(code)] = len(new_code)
+    function.code = new_code
+    function.labels = {
+        name: old_to_new[pos] for name, pos in function.labels.items()
+    }
+
+
+def optimize_function(function: Function, rounds: int = 4) -> Function:
+    """Run the peephole passes to a fixed point (in place)."""
+    for _ in range(rounds):
+        reads = _count_reads(function.code)
+        changed = _fold_immediates(function.code, reads)
+        changed |= _coalesce_copies(function.code, reads)
+        changed |= _drop_dead(function.code, reads)
+        _strip_nops(function)
+        if not changed:
+            break
+    return function

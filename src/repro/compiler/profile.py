@@ -1,0 +1,50 @@
+"""Edge profiling support.
+
+The profiling compile (``cond_style="simple"``) emits exactly one
+conditional branch per source ``if``/loop, tagged with the AST node id.
+Running that executable with a :class:`ProfileCollector` attached yields,
+per source construct, how often it executed and how often the branch was
+taken.  For an ``if`` lowered in simple style the branch jumps to the else
+side when the condition is *false*, so the probability that the condition
+is true is ``1 - taken_rate``.
+"""
+
+from collections import defaultdict
+from typing import Dict, Optional, Tuple
+
+
+class ProfileCollector:
+    """Accumulates per-source-construct branch statistics."""
+
+    def __init__(self):
+        self._counts: Dict[int, list] = defaultdict(lambda: [0, 0])
+
+    def record_branch(self, src_id: int, taken: bool) -> None:
+        """One dynamic branch observation (called by the interpreter)."""
+        entry = self._counts[src_id]
+        entry[0] += 1
+        if taken:
+            entry[1] += 1
+
+    def executions(self, src_id: int) -> int:
+        """Times the construct's branch executed."""
+        return self._counts[src_id][0] if src_id in self._counts else 0
+
+    def taken_rate(self, src_id: int) -> Optional[float]:
+        """Fraction taken, or ``None`` if never executed."""
+        if src_id not in self._counts or self._counts[src_id][0] == 0:
+            return None
+        executed, taken = self._counts[src_id]
+        return taken / executed
+
+    def cond_true_rate(self, src_id: int) -> Optional[float]:
+        """P(condition true) for an ``if`` profiled in simple style."""
+        rate = self.taken_rate(src_id)
+        return None if rate is None else 1.0 - rate
+
+    def as_dict(self) -> Dict[int, Tuple[int, int]]:
+        """Snapshot: src_id -> (executions, taken)."""
+        return {k: (v[0], v[1]) for k, v in self._counts.items()}
+
+    def __len__(self) -> int:
+        return len(self._counts)

@@ -1,0 +1,188 @@
+"""Linear-scan register allocation with spilling.
+
+Lowered functions use virtual registers (``>= VREG_BASE``).  This pass
+assigns them to physical registers ``r1..r52``, spilling the rest to
+stack slots addressed off ``R_SP`` and staged through three reserved
+scratch registers.
+
+Liveness is computed as linear intervals over the flat instruction list,
+then *extended over loops*: for every backward branch ``b -> t``, any
+interval overlapping ``[t, b]`` is widened to cover all of it.  This is
+conservative (it may over-extend) but always correct, which is what the
+predictor study needs — allocation quality only affects instruction
+counts, not branch behaviour.
+
+Spill rewriting preserves predication: a reload is unconditional (reading
+a slot is always safe), but the store after a *guarded* definition carries
+the same qualifying predicate, so a nullified definition does not clobber
+the slot.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.compiler.errors import CompileError
+from repro.compiler.lower import VREG_BASE
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import ALU_OPCODES, Opcode
+from repro.isa.program import Function
+from repro.isa.registers import R_SP
+
+#: Physical registers handed out by the allocator.
+ALLOCATABLE = list(range(1, 53))
+#: Scratch registers for spilled operands (two reads + one write).
+SCRATCH_READ1 = 53
+SCRATCH_READ2 = 54
+SCRATCH_WRITE = 55
+
+
+@dataclass
+class Interval:
+    vreg: int
+    start: int
+    end: int
+
+
+def _operand_fields(instr: Instruction):
+    """(reads, writes) field names holding GPR numbers for this opcode."""
+    op = instr.op
+    if op in ALU_OPCODES:
+        return ["ra", "rb"], ["rd"]
+    if op is Opcode.MOV:
+        return ["ra"], ["rd"]
+    if op is Opcode.LOAD:
+        return ["ra"], ["rd"]
+    if op is Opcode.STORE:
+        return ["ra", "rb"], []
+    if op is Opcode.CMP:
+        return ["ra", "rb"], []
+    if op is Opcode.RET:
+        return ["ra"], []
+    if op is Opcode.CALL:
+        return [], ["rd"]
+    return [], []
+
+
+def _collect_intervals(code: List[Instruction]) -> Dict[int, Interval]:
+    intervals: Dict[int, Interval] = {}
+    for pos, instr in enumerate(code):
+        reads, writes = _operand_fields(instr)
+        for field in reads + writes:
+            reg = getattr(instr, field)
+            if reg >= VREG_BASE:
+                interval = intervals.get(reg)
+                if interval is None:
+                    intervals[reg] = Interval(reg, pos, pos)
+                else:
+                    interval.end = pos
+    return intervals
+
+
+def _extend_over_loops(intervals: Dict[int, Interval],
+                       function: Function) -> None:
+    code = function.code
+    label_pos = function.labels
+    backedges = []
+    for pos, instr in enumerate(code):
+        if instr.op is Opcode.BR:
+            target = instr.target
+            target_pos = label_pos.get(target) if isinstance(target, str) \
+                else target
+            if target_pos is not None and target_pos <= pos:
+                backedges.append((target_pos, pos))
+    changed = True
+    while changed:
+        changed = False
+        for start, end in backedges:
+            for interval in intervals.values():
+                if interval.start <= end and interval.end >= start:
+                    if interval.start > start or interval.end < end:
+                        interval.start = min(interval.start, start)
+                        interval.end = max(interval.end, end)
+                        changed = True
+
+
+def _linear_scan(intervals: List[Interval]):
+    """Assign physical registers; returns (assignment, spilled-vreg set)."""
+    assignment: Dict[int, int] = {}
+    spilled = set()
+    free = set(ALLOCATABLE)
+    active: List[Interval] = []
+    for interval in sorted(intervals, key=lambda iv: (iv.start, iv.end)):
+        for done in [iv for iv in active if iv.end < interval.start]:
+            active.remove(done)
+            free.add(assignment[done.vreg])
+        if free:
+            reg = min(free)
+            free.remove(reg)
+            assignment[interval.vreg] = reg
+            active.append(interval)
+        else:
+            # Spill the active interval that ends last (standard policy).
+            victim = max(active, key=lambda iv: iv.end)
+            if victim.end > interval.end:
+                assignment[interval.vreg] = assignment.pop(victim.vreg)
+                spilled.add(victim.vreg)
+                active.remove(victim)
+                active.append(interval)
+            else:
+                spilled.add(interval.vreg)
+    return assignment, spilled
+
+
+def allocate_registers(function: Function) -> Function:
+    """Rewrite ``function`` in place, replacing virtual registers.
+
+    Sets ``function.frame_slots`` to the number of spill slots used.
+    """
+    intervals = _collect_intervals(function.code)
+    if not intervals:
+        function.frame_slots = 0
+        return function
+    _extend_over_loops(intervals, function)
+    assignment, spilled = _linear_scan(list(intervals.values()))
+    slot_of = {vreg: slot for slot, vreg in enumerate(sorted(spilled))}
+
+    new_code: List[Instruction] = []
+    old_to_new: Dict[int, int] = {}
+    for pos, instr in enumerate(function.code):
+        old_to_new[pos] = len(new_code)
+        reads, writes = _operand_fields(instr)
+        scratch_pool = [SCRATCH_READ1, SCRATCH_READ2]
+        pending_store = None
+        for field in reads:
+            reg = getattr(instr, field)
+            if reg >= VREG_BASE:
+                if reg in slot_of:
+                    if not scratch_pool:
+                        raise CompileError("too many spilled reads")
+                    scratch = scratch_pool.pop(0)
+                    new_code.append(
+                        Instruction(op=Opcode.LOAD, rd=scratch, ra=R_SP,
+                                    imm=slot_of[reg])
+                    )
+                    setattr(instr, field, scratch)
+                else:
+                    setattr(instr, field, assignment[reg])
+        for field in writes:
+            reg = getattr(instr, field)
+            if reg >= VREG_BASE:
+                if reg in slot_of:
+                    setattr(instr, field, SCRATCH_WRITE)
+                    pending_store = Instruction(
+                        op=Opcode.STORE, qp=instr.qp, ra=R_SP,
+                        rb=SCRATCH_WRITE, imm=slot_of[reg],
+                    )
+                else:
+                    setattr(instr, field, assignment[reg])
+        new_code.append(instr)
+        if pending_store is not None:
+            new_code.append(pending_store)
+
+    function.code = new_code
+    function.labels = {
+        name: old_to_new.get(pos, len(new_code))
+        for name, pos in function.labels.items()
+    }
+    function.frame_slots = len(slot_of)
+    return function

@@ -1,0 +1,228 @@
+"""Predicate-computation scheduling inside predicated regions.
+
+Hyperblock formation is only half of what gives the paper's mechanisms
+their lead time; the other half is the compiler *hoisting* predicate
+computations as early as data dependences allow, while the guarded
+branches stay put.  The dynamic distance between a predicate write and
+the branch it guards is exactly what the front-end availability model
+measures against the pipeline distance ``D``.
+
+Passes:
+
+* :func:`merge_regions` — fuse back-to-back converted regions within a
+  straight-line run into one region, IMPACT-style.
+* :func:`hoist_slices` — compute, per run, the backward slice of every
+  region compare (the compare, the ALU/MOV/LOAD chain feeding it, and
+  the compares defining its qualifying predicate), then move each slice
+  instruction upward past anything it does not depend on.  Loads move
+  speculatively across branches — legal because loads are non-faulting
+  (IA-64 ``ld.s``) — but never across stores or calls (no alias
+  analysis).  Region predicates are dead outside their region, so a
+  compare executed above a side exit it originally followed is harmless.
+
+Run boundaries (labels, unconditional jumps, loop branches, returns) are
+never crossed: they are control-flow join/split points where motion
+would change semantics.
+"""
+
+from typing import List, Set, Tuple
+
+from repro.compiler.lower import TEMP_BASE
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import ALU_OPCODES, BranchKind, CmpType, Opcode
+from repro.isa.program import Function
+
+#: Opcodes a slice may contain besides the compares themselves.
+_HOISTABLE_VALUE_OPS = ALU_OPCODES | {Opcode.MOV, Opcode.LOAD}
+
+
+def _run_break_positions(function: Function) -> Set[int]:
+    """Instruction positions after which a straight-line run ends."""
+    breaks = set()
+    for pos, instr in enumerate(function.code):
+        if instr.op is Opcode.BR and instr.kind in (
+            BranchKind.UNCOND,
+            BranchKind.LOOP,
+        ):
+            breaks.add(pos)
+        elif instr.op is Opcode.RET:
+            breaks.add(pos)
+    return breaks
+
+
+def _runs(function: Function) -> List[Tuple[int, int]]:
+    """Straight-line runs as half-open ``(start, end)`` position ranges."""
+    label_positions = set(function.labels.values())
+    breaks = _run_break_positions(function)
+    runs = []
+    start = 0
+    n = len(function.code)
+    for pos in range(n):
+        if pos in label_positions and pos > start:
+            runs.append((start, pos))
+            start = pos
+        if pos in breaks:
+            runs.append((start, pos + 1))
+            start = pos + 1
+    if start < n:
+        runs.append((start, n))
+    return runs
+
+
+def merge_regions(function: Function) -> Function:
+    """Fuse adjacent regions within each straight-line run (in place)."""
+    code = function.code
+    for start, end in _runs(function):
+        region_positions = [
+            i for i in range(start, end) if code[i].region >= 0
+        ]
+        if len(region_positions) < 2:
+            continue
+        first, last = region_positions[0], region_positions[-1]
+        canonical = code[first].region
+        for i in range(first, last + 1):
+            code[i].region = canonical
+    return function
+
+
+def _collect_slices(function: Function) -> Set[int]:
+    """Ids (``id()``) of instructions in some region compare's slice."""
+    code = function.code
+    slice_ids: Set[int] = set()
+    for start, end in _runs(function):
+        wanted_regs: Set[int] = set()
+        wanted_preds: Set[int] = set()
+        for pos in range(end - 1, start - 1, -1):
+            instr = code[pos]
+            include = False
+            if instr.op is Opcode.CMP:
+                if instr.region >= 0:
+                    include = True
+                dests = {instr.pd1, instr.pd2} & wanted_preds
+                if dests:
+                    include = True
+                    # Only an unconditional write fully defines the
+                    # predicate; AND/OR accumulators and qp-guarded
+                    # normal compares are partial, so keep looking for
+                    # the initializing definition above.
+                    if instr.ctype is CmpType.UNC or (
+                        instr.qp == 0 and instr.ctype is CmpType.NORMAL
+                    ):
+                        wanted_preds -= dests
+            elif (
+                instr.op in _HOISTABLE_VALUE_OPS
+                and instr.rd in wanted_regs
+            ):
+                include = True
+                # A guarded write may be nullified at run time, so the
+                # definition above it is still live-in: keep the register
+                # wanted and pull that earlier definition in too.
+                if instr.qp == 0:
+                    wanted_regs.discard(instr.rd)
+            if include:
+                slice_ids.add(id(instr))
+                for reg in (instr.ra, instr.rb):
+                    if reg > 0:  # r0 is constant, never "defined"
+                        wanted_regs.add(reg)
+                if instr.qp > 0:
+                    wanted_preds.add(instr.qp)
+            else:
+                written = instr.writes_reg()
+                if written in wanted_regs and instr.qp == 0:
+                    # Chain stops at an unhoistable full definition
+                    # (a call result).
+                    wanted_regs.discard(written)
+                if instr.op is Opcode.CMP and instr.ctype is CmpType.UNC:
+                    wanted_preds -= {instr.pd1, instr.pd2}
+    return slice_ids
+
+
+def hoist_slices(function: Function, rounds: int = 3) -> Function:
+    """Hoist region-compare slices to their earliest positions (in place).
+
+    Index bookkeeping: a move from ``pos`` to ``insert_at < pos`` shifts
+    only positions in ``[insert_at, pos - 1]``, and the barrier rules
+    guarantee no label or run break lies in that range, so the label and
+    break sets stay valid across moves.
+    """
+    label_positions = set(function.labels.values())
+    breaks = _run_break_positions(function)
+    code = function.code
+
+    for _ in range(rounds):
+        slice_ids = _collect_slices(function)
+        moved = False
+        pos = 0
+        while pos < len(code):
+            instr = code[pos]
+            if id(instr) not in slice_ids or pos in label_positions:
+                pos += 1
+                continue
+            insert_at = pos
+            k = pos - 1
+            while k >= 0:
+                if k in label_positions or k in breaks:
+                    break
+                if not _can_cross(instr, code[k]):
+                    break
+                insert_at = k
+                k -= 1
+            if insert_at < pos:
+                code.insert(insert_at, code.pop(pos))
+                moved = True
+            pos += 1
+        if not moved:
+            break
+    return function
+
+
+def _can_cross(instr: Instruction, other: Instruction) -> bool:
+    """May ``instr`` (a slice member) move above ``other``?"""
+    # RAW on registers: other defines one of our sources.
+    other_writes = other.writes_reg()
+    if other_writes >= 0 and other_writes in (instr.ra, instr.rb):
+        return False
+    # WAR / WAW on our destination register.
+    my_dest = instr.writes_reg()
+    if my_dest > 0:
+        if my_dest in other.reads_regs():
+            return False
+        if other_writes == my_dest:
+            return False
+    # Predicates: other consumes or defines what we touch.
+    my_dest_preds = (
+        {instr.pd1, instr.pd2} - {-1} if instr.op is Opcode.CMP else set()
+    )
+    if other.qp in my_dest_preds:
+        return False  # WAR: other is guarded by a predicate we write
+    if other.op is Opcode.CMP:
+        other_preds = {other.pd1, other.pd2} - {-1}
+        if instr.qp in other_preds:
+            return False  # RAW: other defines our guard
+        if other_preds & my_dest_preds:
+            return False  # WAW on predicates
+    # Memory: loads never cross stores or calls (no alias analysis);
+    # crossing branches is fine (loads are non-faulting, ld.s-style).
+    if instr.op is Opcode.LOAD and other.op in (Opcode.STORE, Opcode.CALL):
+        return False
+    # Control: moving a register write above a branch makes it execute
+    # even when the branch is taken.  That is only safe when the value is
+    # dead along the taken path: predicate writes (region predicates are
+    # recomputed before any use outside this straight-line run) and
+    # expression temporaries (statement-local, never live across a
+    # label).  Variable writes must stay put.  Calls return here and
+    # returns destroy the frame, so only BR is the hazard.
+    if other.op is Opcode.BR and instr.op is not Opcode.CMP:
+        if my_dest < TEMP_BASE:
+            return False
+    return True
+
+
+def schedule_function(function: Function, merge: bool = True,
+                      hoist: bool = True) -> Function:
+    """Run the scheduling passes configured for this compile."""
+    if merge:
+        merge_regions(function)
+    if hoist:
+        hoist_slices(function)
+    return function

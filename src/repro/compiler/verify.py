@@ -1,0 +1,119 @@
+"""IR verifier: structural well-formedness checks for compiled code.
+
+Run by tests after every compiler pass (and available to users via
+:func:`verify_executable`).  Checks are purely static:
+
+* every branch target resolves inside the function (pre-link) or the
+  executable (post-link); call targets name real functions;
+* operand fields match the opcode (no dangling register numbers, no
+  predicate destinations on non-compares);
+* qualifying predicates and predicate destinations are in range;
+* post-regalloc code contains no virtual registers and only writes
+  allocatable/scratch/argument registers;
+* every region-based branch is guarded (``qp != p0``) and carries a
+  region id.
+"""
+
+from typing import List
+
+from repro.compiler.lower import VREG_BASE
+from repro.compiler.regalloc import (
+    ALLOCATABLE,
+    SCRATCH_READ1,
+    SCRATCH_READ2,
+    SCRATCH_WRITE,
+)
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import ALU_OPCODES, BranchKind, Opcode
+from repro.isa.program import Executable, Function
+from repro.isa.registers import ARG_BASE, MAX_ARGS, NUM_GPR, NUM_PRED, R_SP
+
+
+class VerificationError(Exception):
+    """The IR violates a structural invariant."""
+
+
+def _check_instruction(instr: Instruction, where: str,
+                       allow_vregs: bool) -> List[str]:
+    problems = []
+    if not 0 <= instr.qp < NUM_PRED:
+        problems.append(f"{where}: qp {instr.qp} out of range")
+    for field in ("pd1", "pd2"):
+        value = getattr(instr, field)
+        if value != -1 and not 0 < value < NUM_PRED:
+            problems.append(f"{where}: {field} {value} out of range")
+    if instr.op is not Opcode.CMP and (instr.pd1 != -1 or instr.pd2 != -1):
+        problems.append(f"{where}: predicate dests on non-compare")
+    max_reg = 10**9 if allow_vregs else NUM_GPR
+    for field in ("rd", "ra", "rb"):
+        value = getattr(instr, field)
+        if value != -1 and not 0 <= value < max_reg:
+            problems.append(f"{where}: {field} {value} out of range")
+    if instr.op in ALU_OPCODES and instr.ra < 0:
+        problems.append(f"{where}: ALU op without first source")
+    if instr.op is Opcode.STORE and (instr.rb < 0):
+        problems.append(f"{where}: store without value register")
+    if instr.op is Opcode.CALL and not 0 <= instr.nargs <= MAX_ARGS:
+        problems.append(f"{where}: call with {instr.nargs} args")
+    if instr.region_based:
+        if instr.qp == 0:
+            problems.append(f"{where}: region-based but unguarded")
+        if instr.op is Opcode.BR and instr.region < 0:
+            problems.append(f"{where}: region-based branch without region")
+    if not allow_vregs:
+        written = instr.writes_reg()
+        legal_writes = set(ALLOCATABLE) | {
+            0, SCRATCH_READ1, SCRATCH_READ2, SCRATCH_WRITE, R_SP,
+        } | set(range(ARG_BASE, ARG_BASE + MAX_ARGS))
+        if written >= 0 and written not in legal_writes:
+            problems.append(
+                f"{where}: write to non-allocatable r{written}"
+            )
+    return problems
+
+
+def verify_function(function: Function, allow_vregs: bool = True) -> None:
+    """Verify one (possibly pre-regalloc) function; raises on problems."""
+    problems = []
+    n = len(function.code)
+    for name, pos in function.labels.items():
+        if not 0 <= pos <= n:
+            problems.append(f"label {name!r} points outside the function")
+    for pos, instr in enumerate(function.code):
+        where = f"{function.name}+{pos}"
+        problems.extend(_check_instruction(instr, where, allow_vregs))
+        if instr.op is Opcode.BR:
+            target = instr.target
+            if isinstance(target, str):
+                if target not in function.labels:
+                    problems.append(f"{where}: unknown label {target!r}")
+            elif not isinstance(target, int):
+                problems.append(f"{where}: branch without target")
+        if not allow_vregs:
+            for field in ("rd", "ra", "rb"):
+                if getattr(instr, field) >= VREG_BASE:
+                    problems.append(
+                        f"{where}: virtual register survived regalloc"
+                    )
+    if problems:
+        raise VerificationError("; ".join(problems[:20]))
+
+
+def verify_executable(executable: Executable) -> None:
+    """Verify a linked executable; raises on problems."""
+    problems = []
+    n = len(executable.code)
+    entries = set(executable.function_entries.values())
+    for pos, instr in enumerate(executable.code):
+        where = f"@{pos}"
+        problems.extend(_check_instruction(instr, where, allow_vregs=False))
+        if instr.op is Opcode.BR:
+            if not isinstance(instr.target, int) or not (
+                0 <= instr.target < n
+            ):
+                problems.append(f"{where}: bad branch target {instr.target}")
+        elif instr.op is Opcode.CALL:
+            if instr.target not in entries:
+                problems.append(f"{where}: call to non-entry {instr.target}")
+    if problems:
+        raise VerificationError("; ".join(problems[:20]))

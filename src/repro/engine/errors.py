@@ -1,0 +1,19 @@
+"""Errors raised by the execution engine."""
+
+
+class EngineError(Exception):
+    """A runtime fault: bad memory access, division by zero, bad control."""
+
+    def __init__(self, message: str, pc: int = -1):
+        if pc >= 0:
+            message = f"{message} (at instruction index {pc})"
+        super().__init__(message)
+        self.pc = pc
+
+
+class EngineLimitError(EngineError):
+    """The configured dynamic-instruction limit was exceeded.
+
+    Usually means a workload loop bound is wrong — traces are meant to be
+    finite and deterministic.
+    """

@@ -1,0 +1,73 @@
+"""Experiment registry: one module per reproduced table/figure.
+
+Each experiment module exposes ``SPEC`` (an
+:class:`~repro.experiments.common.ExperimentSpec`) and ``run(...)``
+returning an :class:`~repro.experiments.common.ExperimentResult` whose
+rows regenerate the corresponding paper artefact.  EXPERIMENTS.md records
+the paper-vs-measured comparison for every entry here.
+"""
+
+from typing import Dict, List
+
+from repro.experiments import (
+    e01_characterisation,
+    e02_baseline_sizes,
+    e03_sfp_coverage,
+    e04_sfp,
+    e05_pgu,
+    e06_combined,
+    e07_region_breakdown,
+    e08_distance_sweep,
+    e09_speedup,
+    e10_ablations,
+    e11_families,
+    e12_btb,
+    e13_frontend,
+    e14_confidence,
+    e15_controlled,
+)
+from repro.experiments.common import ExperimentResult, ExperimentSpec
+
+_MODULES = (
+    e01_characterisation,
+    e02_baseline_sizes,
+    e03_sfp_coverage,
+    e04_sfp,
+    e05_pgu,
+    e06_combined,
+    e07_region_breakdown,
+    e08_distance_sweep,
+    e09_speedup,
+    e10_ablations,
+    e11_families,
+    e12_btb,
+    e13_frontend,
+    e14_confidence,
+    e15_controlled,
+)
+
+EXPERIMENTS: Dict[str, "module"] = {m.SPEC.id: m for m in _MODULES}
+
+
+def experiment_ids() -> List[str]:
+    return list(EXPERIMENTS)
+
+
+def get_experiment(exp_id: str):
+    """Look an experiment module up by id (e.g. ``"E6"``)."""
+    try:
+        return EXPERIMENTS[exp_id.upper()]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {exp_id!r}; available: "
+            f"{', '.join(experiment_ids())}"
+        ) from None
+
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "experiment_ids",
+    "get_experiment",
+]

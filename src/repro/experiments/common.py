@@ -1,0 +1,74 @@
+"""Shared experiment infrastructure."""
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.sim.stats import format_result_table
+from repro.trace.container import Trace
+from repro.workloads import all_workloads, get_workload
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Identity and provenance of one reproduced artefact."""
+
+    id: str
+    title: str
+    paper_artifact: str  #: what this reconstructs (table/figure role)
+    description: str
+
+
+@dataclass
+class ExperimentResult:
+    """Rows regenerating one table/figure."""
+
+    spec: ExperimentSpec
+    columns: List[str]
+    rows: List[dict]
+    notes: str = ""
+
+    def format(self) -> str:
+        text = format_result_table(
+            self.rows, self.columns,
+            title=f"[{self.spec.id}] {self.spec.title}",
+        )
+        if self.notes:
+            text += f"\n\n{self.notes}"
+        return text
+
+    def column(self, name: str) -> list:
+        return [row.get(name) for row in self.rows]
+
+
+def suite_workloads(workloads: Optional[List[str]] = None):
+    """The workloads an experiment runs over (default: whole suite)."""
+    if workloads is None:
+        return all_workloads()
+    return [get_workload(name) for name in workloads]
+
+
+def suite_traces(
+    scale: str = "small",
+    hyperblocks: bool = True,
+    workloads: Optional[List[str]] = None,
+    config=None,
+) -> Dict[str, Trace]:
+    """Traces for the suite, via the on-disk cache."""
+    return {
+        w.name: w.trace(scale=scale, hyperblocks=hyperblocks, config=config)
+        for w in suite_workloads(workloads)
+    }
+
+
+def geometric_mean(values: List[float]) -> float:
+    """Geometric mean, tolerating zeros by flooring at 1e-6."""
+    if not values:
+        return 0.0
+    product = 1.0
+    for value in values:
+        product *= max(value, 1e-6)
+    return product ** (1.0 / len(values))
+
+
+def arithmetic_mean(values: List[float]) -> float:
+    return sum(values) / len(values) if values else 0.0

@@ -1,0 +1,71 @@
+"""E1 — benchmark characterisation (the paper's Table 1 role).
+
+Per workload: dynamic instructions and branches for the baseline and
+hyperblock compiles, how much of the dynamic branch stream if-conversion
+removed, what fraction of the remaining branches are region-based, and
+the predicate-define density the PGU mechanism feeds on.
+"""
+
+from repro.experiments.common import (
+    ExperimentResult,
+    ExperimentSpec,
+    suite_workloads,
+)
+
+SPEC = ExperimentSpec(
+    id="E1",
+    title="Benchmark characterisation",
+    paper_artifact="Table 1: benchmark statistics under if-conversion",
+    description=(
+        "Dynamic instruction/branch counts per compile, branch removal by "
+        "if-conversion, region-based branch fraction, predicate-define "
+        "density"
+    ),
+)
+
+COLUMNS = [
+    "workload",
+    "base_instrs",
+    "hyper_instrs",
+    "instr_overhead",
+    "base_branches",
+    "hyper_branches",
+    "branch_reduction",
+    "region_frac",
+    "pdefs_per_100",
+]
+
+
+def run(scale: str = "small", workloads=None) -> ExperimentResult:
+    rows = []
+    for workload in suite_workloads(workloads):
+        base = workload.trace(scale=scale, hyperblocks=False)
+        hyper = workload.trace(scale=scale, hyperblocks=True)
+        base_branches = max(base.num_branches, 1)
+        hyper_summary = hyper.summary()
+        rows.append(
+            {
+                "workload": workload.name,
+                "base_instrs": base.meta.instructions,
+                "hyper_instrs": hyper.meta.instructions,
+                "instr_overhead": (
+                    hyper.meta.instructions / max(base.meta.instructions, 1)
+                ),
+                "base_branches": base.num_branches,
+                "hyper_branches": hyper.num_branches,
+                "branch_reduction": 1.0
+                - hyper.num_branches / base_branches,
+                "region_frac": hyper_summary["region_fraction"],
+                "pdefs_per_100": hyper_summary["pdefs_per_100_instrs"],
+            }
+        )
+    return ExperimentResult(
+        spec=SPEC,
+        columns=COLUMNS,
+        rows=rows,
+        notes=(
+            "instr_overhead: hyperblock/baseline dynamic instructions "
+            "(both-path execution cost). branch_reduction: fraction of "
+            "dynamic branches eliminated by if-conversion."
+        ),
+    )

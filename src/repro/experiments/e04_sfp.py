@@ -1,0 +1,77 @@
+"""E4 — squash false-path filter benefit (paper's first result figure).
+
+gshare with and without SFP per workload, plus the pollution question:
+does keeping squashed branches out of the pattern table (filtering)
+beat training it with their certain not-taken outcomes?
+"""
+
+from repro.experiments.common import (
+    ExperimentResult,
+    ExperimentSpec,
+    arithmetic_mean,
+    suite_traces,
+)
+from repro.predictors import SFPConfig, make_predictor
+from repro.sim import SimOptions, simulate
+
+SPEC = ExperimentSpec(
+    id="E4",
+    title="Squash false-path filter",
+    paper_artifact="Figure: misprediction with/without the SFP filter",
+    description=(
+        "gshare vs gshare+SFP per workload; filter-vs-train PHT ablation"
+    ),
+)
+
+
+def run(scale: str = "small", workloads=None,
+        entries: int = 1024) -> ExperimentResult:
+    traces = suite_traces(scale=scale, workloads=workloads)
+    rows = []
+    for name, trace in traces.items():
+        base = simulate(
+            trace, make_predictor("gshare", entries=entries), SimOptions()
+        )
+        filt = simulate(
+            trace,
+            make_predictor("gshare", entries=entries),
+            SimOptions(sfp=SFPConfig(update_pht=False)),
+        )
+        train = simulate(
+            trace,
+            make_predictor("gshare", entries=entries),
+            SimOptions(sfp=SFPConfig(update_pht=True)),
+        )
+        rows.append(
+            {
+                "workload": name,
+                "base": base.misprediction_rate,
+                "sfp_filter": filt.misprediction_rate,
+                "sfp_train_pht": train.misprediction_rate,
+                "squash_coverage": filt.squash_coverage,
+            }
+        )
+    rows.append(
+        {
+            "workload": "MEAN",
+            "base": arithmetic_mean([r["base"] for r in rows]),
+            "sfp_filter": arithmetic_mean([r["sfp_filter"] for r in rows]),
+            "sfp_train_pht": arithmetic_mean(
+                [r["sfp_train_pht"] for r in rows]
+            ),
+            "squash_coverage": arithmetic_mean(
+                [r["squash_coverage"] for r in rows]
+            ),
+        }
+    )
+    return ExperimentResult(
+        spec=SPEC,
+        columns=["workload", "base", "sfp_filter", "sfp_train_pht",
+                 "squash_coverage"],
+        rows=rows,
+        notes=(
+            "Squashed branches are predicted not-taken with certainty. "
+            "sfp_filter keeps them out of the PHT; sfp_train_pht updates "
+            "it anyway."
+        ),
+    )

@@ -1,0 +1,69 @@
+"""E8 — sensitivity to the front-end distance D.
+
+Both mechanisms live off predicate lead time: as the pipeline gets
+deeper/wider (D grows), SFP coverage decays toward zero and PGU's bits
+arrive too late to help the nearest branches.
+"""
+
+from repro.experiments.common import (
+    ExperimentResult,
+    ExperimentSpec,
+    suite_traces,
+)
+from repro.predictors import PGUConfig, SFPConfig, make_predictor
+from repro.sim import SimOptions, simulate
+
+SPEC = ExperimentSpec(
+    id="E8",
+    title="Sensitivity to predicate-resolve distance",
+    paper_artifact="Figure: technique benefit vs pipeline distance",
+    description="suite-total misprediction of sfp/pgu/both as D grows",
+)
+
+DISTANCES = (0, 2, 4, 6, 8, 12, 16, 24, 32)
+FAST_DISTANCES = (0, 4, 16)
+
+
+def run(scale: str = "small", workloads=None, fast: bool = False,
+        entries: int = 1024, distances=None) -> ExperimentResult:
+    distances = distances or (FAST_DISTANCES if fast else DISTANCES)
+    traces = suite_traces(scale=scale, workloads=workloads)
+    rows = []
+    for distance in distances:
+        counts = {"base": [0, 0], "sfp": [0, 0], "pgu": [0, 0],
+                  "both": [0, 0]}
+        squashed = 0
+        total = 0
+        for trace in traces.values():
+            options = {
+                "base": SimOptions(distance=distance),
+                "sfp": SimOptions(distance=distance, sfp=SFPConfig()),
+                "pgu": SimOptions(distance=distance, pgu=PGUConfig()),
+                "both": SimOptions(
+                    distance=distance, sfp=SFPConfig(), pgu=PGUConfig()
+                ),
+            }
+            for label, opts in options.items():
+                result = simulate(
+                    trace, make_predictor("gshare", entries=entries), opts
+                )
+                counts[label][0] += result.mispredictions
+                counts[label][1] += result.branches
+                if label == "sfp":
+                    squashed += result.squashed
+                    total += result.branches
+        row = {"distance": distance}
+        for label, (misp, branches) in counts.items():
+            row[label] = misp / branches if branches else 0.0
+        row["squash_coverage"] = squashed / total if total else 0.0
+        rows.append(row)
+    return ExperimentResult(
+        spec=SPEC,
+        columns=["distance", "base", "sfp", "pgu", "both",
+                 "squash_coverage"],
+        rows=rows,
+        notes=(
+            "Suite-total misprediction rate. D=0 is perfect predicate "
+            "knowledge; benefits decay monotonically with D."
+        ),
+    )

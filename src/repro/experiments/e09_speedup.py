@@ -1,0 +1,88 @@
+"""E9 — speedup under the analytic cycle model.
+
+Three machine points per workload, all running the same source:
+
+* baseline code + gshare (the non-predicated machine),
+* hyperblock code + gshare (if-conversion alone: more instructions,
+  fewer mispredicted branches),
+* hyperblock code + gshare + SFP + PGU (the paper's proposal).
+"""
+
+from repro.experiments.common import (
+    ExperimentResult,
+    ExperimentSpec,
+    geometric_mean,
+    suite_workloads,
+)
+from repro.pipeline import CostModel
+from repro.predictors import PGUConfig, SFPConfig, make_predictor
+from repro.sim import SimOptions, simulate
+
+SPEC = ExperimentSpec(
+    id="E9",
+    title="Speedup (analytic cycle model)",
+    paper_artifact="Table/Figure: speedup of the techniques",
+    description=(
+        "Cycle-model speedup of hyperblocks and hyperblocks+techniques "
+        "over the baseline compile with plain gshare"
+    ),
+)
+
+
+def run(scale: str = "small", workloads=None, entries: int = 1024,
+        fetch_width: int = 6, penalty: int = 10) -> ExperimentResult:
+    model = CostModel(fetch_width=fetch_width,
+                      misprediction_penalty=penalty)
+    both = SimOptions(sfp=SFPConfig(), pgu=PGUConfig())
+    rows = []
+    for workload in suite_workloads(workloads):
+        base_trace = workload.trace(scale=scale, hyperblocks=False)
+        hyper_trace = workload.trace(scale=scale, hyperblocks=True)
+        base = simulate(
+            base_trace, make_predictor("gshare", entries=entries),
+            SimOptions(),
+        )
+        hyper = simulate(
+            hyper_trace, make_predictor("gshare", entries=entries),
+            SimOptions(),
+        )
+        treated = simulate(
+            hyper_trace, make_predictor("gshare", entries=entries), both
+        )
+        base_cycles = model.cycles(base.instructions, base.mispredictions)
+        rows.append(
+            {
+                "workload": workload.name,
+                "base_ipc": model.ipc(base.instructions,
+                                      base.mispredictions),
+                "hyper_speedup": base_cycles
+                / model.cycles(hyper.instructions, hyper.mispredictions),
+                "techniques_speedup": base_cycles
+                / model.cycles(treated.instructions,
+                               treated.mispredictions),
+            }
+        )
+    rows.append(
+        {
+            "workload": "GEOMEAN",
+            "base_ipc": geometric_mean([r["base_ipc"] for r in rows]),
+            "hyper_speedup": geometric_mean(
+                [r["hyper_speedup"] for r in rows]
+            ),
+            "techniques_speedup": geometric_mean(
+                [r["techniques_speedup"] for r in rows]
+            ),
+        }
+    )
+    return ExperimentResult(
+        spec=SPEC,
+        columns=["workload", "base_ipc", "hyper_speedup",
+                 "techniques_speedup"],
+        rows=rows,
+        notes=(
+            f"CostModel(fetch_width={fetch_width}, penalty={penalty}). "
+            "Speedups are cycles(baseline+gshare)/cycles(config): "
+            "if-conversion trades instructions for mispredictions; the "
+            "predicate techniques claw back prediction on what remains."
+        ),
+    )

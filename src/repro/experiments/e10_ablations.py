@@ -1,0 +1,132 @@
+"""E10 — design-choice ablations (DESIGN.md's ablation index).
+
+Four sub-studies, one table:
+
+* ``sfp/*`` — what a squashed branch does to the PHT and the GHR;
+* ``pgu/*`` — insertion delay (0 = idealized, D = realistic, 2D = late)
+  and the oracle guards-only filter;
+* ``hist/*`` — global history length with and without PGU (predicate
+  bits consume history capacity — is the information worth the dilution?);
+* ``sched/*`` — recompile with compare scheduling / region merging /
+  unrolling disabled: with no predicate lead time the techniques starve.
+"""
+
+from repro.compiler.config import HYPERBLOCK
+from dataclasses import replace
+
+from repro.experiments.common import (
+    ExperimentResult,
+    ExperimentSpec,
+    suite_traces,
+    suite_workloads,
+)
+from repro.predictors import PGUConfig, SFPConfig, make_predictor
+from repro.sim import SimOptions, simulate
+
+SPEC = ExperimentSpec(
+    id="E10",
+    title="Design-choice ablations",
+    paper_artifact="Ablations of the mechanisms' design space",
+    description=(
+        "SFP update policies, PGU insertion delay/filter, history "
+        "length, compiler scheduling"
+    ),
+)
+
+#: Workloads where the techniques are most active: a representative,
+#: cheap subset for the recompile-based scheduling ablation.
+SCHED_WORKLOADS = ("compress", "grep", "nbody")
+
+
+def _suite_rate(traces, entries, options):
+    mispredictions = branches = 0
+    for trace in traces.values():
+        result = simulate(
+            trace, make_predictor("gshare", entries=entries), options
+        )
+        mispredictions += result.mispredictions
+        branches += result.branches
+    return mispredictions / branches if branches else 0.0
+
+
+def run(scale: str = "small", workloads=None, fast: bool = False,
+        entries: int = 1024) -> ExperimentResult:
+    traces = suite_traces(scale=scale, workloads=workloads)
+    rows = []
+
+    def add(config, options):
+        rows.append(
+            {"config": config,
+             "misprediction": _suite_rate(traces, entries, options)}
+        )
+
+    add("none", SimOptions())
+    # SFP policy space.
+    add("sfp/filter+shift", SimOptions(sfp=SFPConfig()))
+    add("sfp/train-pht", SimOptions(sfp=SFPConfig(update_pht=True)))
+    add(
+        "sfp/skip-history",
+        SimOptions(sfp=SFPConfig(update_history=False)),
+    )
+    # Extension: squash both directions once the guard is resolved.
+    add(
+        "sfp/both-dirs",
+        SimOptions(sfp=SFPConfig(squash_known_true=True)),
+    )
+    # Trainer latency: tables update at resolve, not at predict.
+    add("train/delayed", SimOptions(delayed_update=True))
+    add(
+        "train/delayed+both",
+        SimOptions(delayed_update=True, sfp=SFPConfig(), pgu=PGUConfig()),
+    )
+    # PGU insertion policy.
+    add("pgu/delay=D", SimOptions(pgu=PGUConfig()))
+    add("pgu/delay=0", SimOptions(pgu=PGUConfig(delay=0)))
+    add("pgu/delay=2D", SimOptions(pgu=PGUConfig(delay=8)))
+    add("pgu/guards-only", SimOptions(pgu=PGUConfig(which="guards_only")))
+    # History length with/without predicate bits.
+    for bits in (8, 16, 32):
+        add(f"hist{bits}/plain", SimOptions(history_bits=bits))
+        add(
+            f"hist{bits}/pgu",
+            SimOptions(history_bits=bits, pgu=PGUConfig()),
+        )
+    if not fast:
+        # Compiler scheduling ablation: recompile a subset without the
+        # passes that create predicate lead time.
+        subset = [w for w in SCHED_WORKLOADS
+                  if workloads is None or w in workloads]
+        no_sched = replace(
+            HYPERBLOCK,
+            schedule_compares=False,
+            merge_adjacent_regions=False,
+            unroll=1,
+        )
+        sched_traces = suite_traces(scale=scale, workloads=subset)
+        flat_traces = suite_traces(
+            scale=scale, workloads=subset, config=no_sched
+        )
+        both = SimOptions(sfp=SFPConfig(), pgu=PGUConfig())
+        rows.append(
+            {"config": "sched/on+both",
+             "misprediction": _suite_rate(sched_traces, entries, both)}
+        )
+        rows.append(
+            {"config": "sched/off+both",
+             "misprediction": _suite_rate(flat_traces, entries, both)}
+        )
+        rows.append(
+            {"config": "sched/off+none",
+             "misprediction": _suite_rate(flat_traces, entries,
+                                          SimOptions())}
+        )
+    return ExperimentResult(
+        spec=SPEC,
+        columns=["config", "misprediction"],
+        rows=rows,
+        notes=(
+            "Suite-total misprediction rate, gshare-"
+            f"{entries}. sched/* rows cover only "
+            f"{', '.join(SCHED_WORKLOADS)} (recompile required)."
+        ),
+    )

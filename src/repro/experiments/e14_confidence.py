@@ -1,0 +1,88 @@
+"""E14 — predicate-aware branch confidence (extension).
+
+A JRS confidence estimator classifies predictions as high/low
+confidence; the squash false-path filter adds a third, *perfect* class
+(direction proven by the guard).  The question a gating/fetch-steering
+consumer asks: what fraction of predictions can be trusted, and how
+accurate is the trusted set?  SFP should grow the trusted fraction at
+100% accuracy; PGU should raise high-confidence accuracy by making the
+underlying predictions better.
+"""
+
+from repro.experiments.common import (
+    ExperimentResult,
+    ExperimentSpec,
+    suite_traces,
+)
+from repro.predictors import PGUConfig, SFPConfig, make_predictor
+from repro.predictors.confidence import ConfidenceEstimator
+from repro.sim import SimOptions
+from repro.sim.confidence import simulate_with_confidence
+
+SPEC = ExperimentSpec(
+    id="E14",
+    title="Predicate-aware branch confidence (extension)",
+    paper_artifact="Extension: confidence classes with/without techniques",
+    description=(
+        "JRS estimator coverage/accuracy; SFP adds a perfect-confidence "
+        "class"
+    ),
+)
+
+CONFIGS = {
+    "plain": SimOptions(),
+    "sfp": SimOptions(sfp=SFPConfig()),
+    "sfp+pgu": SimOptions(sfp=SFPConfig(), pgu=PGUConfig()),
+}
+
+
+def run(scale: str = "small", workloads=None, entries: int = 1024,
+        threshold: int = 8) -> ExperimentResult:
+    traces = suite_traces(scale=scale, workloads=workloads)
+    rows = []
+    for label, options in CONFIGS.items():
+        totals = dict(branches=0, perfect=0, high=0, high_correct=0,
+                      low=0, low_correct=0)
+        for trace in traces.values():
+            result = simulate_with_confidence(
+                trace,
+                make_predictor("gshare", entries=entries),
+                ConfidenceEstimator(entries=entries, threshold=threshold),
+                options,
+            )
+            totals["branches"] += result.branches
+            totals["perfect"] += result.perfect
+            totals["high"] += result.high
+            totals["high_correct"] += result.high_correct
+            totals["low"] += result.low
+            totals["low_correct"] += result.low_correct
+        branches = max(totals["branches"], 1)
+        high = max(totals["high"], 1)
+        low = max(totals["low"], 1)
+        trusted = totals["perfect"] + totals["high"]
+        rows.append(
+            {
+                "config": label,
+                "perfect_cov": totals["perfect"] / branches,
+                "high_cov": totals["high"] / branches,
+                "high_acc": totals["high_correct"] / high,
+                "low_acc": totals["low_correct"] / low,
+                "trusted_cov": trusted / branches,
+                "trusted_acc": (
+                    (totals["perfect"] + totals["high_correct"]) / trusted
+                    if trusted
+                    else 1.0
+                ),
+            }
+        )
+    return ExperimentResult(
+        spec=SPEC,
+        columns=["config", "perfect_cov", "high_cov", "high_acc",
+                 "low_acc", "trusted_cov", "trusted_acc"],
+        rows=rows,
+        notes=(
+            f"gshare-{entries} + JRS estimator (threshold {threshold}). "
+            "perfect = squashed (direction proven); trusted = perfect + "
+            "high-confidence."
+        ),
+    )

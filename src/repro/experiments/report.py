@@ -1,0 +1,62 @@
+"""Experiment result export: CSV and JSON.
+
+The text tables are for humans; these writers feed plotting scripts and
+regression tooling.  Used by ``repro run-experiment --format csv|json``
+and ``repro run-all --output DIR``.
+"""
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Optional
+
+from repro.experiments.common import ExperimentResult
+
+
+def to_csv(result: ExperimentResult) -> str:
+    """Render one experiment's rows as CSV (header included)."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(
+        buffer, fieldnames=result.columns, extrasaction="ignore"
+    )
+    writer.writeheader()
+    for row in result.rows:
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def to_json(result: ExperimentResult) -> str:
+    """Render one experiment (spec + rows) as pretty JSON."""
+    payload = {
+        "id": result.spec.id,
+        "title": result.spec.title,
+        "paper_artifact": result.spec.paper_artifact,
+        "description": result.spec.description,
+        "columns": result.columns,
+        "rows": result.rows,
+        "notes": result.notes,
+    }
+    return json.dumps(payload, indent=2, default=str)
+
+
+def render(result: ExperimentResult, fmt: str = "table") -> str:
+    """Render in the requested format: ``table`` / ``csv`` / ``json``."""
+    if fmt == "table":
+        return result.format()
+    if fmt == "csv":
+        return to_csv(result)
+    if fmt == "json":
+        return to_json(result)
+    raise ValueError(f"unknown format {fmt!r} (table/csv/json)")
+
+
+def write_result(result: ExperimentResult, directory,
+                 fmt: str = "csv") -> Path:
+    """Write one experiment's export into ``directory``; returns path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    suffix = {"csv": "csv", "json": "json", "table": "txt"}[fmt]
+    path = directory / f"{result.spec.id.lower()}.{suffix}"
+    path.write_text(render(result, fmt))
+    return path

@@ -1,0 +1,67 @@
+"""An EPIC-style predicated instruction set architecture.
+
+This package defines the intermediate representation every other subsystem
+works with: a small, IA-64-flavoured ISA in which
+
+* every instruction carries a *qualifying predicate* (``qp``) and is
+  nullified when that predicate is false,
+* compare instructions write *pairs* of predicate registers using the
+  IA-64 compare types (``normal``, ``unc``, ``and``, ``or``), and
+* branches are guarded by predicates rather than by condition codes, so a
+  conditional branch is "``br`` under ``qp``" and is taken iff ``qp`` holds.
+
+The public surface:
+
+* :mod:`repro.isa.opcodes` — opcode, compare-relation, compare-type and
+  branch-kind enumerations.
+* :mod:`repro.isa.registers` — register-file conventions (sizes, reserved
+  registers, calling convention).
+* :mod:`repro.isa.instructions` — the :class:`Instruction` record.
+* :mod:`repro.isa.program` — :class:`Function`, :class:`Program` and the
+  linked, directly executable :class:`Executable` form.
+* :mod:`repro.isa.builder` — an assembler-style API for constructing
+  programs by hand (used heavily by the tests and examples).
+* :mod:`repro.isa.printer` — a disassembler.
+"""
+
+from repro.isa.opcodes import BranchKind, CmpType, Opcode, Relation
+from repro.isa.registers import (
+    ARG_BASE,
+    MAX_ARGS,
+    NUM_GPR,
+    NUM_PRED,
+    P_TRUE,
+    R_RETVAL,
+    R_SP,
+    R_ZERO,
+    SCRATCH_REG,
+)
+from repro.isa.instructions import Instruction
+from repro.isa.program import Executable, Function, LinkError, Program
+from repro.isa.builder import FunctionBuilder, ProgramBuilder
+from repro.isa.printer import disassemble, format_instruction
+
+__all__ = [
+    "ARG_BASE",
+    "BranchKind",
+    "CmpType",
+    "Executable",
+    "Function",
+    "FunctionBuilder",
+    "Instruction",
+    "LinkError",
+    "MAX_ARGS",
+    "NUM_GPR",
+    "NUM_PRED",
+    "Opcode",
+    "P_TRUE",
+    "Program",
+    "ProgramBuilder",
+    "Relation",
+    "R_RETVAL",
+    "R_SP",
+    "R_ZERO",
+    "SCRATCH_REG",
+    "disassemble",
+    "format_instruction",
+]

@@ -1,0 +1,249 @@
+"""Assembler-style builders for constructing programs by hand.
+
+The builders are the hand-written counterpart of the ``minic`` compiler:
+tests, micro-examples and a few synthetic workloads construct IR directly
+through this API.
+
+Example:
+    >>> from repro.isa import ProgramBuilder, Relation
+    >>> pb = ProgramBuilder()
+    >>> f = pb.function("main")
+    >>> f.movi(1, 10)                # r1 = 10
+    >>> f.label("loop")
+    >>> f.subi(1, 1, 1)              # r1 -= 1
+    >>> f.cmp(Relation.GT, 1, 2, ra=1, imm=0)   # p1, p2 = r1 > 0
+    >>> f.br("loop", qp=1)           # loop back while p1
+    >>> f.halt()
+    >>> exe = pb.link()
+"""
+
+from typing import Optional
+
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import BranchKind, CmpType, Opcode, Relation
+from repro.isa.program import Function, Program
+from repro.isa.registers import P_TRUE
+
+
+class FunctionBuilder:
+    """Builds one :class:`~repro.isa.program.Function`."""
+
+    def __init__(self, name: str, nparams: int = 0):
+        self.function = Function(name=name, nparams=nparams)
+
+    # -- structure ---------------------------------------------------------
+
+    def label(self, name: str) -> None:
+        """Attach a label to the next emitted instruction."""
+        self.function.add_label(name)
+
+    def emit(self, instr: Instruction) -> Instruction:
+        """Append a raw instruction and return it."""
+        self.function.append(instr)
+        return instr
+
+    def __len__(self) -> int:
+        return len(self.function.code)
+
+    # -- ALU ---------------------------------------------------------------
+
+    def _alu(self, op, rd, ra, rb, imm, qp) -> Instruction:
+        return self.emit(
+            Instruction(op=op, qp=qp, rd=rd, ra=ra, rb=rb, imm=imm)
+        )
+
+    def add(self, rd, ra, rb, qp=P_TRUE):
+        return self._alu(Opcode.ADD, rd, ra, rb, 0, qp)
+
+    def addi(self, rd, ra, imm, qp=P_TRUE):
+        return self._alu(Opcode.ADD, rd, ra, -1, imm, qp)
+
+    def sub(self, rd, ra, rb, qp=P_TRUE):
+        return self._alu(Opcode.SUB, rd, ra, rb, 0, qp)
+
+    def subi(self, rd, ra, imm, qp=P_TRUE):
+        return self._alu(Opcode.SUB, rd, ra, -1, imm, qp)
+
+    def mul(self, rd, ra, rb, qp=P_TRUE):
+        return self._alu(Opcode.MUL, rd, ra, rb, 0, qp)
+
+    def muli(self, rd, ra, imm, qp=P_TRUE):
+        return self._alu(Opcode.MUL, rd, ra, -1, imm, qp)
+
+    def div(self, rd, ra, rb, qp=P_TRUE):
+        return self._alu(Opcode.DIV, rd, ra, rb, 0, qp)
+
+    def divi(self, rd, ra, imm, qp=P_TRUE):
+        return self._alu(Opcode.DIV, rd, ra, -1, imm, qp)
+
+    def mod(self, rd, ra, rb, qp=P_TRUE):
+        return self._alu(Opcode.MOD, rd, ra, rb, 0, qp)
+
+    def modi(self, rd, ra, imm, qp=P_TRUE):
+        return self._alu(Opcode.MOD, rd, ra, -1, imm, qp)
+
+    def and_(self, rd, ra, rb, qp=P_TRUE):
+        return self._alu(Opcode.AND, rd, ra, rb, 0, qp)
+
+    def andi(self, rd, ra, imm, qp=P_TRUE):
+        return self._alu(Opcode.AND, rd, ra, -1, imm, qp)
+
+    def or_(self, rd, ra, rb, qp=P_TRUE):
+        return self._alu(Opcode.OR, rd, ra, rb, 0, qp)
+
+    def ori(self, rd, ra, imm, qp=P_TRUE):
+        return self._alu(Opcode.OR, rd, ra, -1, imm, qp)
+
+    def xor(self, rd, ra, rb, qp=P_TRUE):
+        return self._alu(Opcode.XOR, rd, ra, rb, 0, qp)
+
+    def xori(self, rd, ra, imm, qp=P_TRUE):
+        return self._alu(Opcode.XOR, rd, ra, -1, imm, qp)
+
+    def shl(self, rd, ra, rb, qp=P_TRUE):
+        return self._alu(Opcode.SHL, rd, ra, rb, 0, qp)
+
+    def shli(self, rd, ra, imm, qp=P_TRUE):
+        return self._alu(Opcode.SHL, rd, ra, -1, imm, qp)
+
+    def shri(self, rd, ra, imm, qp=P_TRUE):
+        return self._alu(Opcode.SHR, rd, ra, -1, imm, qp)
+
+    def srai(self, rd, ra, imm, qp=P_TRUE):
+        return self._alu(Opcode.SRA, rd, ra, -1, imm, qp)
+
+    # -- moves and memory ---------------------------------------------------
+
+    def mov(self, rd, ra, qp=P_TRUE):
+        return self.emit(Instruction(op=Opcode.MOV, qp=qp, rd=rd, ra=ra))
+
+    def movi(self, rd, imm, qp=P_TRUE):
+        return self.emit(Instruction(op=Opcode.MOV, qp=qp, rd=rd, imm=imm))
+
+    def load(self, rd, ra, imm=0, qp=P_TRUE):
+        """``rd = mem[R[ra] + imm]`` (``ra=-1`` for absolute addressing)."""
+        return self.emit(
+            Instruction(op=Opcode.LOAD, qp=qp, rd=rd, ra=ra, imm=imm)
+        )
+
+    def store(self, ra, rb, imm=0, qp=P_TRUE):
+        """``mem[R[ra] + imm] = R[rb]``."""
+        return self.emit(
+            Instruction(op=Opcode.STORE, qp=qp, ra=ra, rb=rb, imm=imm)
+        )
+
+    # -- compares, branches, calls ------------------------------------------
+
+    def cmp(
+        self,
+        rel: Relation,
+        pd1: int,
+        pd2: int = -1,
+        ra: int = -1,
+        rb: int = -1,
+        imm: int = 0,
+        ctype: CmpType = CmpType.NORMAL,
+        qp: int = P_TRUE,
+        src_id: int = -1,
+    ) -> Instruction:
+        """Compare ``R[ra]`` with ``R[rb]`` (or ``imm``), writing predicates."""
+        return self.emit(
+            Instruction(
+                op=Opcode.CMP,
+                qp=qp,
+                ra=ra,
+                rb=rb,
+                imm=imm,
+                pd1=pd1,
+                pd2=pd2,
+                crel=rel,
+                ctype=ctype,
+                src_id=src_id,
+            )
+        )
+
+    def br(
+        self,
+        target: str,
+        qp: int = P_TRUE,
+        kind: Optional[BranchKind] = None,
+        region: int = -1,
+        region_based: bool = False,
+        src_id: int = -1,
+    ) -> Instruction:
+        """Branch to ``target`` iff ``qp`` holds.
+
+        ``kind`` defaults to ``UNCOND`` when ``qp`` is p0 and ``COND``
+        otherwise.
+        """
+        if kind is None:
+            kind = BranchKind.UNCOND if qp == P_TRUE else BranchKind.COND
+        return self.emit(
+            Instruction(
+                op=Opcode.BR,
+                qp=qp,
+                target=target,
+                kind=kind,
+                region=region,
+                region_based=region_based,
+                src_id=src_id,
+            )
+        )
+
+    def jmp(self, target: str) -> Instruction:
+        """Unconditional jump."""
+        return self.br(target, qp=P_TRUE, kind=BranchKind.UNCOND)
+
+    def call(self, rd: int, name: str, nargs: int = 0, qp=P_TRUE):
+        """Call ``name``; its return value is written to ``rd``.
+
+        Arguments must already be staged in the argument registers.
+        """
+        return self.emit(
+            Instruction(
+                op=Opcode.CALL,
+                qp=qp,
+                rd=rd,
+                target=name,
+                nargs=nargs,
+                kind=BranchKind.CALL,
+            )
+        )
+
+    def ret(self, ra: int = -1, imm: int = 0, qp=P_TRUE):
+        return self.emit(
+            Instruction(
+                op=Opcode.RET, qp=qp, ra=ra, imm=imm, kind=BranchKind.RET
+            )
+        )
+
+    def halt(self):
+        return self.emit(Instruction(op=Opcode.HALT))
+
+    def nop(self, qp=P_TRUE):
+        return self.emit(Instruction(op=Opcode.NOP, qp=qp))
+
+
+class ProgramBuilder:
+    """Builds a whole :class:`~repro.isa.program.Program`."""
+
+    def __init__(self):
+        self.program = Program()
+        self._builders = {}
+
+    def function(self, name: str, nparams: int = 0) -> FunctionBuilder:
+        """Create (or fetch) the builder for function ``name``."""
+        if name in self._builders:
+            return self._builders[name]
+        builder = FunctionBuilder(name, nparams)
+        self.program.add_function(builder.function)
+        self._builders[name] = builder
+        return builder
+
+    def array(self, name: str, size: int):
+        """Declare a global word array."""
+        return self.program.add_global(name, size)
+
+    def link(self, entry: str = "main"):
+        """Link into an :class:`~repro.isa.program.Executable`."""
+        return self.program.link(entry)

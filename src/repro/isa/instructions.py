@@ -1,0 +1,128 @@
+"""The :class:`Instruction` record.
+
+Instructions are flat, slot-based records rather than nested operand
+objects: the interpreter decodes a program into parallel arrays, and a flat
+layout keeps both that decoding and the compiler's rewriting passes simple.
+Unused slots hold ``-1`` (or ``None`` for :attr:`target`).
+"""
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.isa.opcodes import ALU_OPCODES, BranchKind, CmpType, Opcode, Relation
+from repro.isa.registers import P_TRUE
+
+
+@dataclass
+class Instruction:
+    """One predicated instruction.
+
+    Attributes:
+        op: the :class:`~repro.isa.opcodes.Opcode`.
+        qp: qualifying predicate register; ``0`` (p0) means always execute.
+        rd: destination GPR, or ``-1``.
+        ra: first source GPR, or ``-1`` (then ``imm`` is the first source
+            for ``MOV``/``LOAD``/``RET``).
+        rb: second source GPR, or ``-1`` (then ``imm`` is the second source
+            for ALU ops, ``CMP``).
+        imm: immediate operand / memory displacement.
+        pd1: first predicate destination of a ``CMP``, or ``-1``.
+        pd2: second (complement) predicate destination, or ``-1``.
+        crel: compare relation (``CMP`` only).
+        ctype: compare type (``CMP`` only).
+        target: branch label or callee name; resolved to an absolute
+            instruction index by :meth:`repro.isa.program.Program.link`.
+        kind: branch classification (``BR``/``CALL``/``RET``).
+        nargs: argument count of a ``CALL``.
+        region: hyperblock/region id this instruction belongs to, ``-1`` if
+            it is not inside a predicated region.
+        region_based: True for a branch left inside a predicated region —
+            the branch population the paper studies.
+        src_id: stable id of the source construct (AST node) that produced
+            this instruction; profiling is keyed on it.
+    """
+
+    op: Opcode
+    qp: int = P_TRUE
+    rd: int = -1
+    ra: int = -1
+    rb: int = -1
+    imm: int = 0
+    pd1: int = -1
+    pd2: int = -1
+    crel: Relation = Relation.EQ
+    ctype: CmpType = CmpType.NORMAL
+    target: Optional[Union[str, int]] = None
+    kind: BranchKind = BranchKind.UNCOND
+    nargs: int = 0
+    region: int = -1
+    region_based: bool = False
+    src_id: int = -1
+
+    def is_branch_event(self) -> bool:
+        """True if this instruction should appear in the branch trace.
+
+        Unconditional always-executed jumps are not prediction events;
+        everything else that can redirect fetch is.
+        """
+        if self.op is Opcode.BR:
+            return self.kind != BranchKind.UNCOND or self.qp != P_TRUE
+        if self.op in (Opcode.CALL, Opcode.RET):
+            return self.qp != P_TRUE
+        return False
+
+    def writes_predicates(self) -> bool:
+        """True if this instruction can write predicate registers."""
+        return self.op is Opcode.CMP and (self.pd1 >= 0 or self.pd2 >= 0)
+
+    def reads_regs(self) -> list:
+        """GPR numbers this instruction reads (ignoring hardwired r0)."""
+        regs = []
+        if self.op in ALU_OPCODES or self.op is Opcode.CMP:
+            if self.ra >= 0:
+                regs.append(self.ra)
+            if self.rb >= 0:
+                regs.append(self.rb)
+        elif self.op in (Opcode.MOV, Opcode.RET):
+            if self.ra >= 0:
+                regs.append(self.ra)
+        elif self.op is Opcode.LOAD:
+            if self.ra >= 0:
+                regs.append(self.ra)
+        elif self.op is Opcode.STORE:
+            if self.ra >= 0:
+                regs.append(self.ra)
+            if self.rb >= 0:
+                regs.append(self.rb)
+        return regs
+
+    def writes_reg(self) -> int:
+        """The GPR this instruction writes, or ``-1``."""
+        if self.op in ALU_OPCODES or self.op in (
+            Opcode.MOV,
+            Opcode.LOAD,
+            Opcode.CALL,
+        ):
+            return self.rd
+        return -1
+
+    def copy(self) -> "Instruction":
+        """A field-by-field copy (compiler passes rewrite copies)."""
+        return Instruction(
+            op=self.op,
+            qp=self.qp,
+            rd=self.rd,
+            ra=self.ra,
+            rb=self.rb,
+            imm=self.imm,
+            pd1=self.pd1,
+            pd2=self.pd2,
+            crel=self.crel,
+            ctype=self.ctype,
+            target=self.target,
+            kind=self.kind,
+            nargs=self.nargs,
+            region=self.region,
+            region_based=self.region_based,
+            src_id=self.src_id,
+        )

@@ -1,0 +1,128 @@
+"""Opcode and sub-operation enumerations for the predicated ISA."""
+
+import enum
+
+
+class Opcode(enum.IntEnum):
+    """Primary operation of an instruction.
+
+    The set is deliberately small — just enough to compile a C-like
+    language — because the branch-prediction study only observes compares,
+    predicate writes and branches; the ALU exists to give those events
+    realistic data dependences and spacing.
+    """
+
+    NOP = 0
+    ADD = 1
+    SUB = 2
+    MUL = 3
+    DIV = 4  #: truncating signed division (C semantics)
+    MOD = 5  #: remainder with the sign of the dividend (C semantics)
+    AND = 6
+    OR = 7
+    XOR = 8
+    SHL = 9
+    SHR = 10  #: logical right shift
+    SRA = 11  #: arithmetic right shift
+    MOV = 12
+    LOAD = 13  #: ``rd = mem[R[ra] + imm]`` (word addressed)
+    STORE = 14  #: ``mem[R[ra] + imm] = R[rb]``
+    CMP = 15  #: compare, writing a predicate pair per :class:`CmpType`
+    BR = 16  #: branch to ``target`` iff the qualifying predicate holds
+    CALL = 17  #: call function ``target``; return value lands in ``rd``
+    RET = 18  #: return ``R[ra]`` (or ``imm``) to the caller
+    HALT = 19  #: stop the machine (end of ``main``)
+
+
+#: Opcodes that read ``R[ra]`` as their first source.
+ALU_OPCODES = frozenset(
+    {
+        Opcode.ADD,
+        Opcode.SUB,
+        Opcode.MUL,
+        Opcode.DIV,
+        Opcode.MOD,
+        Opcode.AND,
+        Opcode.OR,
+        Opcode.XOR,
+        Opcode.SHL,
+        Opcode.SHR,
+        Opcode.SRA,
+    }
+)
+
+
+class Relation(enum.IntEnum):
+    """Compare relation evaluated by :attr:`Opcode.CMP` (signed 64-bit)."""
+
+    EQ = 0
+    NE = 1
+    LT = 2
+    LE = 3
+    GT = 4
+    GE = 5
+
+    def negated(self) -> "Relation":
+        """The relation that holds exactly when this one does not."""
+        return _NEGATION[self]
+
+    def evaluate(self, a: int, b: int) -> bool:
+        """Apply the relation to two (signed) integers."""
+        if self is Relation.EQ:
+            return a == b
+        if self is Relation.NE:
+            return a != b
+        if self is Relation.LT:
+            return a < b
+        if self is Relation.LE:
+            return a <= b
+        if self is Relation.GT:
+            return a > b
+        return a >= b
+
+
+_NEGATION = {
+    Relation.EQ: Relation.NE,
+    Relation.NE: Relation.EQ,
+    Relation.LT: Relation.GE,
+    Relation.LE: Relation.GT,
+    Relation.GT: Relation.LE,
+    Relation.GE: Relation.LT,
+}
+
+
+class CmpType(enum.IntEnum):
+    """IA-64 compare *type*: how the predicate pair ``(pd1, pd2)`` is written.
+
+    With qualifying predicate ``qp`` and compare result ``r``:
+
+    * ``NORMAL``: if ``qp``: ``pd1 = r``, ``pd2 = not r``; else unchanged.
+    * ``UNC`` (unconditional): if ``qp``: as NORMAL; else *both* targets are
+      cleared to false.  This is the compare type if-conversion uses for
+      nested conditions — a guard nested under a false outer predicate must
+      read false, never stale.
+    * ``AND``: if ``qp`` and ``r`` is false: both targets cleared; otherwise
+      unchanged.  Used to accumulate conjunctions.
+    * ``OR``: if ``qp`` and ``r`` is true: both targets set; otherwise
+      unchanged.  Used to accumulate disjunctions.
+    """
+
+    NORMAL = 0
+    UNC = 1
+    AND = 2
+    OR = 3
+
+
+class BranchKind(enum.IntEnum):
+    """Classification of a branch site, recorded in traces.
+
+    ``UNCOND`` branches (``qp`` = p0, fixed target) are not prediction
+    events; all other kinds are.
+    """
+
+    UNCOND = 0
+    COND = 1  #: ordinary forward conditional branch
+    LOOP = 2  #: loop back-edge (conditional)
+    EXIT = 3  #: side exit out of a predicated region
+    CALL = 4  #: predicated call treated as a branch event
+    RET = 5  #: predicated return treated as a branch event

@@ -1,0 +1,126 @@
+"""Disassembler for the predicated ISA.
+
+Produces an IA-64-flavoured textual form, e.g.::
+
+    (p3)  cmp.lt.unc p5, p6 = r4, r7
+    (p5)  br.cond .L2          ; region 1, region-based
+"""
+
+from typing import Iterable, List, Union
+
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import BranchKind, CmpType, Opcode, Relation
+from repro.isa.program import Executable, Function
+
+_REL_NAMES = {
+    Relation.EQ: "eq",
+    Relation.NE: "ne",
+    Relation.LT: "lt",
+    Relation.LE: "le",
+    Relation.GT: "gt",
+    Relation.GE: "ge",
+}
+
+_CTYPE_NAMES = {
+    CmpType.NORMAL: "",
+    CmpType.UNC: ".unc",
+    CmpType.AND: ".and",
+    CmpType.OR: ".or",
+}
+
+_KIND_NAMES = {
+    BranchKind.UNCOND: "br",
+    BranchKind.COND: "br.cond",
+    BranchKind.LOOP: "br.loop",
+    BranchKind.EXIT: "br.exit",
+    BranchKind.CALL: "br.call",
+    BranchKind.RET: "br.ret",
+}
+
+_ALU_NAMES = {
+    Opcode.ADD: "add",
+    Opcode.SUB: "sub",
+    Opcode.MUL: "mul",
+    Opcode.DIV: "div",
+    Opcode.MOD: "mod",
+    Opcode.AND: "and",
+    Opcode.OR: "or",
+    Opcode.XOR: "xor",
+    Opcode.SHL: "shl",
+    Opcode.SHR: "shr",
+    Opcode.SRA: "sra",
+}
+
+
+def _src2(instr: Instruction) -> str:
+    return f"r{instr.rb}" if instr.rb >= 0 else str(instr.imm)
+
+
+def format_instruction(instr: Instruction) -> str:
+    """Render one instruction (without its address)."""
+    guard = f"(p{instr.qp})" if instr.qp else "     "
+    body = _format_body(instr)
+    notes = []
+    if instr.region >= 0:
+        notes.append(f"region {instr.region}")
+    if instr.region_based:
+        notes.append("region-based")
+    if notes:
+        body = f"{body}  ; {', '.join(notes)}"
+    return f"{guard} {body}"
+
+
+def _format_body(instr: Instruction) -> str:
+    op = instr.op
+    if op in _ALU_NAMES:
+        return f"{_ALU_NAMES[op]} r{instr.rd} = r{instr.ra}, {_src2(instr)}"
+    if op is Opcode.MOV:
+        src = f"r{instr.ra}" if instr.ra >= 0 else str(instr.imm)
+        return f"mov r{instr.rd} = {src}"
+    if op is Opcode.LOAD:
+        base = f"r{instr.ra}" if instr.ra >= 0 else "0"
+        return f"ld r{instr.rd} = [{base} + {instr.imm}]"
+    if op is Opcode.STORE:
+        base = f"r{instr.ra}" if instr.ra >= 0 else "0"
+        return f"st [{base} + {instr.imm}] = r{instr.rb}"
+    if op is Opcode.CMP:
+        rel = _REL_NAMES[instr.crel]
+        ctype = _CTYPE_NAMES[instr.ctype]
+        dests = f"p{instr.pd1}"
+        if instr.pd2 >= 0:
+            dests += f", p{instr.pd2}"
+        return f"cmp.{rel}{ctype} {dests} = r{instr.ra}, {_src2(instr)}"
+    if op is Opcode.BR:
+        return f"{_KIND_NAMES[instr.kind]} {instr.target}"
+    if op is Opcode.CALL:
+        return f"call r{instr.rd} = {instr.target}({instr.nargs} args)"
+    if op is Opcode.RET:
+        value = f"r{instr.ra}" if instr.ra >= 0 else str(instr.imm)
+        return f"ret {value}"
+    if op is Opcode.HALT:
+        return "halt"
+    return "nop"
+
+
+def disassemble(code: Union[Executable, Function, Iterable[Instruction]]) -> str:
+    """Disassemble an executable, a function, or a raw instruction list."""
+    lines: List[str] = []
+    if isinstance(code, Executable):
+        entry_names = {v: k for k, v in code.function_entries.items()}
+        for index, instr in enumerate(code.code):
+            if index in entry_names:
+                lines.append(f"{entry_names[index]}:")
+            lines.append(f"  {index:5d}  {format_instruction(instr)}")
+        return "\n".join(lines)
+    if isinstance(code, Function):
+        index_labels = {}
+        for name, index in code.labels.items():
+            index_labels.setdefault(index, []).append(name)
+        for index, instr in enumerate(code.code):
+            for name in index_labels.get(index, []):
+                lines.append(f"{name}:")
+            lines.append(f"  {index:5d}  {format_instruction(instr)}")
+        return "\n".join(lines)
+    for index, instr in enumerate(code):
+        lines.append(f"  {index:5d}  {format_instruction(instr)}")
+    return "\n".join(lines)

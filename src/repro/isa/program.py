@@ -1,0 +1,196 @@
+"""Program containers and the link step.
+
+A :class:`Program` is a set of :class:`Function` bodies plus global-array
+declarations.  :meth:`Program.link` resolves symbolic labels and call
+targets to absolute instruction indices, producing an :class:`Executable`
+that the interpreter decodes into parallel arrays.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import Opcode
+
+
+class LinkError(Exception):
+    """A symbolic reference could not be resolved at link time."""
+
+
+@dataclass
+class Function:
+    """A function body: linear code with symbolic intra-function labels.
+
+    Attributes:
+        name: function name (``main`` is the entry point).
+        nparams: number of parameters (arrive in the argument registers).
+        code: the instruction list.
+        labels: label name -> index into :attr:`code`.
+        frame_slots: stack words the prologue must reserve for spills.
+    """
+
+    name: str
+    nparams: int = 0
+    code: List[Instruction] = field(default_factory=list)
+    labels: Dict[str, int] = field(default_factory=dict)
+    frame_slots: int = 0
+
+    def add_label(self, name: str) -> None:
+        """Attach ``name`` to the next instruction to be appended."""
+        if name in self.labels:
+            raise LinkError(f"duplicate label {name!r} in {self.name}")
+        self.labels[name] = len(self.code)
+
+    def append(self, instr: Instruction) -> None:
+        self.code.append(instr)
+
+
+@dataclass
+class GlobalArray:
+    """A global word array placed in flat memory at link time."""
+
+    name: str
+    size: int
+    base: int = -1  #: assigned by :meth:`Program.link`
+
+
+@dataclass
+class Program:
+    """An unlinked program: functions plus global data declarations."""
+
+    functions: Dict[str, Function] = field(default_factory=dict)
+    globals: Dict[str, GlobalArray] = field(default_factory=dict)
+    #: extra memory words reserved above globals for the spill stack.
+    stack_words: int = 1 << 16
+
+    def add_function(self, function: Function) -> None:
+        if function.name in self.functions:
+            raise LinkError(f"duplicate function {function.name!r}")
+        self.functions[function.name] = function
+
+    def add_global(self, name: str, size: int) -> GlobalArray:
+        if name in self.globals:
+            raise LinkError(f"duplicate global {name!r}")
+        if size <= 0:
+            raise LinkError(f"global {name!r} must have positive size")
+        array = GlobalArray(name, size)
+        self.globals[name] = array
+        return array
+
+    def link(self, entry: str = "main") -> "Executable":
+        """Resolve all symbolic references and lay out memory.
+
+        Functions are concatenated in insertion order (entry first);
+        branch targets become absolute instruction indices and call
+        targets become entry indices.  Global arrays are packed from
+        address 0; the spill stack sits above them, growing down from
+        :attr:`Executable.memory_words`.
+        """
+        if entry not in self.functions:
+            raise LinkError(f"no entry function {entry!r}")
+
+        order = [entry] + [n for n in self.functions if n != entry]
+        entries: Dict[str, int] = {}
+        offset = 0
+        for name in order:
+            entries[name] = offset
+            offset += len(self.functions[name].code)
+
+        code: List[Instruction] = []
+        index_to_site: List[Tuple[str, int]] = []
+        for name in order:
+            function = self.functions[name]
+            base = entries[name]
+            for local_index, instr in enumerate(function.code):
+                resolved = instr.copy()
+                if resolved.op is Opcode.BR:
+                    resolved.target = base + self._resolve_label(
+                        function, resolved.target
+                    )
+                elif resolved.op is Opcode.CALL:
+                    if resolved.target not in entries:
+                        raise LinkError(
+                            f"call to unknown function {resolved.target!r} "
+                            f"from {name}"
+                        )
+                    resolved.target = entries[resolved.target]
+                code.append(resolved)
+                index_to_site.append((name, local_index))
+
+        base_addr = 0
+        for array in self.globals.values():
+            array.base = base_addr
+            base_addr += array.size
+        memory_words = base_addr + self.stack_words
+
+        return Executable(
+            code=code,
+            entry=entries[entry],
+            function_entries=entries,
+            function_nparams={
+                name: self.functions[name].nparams for name in order
+            },
+            function_frame_slots={
+                name: self.functions[name].frame_slots for name in order
+            },
+            globals={name: g.base for name, g in self.globals.items()},
+            global_sizes={name: g.size for name, g in self.globals.items()},
+            memory_words=memory_words,
+            index_to_site=index_to_site,
+        )
+
+    @staticmethod
+    def _resolve_label(function: Function, target) -> int:
+        if isinstance(target, int):
+            return target
+        if target is None or target not in function.labels:
+            raise LinkError(
+                f"unresolved label {target!r} in function {function.name}"
+            )
+        return function.labels[target]
+
+
+@dataclass
+class Executable:
+    """A linked program ready for interpretation.
+
+    ``code[i].target`` is an absolute index for every ``BR``/``CALL``.
+    """
+
+    code: List[Instruction]
+    entry: int
+    function_entries: Dict[str, int]
+    function_nparams: Dict[str, int]
+    function_frame_slots: Dict[str, int]
+    globals: Dict[str, int]
+    global_sizes: Dict[str, int]
+    memory_words: int
+    index_to_site: List[Tuple[str, int]]
+
+    #: reverse map: entry index -> function name (built lazily).
+    _entry_names: Optional[Dict[int, str]] = None
+
+    def __len__(self) -> int:
+        return len(self.code)
+
+    def function_at(self, index: int) -> str:
+        """Name of the function containing instruction ``index``."""
+        return self.index_to_site[index][0]
+
+    def entry_name(self, entry_index: int) -> str:
+        """Function name for an entry index (e.g. a ``CALL`` target)."""
+        if self._entry_names is None:
+            self._entry_names = {
+                v: k for k, v in self.function_entries.items()
+            }
+        return self._entry_names[entry_index]
+
+    def global_base(self, name: str) -> int:
+        """Base address of a global array."""
+        return self.globals[name]
+
+    def static_branch_sites(self) -> List[int]:
+        """Indices of instructions that are branch-prediction events."""
+        return [
+            i for i, instr in enumerate(self.code) if instr.is_branch_event()
+        ]

@@ -1,0 +1,52 @@
+"""Register-file conventions.
+
+The machine has 64 general-purpose registers and 64 one-bit predicate
+registers per *frame*.  Like the IA-64 register stack engine, each function
+activation gets a fresh register frame: a call allocates new GPR and
+predicate files, argument registers are copied in, and the return value is
+copied back out.  This keeps the compiler free of caller-save bookkeeping
+without changing anything the branch predictor can observe.
+
+Conventions:
+
+* ``r0`` is hardwired to zero (writes are ignored).
+* ``r1 .. r55`` are allocatable by the register allocator.
+* ``r56 .. r61`` (:data:`ARG_BASE` ..) stage up to :data:`MAX_ARGS` call
+  arguments and, by reuse of ``r56``, the return value.
+* ``r62`` (:data:`SCRATCH_REG`) is reserved for spill-address arithmetic.
+* ``r63`` (:data:`R_SP`) is the stack pointer used for spill slots.
+* ``p0`` is hardwired to true; ``p1 .. p63`` are allocatable.
+"""
+
+NUM_GPR = 64
+NUM_PRED = 64
+
+R_ZERO = 0
+#: First argument-staging register; argument *i* travels in ``ARG_BASE + i``.
+ARG_BASE = 56
+MAX_ARGS = 6
+#: Register holding a function's return value on ``RET`` (aliases ARG_BASE).
+R_RETVAL = 56
+SCRATCH_REG = 62
+R_SP = 63
+
+#: Predicate register hardwired to true.
+P_TRUE = 0
+
+#: Highest GPR index the register allocator may hand out.
+LAST_ALLOCATABLE_GPR = ARG_BASE - 1
+
+#: Number of predicate registers the compiler may allocate (p1..p63).
+ALLOCATABLE_PREDS = NUM_PRED - 1
+
+#: 64-bit two's-complement bounds used for value wrapping.
+WORD_MASK = (1 << 64) - 1
+WORD_SIGN = 1 << 63
+
+
+def wrap(value: int) -> int:
+    """Wrap an unbounded Python int to signed 64-bit two's complement."""
+    value &= WORD_MASK
+    if value & WORD_SIGN:
+        value -= 1 << 64
+    return value

@@ -1,0 +1,33 @@
+"""``minic`` — the small C-like source language of the benchmark suite.
+
+The language exists to *generate realistic branch behaviour*: signed 64-bit
+integers, global word arrays, functions, ``if``/``while``/``for`` control
+flow, and boolean operators that lower either to branch ladders (baseline
+compile) or to predicate defines (hyperblock compile).
+
+Language rules that matter:
+
+* All values are signed 64-bit integers; arithmetic wraps.
+* Division/modulo by zero yield 0 (the machine never faults on a guarded
+  divide executed down a false path).
+* ``&&`` and ``||`` are *logical* operators whose operands may not contain
+  calls: with no side effects in operands, short-circuit and eager
+  evaluation are indistinguishable, so the baseline compiler may emit
+  branch ladders while the hyperblock compiler evaluates both sides under
+  predicates — and both produce identical results.
+"""
+
+from repro.lang.lexer import LexError, Token, TokenType, tokenize
+from repro.lang.parser import ParseError, parse
+from repro.lang.sema import SemaError, analyze
+
+__all__ = [
+    "LexError",
+    "ParseError",
+    "SemaError",
+    "Token",
+    "TokenType",
+    "analyze",
+    "parse",
+    "tokenize",
+]

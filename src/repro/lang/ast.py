@@ -1,0 +1,204 @@
+"""AST node definitions for ``minic``.
+
+Every node carries a ``node_id`` that is unique within a parse and stable
+across parses of the same source (the parser numbers nodes in creation
+order).  Profiling and if-conversion decisions are keyed on these ids, so
+the profile collected from the baseline compile can drive the hyperblock
+compile of the *same* source.
+"""
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class Node:
+    node_id: int
+    line: int
+
+
+# -- expressions -------------------------------------------------------------
+
+
+@dataclass
+class IntLit(Node):
+    value: int
+
+
+@dataclass
+class VarRef(Node):
+    name: str
+
+
+@dataclass
+class ArrayRef(Node):
+    name: str
+    index: "Expr"
+
+
+@dataclass
+class Unary(Node):
+    op: str  #: one of ``- ! ~``
+    operand: "Expr"
+
+
+@dataclass
+class Binary(Node):
+    op: str  #: arithmetic/bitwise/comparison operator
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass
+class Logical(Node):
+    op: str  #: ``&&`` or ``||``
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass
+class Call(Node):
+    name: str
+    args: List["Expr"]
+
+
+Expr = (IntLit, VarRef, ArrayRef, Unary, Binary, Logical, Call)
+
+#: Comparison operators (produce 0/1 and map to CMP relations).
+COMPARISONS = frozenset({"<", "<=", ">", ">=", "==", "!="})
+
+
+# -- statements ---------------------------------------------------------------
+
+
+@dataclass
+class VarDecl(Node):
+    name: str
+    init: Optional["Expr"]
+
+
+@dataclass
+class Assign(Node):
+    target: str
+    value: "Expr"
+
+
+@dataclass
+class ArrayAssign(Node):
+    name: str
+    index: "Expr"
+    value: "Expr"
+
+
+@dataclass
+class If(Node):
+    cond: "Expr"
+    then_body: List["Stmt"]
+    else_body: List["Stmt"] = field(default_factory=list)
+
+
+@dataclass
+class While(Node):
+    cond: "Expr"
+    body: List["Stmt"]
+
+
+@dataclass
+class For(Node):
+    init: Optional["Stmt"]
+    cond: Optional["Expr"]
+    step: Optional["Stmt"]
+    body: List["Stmt"]
+
+
+@dataclass
+class Break(Node):
+    pass
+
+
+@dataclass
+class Continue(Node):
+    pass
+
+
+@dataclass
+class Return(Node):
+    value: Optional["Expr"]
+
+
+@dataclass
+class ExprStmt(Node):
+    expr: "Expr"
+
+
+Stmt = (
+    VarDecl,
+    Assign,
+    ArrayAssign,
+    If,
+    While,
+    For,
+    Break,
+    Continue,
+    Return,
+    ExprStmt,
+)
+
+
+# -- top level ----------------------------------------------------------------
+
+
+@dataclass
+class GlobalDecl(Node):
+    name: str
+    size: int
+
+
+@dataclass
+class FuncDecl(Node):
+    name: str
+    params: List[str]
+    body: List["Stmt"]
+
+
+@dataclass
+class Module(Node):
+    globals: List[GlobalDecl]
+    functions: List[FuncDecl]
+
+
+def walk_expr(expr):
+    """Yield ``expr`` and every sub-expression, pre-order."""
+    yield expr
+    if isinstance(expr, Unary):
+        yield from walk_expr(expr.operand)
+    elif isinstance(expr, (Binary, Logical)):
+        yield from walk_expr(expr.left)
+        yield from walk_expr(expr.right)
+    elif isinstance(expr, Call):
+        for arg in expr.args:
+            yield from walk_expr(arg)
+    elif isinstance(expr, ArrayRef):
+        yield from walk_expr(expr.index)
+
+
+def contains_call(expr) -> bool:
+    """True if any sub-expression is a function call."""
+    return any(isinstance(e, Call) for e in walk_expr(expr))
+
+
+def walk_stmts(stmts):
+    """Yield every statement in ``stmts``, recursively, pre-order."""
+    for stmt in stmts:
+        yield stmt
+        if isinstance(stmt, If):
+            yield from walk_stmts(stmt.then_body)
+            yield from walk_stmts(stmt.else_body)
+        elif isinstance(stmt, While):
+            yield from walk_stmts(stmt.body)
+        elif isinstance(stmt, For):
+            if stmt.init is not None:
+                yield stmt.init
+            if stmt.step is not None:
+                yield stmt.step
+            yield from walk_stmts(stmt.body)

@@ -1,0 +1,126 @@
+"""Tokenizer for ``minic``."""
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+
+class LexError(Exception):
+    """Bad character or malformed literal, with line information."""
+
+    def __init__(self, message: str, line: int):
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+class TokenType(enum.Enum):
+    INT = "int"
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset(
+    {
+        "func",
+        "global",
+        "var",
+        "if",
+        "else",
+        "while",
+        "for",
+        "return",
+        "break",
+        "continue",
+    }
+)
+
+#: Multi-character operators, longest first so maximal munch works.
+_PUNCTS = [
+    "<<",
+    ">>",
+    "<=",
+    ">=",
+    "==",
+    "!=",
+    "&&",
+    "||",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "&",
+    "|",
+    "^",
+    "~",
+    "!",
+    "<",
+    ">",
+    "=",
+    "(",
+    ")",
+    "{",
+    "}",
+    "[",
+    "]",
+    ",",
+    ";",
+]
+
+
+@dataclass
+class Token:
+    type: TokenType
+    value: str
+    line: int
+
+    def __repr__(self):
+        return f"Token({self.type.value}, {self.value!r}, line {self.line})"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize ``source``; ``//`` comments run to end of line."""
+    tokens: List[Token] = []
+    i = 0
+    line = 1
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if ch.isdigit():
+            start = i
+            while i < n and source[i].isdigit():
+                i += 1
+            if i < n and (source[i].isalpha() or source[i] == "_"):
+                raise LexError(f"bad numeric literal near {source[start:i+1]!r}", line)
+            tokens.append(Token(TokenType.INT, source[start:i], line))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            word = source[start:i]
+            kind = TokenType.KEYWORD if word in KEYWORDS else TokenType.IDENT
+            tokens.append(Token(kind, word, line))
+            continue
+        for punct in _PUNCTS:
+            if source.startswith(punct, i):
+                tokens.append(Token(TokenType.PUNCT, punct, line))
+                i += len(punct)
+                break
+        else:
+            raise LexError(f"unexpected character {ch!r}", line)
+    tokens.append(Token(TokenType.EOF, "", line))
+    return tokens

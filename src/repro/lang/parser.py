@@ -1,0 +1,349 @@
+"""Recursive-descent parser for ``minic``.
+
+Grammar (EBNF, ``//`` comments and whitespace skipped by the lexer)::
+
+    module    := (global | func)*
+    global    := "global" IDENT "[" INT "]" ";"
+    func      := "func" IDENT "(" [IDENT ("," IDENT)*] ")" block
+    block     := "{" stmt* "}"
+    stmt      := "var" vardecl ("," vardecl)* ";"
+               | "if" "(" expr ")" block ["else" (block | ifstmt)]
+               | "while" "(" expr ")" block
+               | "for" "(" [simple] ";" [expr] ";" [simple] ")" block
+               | "break" ";" | "continue" ";"
+               | "return" [expr] ";"
+               | simple ";"
+    vardecl   := IDENT ["=" expr]
+    simple    := IDENT "=" expr
+               | IDENT "[" expr "]" "=" expr
+               | expr                      // call statement
+    expr      := logical-or with C precedence:
+                 || > && > | > ^ > & > (== !=) > (< <= > >=)
+                 > (<< >>) > (+ -) > (* / %) > unary(- ! ~) > primary
+    primary   := INT | IDENT | IDENT "(" args ")" | IDENT "[" expr "]"
+               | "(" expr ")"
+"""
+
+from typing import List, Optional
+
+from repro.lang import ast
+from repro.lang.lexer import Token, TokenType, tokenize
+
+
+class ParseError(Exception):
+    """Syntax error with line information."""
+
+    def __init__(self, message: str, line: int):
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+#: binary operator precedence levels, loosest first
+_BINARY_LEVELS = [
+    ["|"],
+    ["^"],
+    ["&"],
+    ["==", "!="],
+    ["<", "<=", ">", ">="],
+    ["<<", ">>"],
+    ["+", "-"],
+    ["*", "/", "%"],
+]
+
+
+class Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+        self._next_id = 0
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _id(self) -> int:
+        self._next_id += 1
+        return self._next_id
+
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def check(self, value: str) -> bool:
+        token = self.peek()
+        return (
+            token.type in (TokenType.PUNCT, TokenType.KEYWORD)
+            and token.value == value
+        )
+
+    def accept(self, value: str) -> bool:
+        if self.check(value):
+            self.advance()
+            return True
+        return False
+
+    def expect(self, value: str) -> Token:
+        if not self.check(value):
+            token = self.peek()
+            raise ParseError(
+                f"expected {value!r}, found {token.value or 'end of file'!r}",
+                token.line,
+            )
+        return self.advance()
+
+    def expect_ident(self) -> Token:
+        token = self.peek()
+        if token.type is not TokenType.IDENT:
+            raise ParseError(
+                f"expected identifier, found {token.value!r}", token.line
+            )
+        return self.advance()
+
+    # -- top level -----------------------------------------------------------
+
+    def parse_module(self) -> ast.Module:
+        globals_: List[ast.GlobalDecl] = []
+        functions: List[ast.FuncDecl] = []
+        module_id = self._id()
+        while self.peek().type is not TokenType.EOF:
+            if self.check("global"):
+                globals_.append(self.parse_global())
+            elif self.check("func"):
+                functions.append(self.parse_func())
+            else:
+                token = self.peek()
+                raise ParseError(
+                    f"expected 'global' or 'func', found {token.value!r}",
+                    token.line,
+                )
+        return ast.Module(module_id, 1, globals_, functions)
+
+    def parse_global(self) -> ast.GlobalDecl:
+        line = self.expect("global").line
+        name = self.expect_ident().value
+        self.expect("[")
+        size_token = self.peek()
+        if size_token.type is not TokenType.INT:
+            raise ParseError("global size must be an integer literal",
+                             size_token.line)
+        self.advance()
+        self.expect("]")
+        self.expect(";")
+        return ast.GlobalDecl(self._id(), line, name, int(size_token.value))
+
+    def parse_func(self) -> ast.FuncDecl:
+        line = self.expect("func").line
+        name = self.expect_ident().value
+        self.expect("(")
+        params: List[str] = []
+        if not self.check(")"):
+            params.append(self.expect_ident().value)
+            while self.accept(","):
+                params.append(self.expect_ident().value)
+        self.expect(")")
+        node_id = self._id()
+        body = self.parse_block()
+        return ast.FuncDecl(node_id, line, name, params, body)
+
+    # -- statements -----------------------------------------------------------
+
+    def parse_block(self) -> List:
+        self.expect("{")
+        stmts = []
+        while not self.check("}"):
+            if self.peek().type is TokenType.EOF:
+                raise ParseError("unterminated block", self.peek().line)
+            stmts.extend(self.parse_stmt())
+        self.expect("}")
+        return stmts
+
+    def parse_stmt(self) -> List:
+        """Parse one statement; var declarations may expand to several."""
+        token = self.peek()
+        if self.check("var"):
+            return self.parse_var_decls()
+        if self.check("if"):
+            return [self.parse_if()]
+        if self.check("while"):
+            return [self.parse_while()]
+        if self.check("for"):
+            return [self.parse_for()]
+        if self.check("break"):
+            line = self.advance().line
+            self.expect(";")
+            return [ast.Break(self._id(), line)]
+        if self.check("continue"):
+            line = self.advance().line
+            self.expect(";")
+            return [ast.Continue(self._id(), line)]
+        if self.check("return"):
+            line = self.advance().line
+            value = None if self.check(";") else self.parse_expr()
+            self.expect(";")
+            return [ast.Return(self._id(), line, value)]
+        stmt = self.parse_simple()
+        self.expect(";")
+        return [stmt]
+
+    def parse_var_decls(self) -> List:
+        line = self.expect("var").line
+        decls = []
+        while True:
+            name = self.expect_ident().value
+            init = self.parse_expr() if self.accept("=") else None
+            decls.append(ast.VarDecl(self._id(), line, name, init))
+            if not self.accept(","):
+                break
+        self.expect(";")
+        return decls
+
+    def parse_simple(self):
+        """Assignment (scalar or array element) or expression statement."""
+        token = self.peek()
+        if token.type is TokenType.IDENT:
+            after = self.tokens[self.pos + 1]
+            if after.type is TokenType.PUNCT and after.value == "=":
+                name = self.advance().value
+                self.advance()  # '='
+                value = self.parse_expr()
+                return ast.Assign(self._id(), token.line, name, value)
+            if after.type is TokenType.PUNCT and after.value == "[":
+                # Could be an array assignment or an array read in an
+                # expression statement; look for '=' after the ']'.
+                save = self.pos
+                self.advance()  # name
+                self.advance()  # '['
+                index = self.parse_expr()
+                self.expect("]")
+                if self.accept("="):
+                    value = self.parse_expr()
+                    return ast.ArrayAssign(
+                        self._id(), token.line, token.value, index, value
+                    )
+                self.pos = save
+        expr = self.parse_expr()
+        return ast.ExprStmt(self._id(), token.line, expr)
+
+    def parse_if(self) -> ast.If:
+        line = self.expect("if").line
+        self.expect("(")
+        cond = self.parse_expr()
+        self.expect(")")
+        node_id = self._id()
+        then_body = self.parse_block()
+        else_body: List = []
+        if self.accept("else"):
+            if self.check("if"):
+                else_body = [self.parse_if()]
+            else:
+                else_body = self.parse_block()
+        return ast.If(node_id, line, cond, then_body, else_body)
+
+    def parse_while(self) -> ast.While:
+        line = self.expect("while").line
+        self.expect("(")
+        cond = self.parse_expr()
+        self.expect(")")
+        node_id = self._id()
+        body = self.parse_block()
+        return ast.While(node_id, line, cond, body)
+
+    def parse_for(self) -> ast.For:
+        line = self.expect("for").line
+        self.expect("(")
+        init = None if self.check(";") else self._parse_for_clause()
+        self.expect(";")
+        cond = None if self.check(";") else self.parse_expr()
+        self.expect(";")
+        step = None if self.check(")") else self._parse_for_clause()
+        self.expect(")")
+        node_id = self._id()
+        body = self.parse_block()
+        return ast.For(node_id, line, init, cond, step, body)
+
+    def _parse_for_clause(self):
+        if self.check("var"):
+            raise ParseError(
+                "'var' is not allowed in a for-clause; declare it before "
+                "the loop",
+                self.peek().line,
+            )
+        return self.parse_simple()
+
+    # -- expressions -----------------------------------------------------------
+
+    def parse_expr(self):
+        return self.parse_logical_or()
+
+    def parse_logical_or(self):
+        left = self.parse_logical_and()
+        while self.check("||"):
+            line = self.advance().line
+            right = self.parse_logical_and()
+            left = ast.Logical(self._id(), line, "||", left, right)
+        return left
+
+    def parse_logical_and(self):
+        left = self.parse_binary(0)
+        while self.check("&&"):
+            line = self.advance().line
+            right = self.parse_binary(0)
+            left = ast.Logical(self._id(), line, "&&", left, right)
+        return left
+
+    def parse_binary(self, level: int):
+        if level >= len(_BINARY_LEVELS):
+            return self.parse_unary()
+        left = self.parse_binary(level + 1)
+        ops = _BINARY_LEVELS[level]
+        while (
+            self.peek().type is TokenType.PUNCT and self.peek().value in ops
+        ):
+            token = self.advance()
+            right = self.parse_binary(level + 1)
+            left = ast.Binary(self._id(), token.line, token.value, left, right)
+        return left
+
+    def parse_unary(self):
+        token = self.peek()
+        if token.type is TokenType.PUNCT and token.value in ("-", "!", "~"):
+            self.advance()
+            operand = self.parse_unary()
+            return ast.Unary(self._id(), token.line, token.value, operand)
+        return self.parse_primary()
+
+    def parse_primary(self):
+        token = self.peek()
+        if token.type is TokenType.INT:
+            self.advance()
+            return ast.IntLit(self._id(), token.line, int(token.value))
+        if token.type is TokenType.IDENT:
+            name = self.advance().value
+            if self.accept("("):
+                args = []
+                if not self.check(")"):
+                    args.append(self.parse_expr())
+                    while self.accept(","):
+                        args.append(self.parse_expr())
+                self.expect(")")
+                return ast.Call(self._id(), token.line, name, args)
+            if self.accept("["):
+                index = self.parse_expr()
+                self.expect("]")
+                return ast.ArrayRef(self._id(), token.line, name, index)
+            return ast.VarRef(self._id(), token.line, name)
+        if self.accept("("):
+            expr = self.parse_expr()
+            self.expect(")")
+            return expr
+        raise ParseError(
+            f"expected expression, found {token.value or 'end of file'!r}",
+            token.line,
+        )
+
+
+def parse(source: str) -> ast.Module:
+    """Parse ``minic`` source into a :class:`~repro.lang.ast.Module`."""
+    return Parser(tokenize(source)).parse_module()

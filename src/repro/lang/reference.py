@@ -1,0 +1,220 @@
+"""Reference interpreter for ``minic`` — the semantic oracle.
+
+A direct tree-walking evaluator of the AST with exactly the language's
+specified semantics (64-bit wrapping, C-style division truncating toward
+zero, division by zero yielding 0, out-of-range array reads yielding 0,
+out-of-range writes faulting).  The differential tests run every program
+through this oracle, the baseline compiler and the hyperblock compiler,
+and require all three to agree — the strongest correctness check the
+reproduction has.
+"""
+
+from typing import Dict, List, Optional
+
+from repro.isa.registers import wrap
+from repro.lang import ast
+from repro.lang.sema import analyze
+
+
+class ReferenceError_(Exception):
+    """Runtime fault in the reference interpreter (mirrors EngineError)."""
+
+
+class _Break(Exception):
+    pass
+
+
+class _Continue(Exception):
+    pass
+
+
+class _Return(Exception):
+    def __init__(self, value: int):
+        self.value = value
+
+
+class ReferenceInterpreter:
+    """Evaluates a parsed module directly."""
+
+    def __init__(self, module: ast.Module, max_steps: int = 50_000_000):
+        analyze(module)
+        self.module = module
+        self.functions = {f.name: f for f in module.functions}
+        self.arrays: Dict[str, List[int]] = {
+            g.name: [0] * g.size for g in module.globals
+        }
+        self.max_steps = max_steps
+        self.steps = 0
+
+    def run(self) -> int:
+        """Execute ``main`` and return its value."""
+        return self.call("main", [])
+
+    def call(self, name: str, args: List[int]) -> int:
+        func = self.functions[name]
+        env: Dict[str, int] = dict(zip(func.params, args))
+        try:
+            self._exec_block(func.body, env)
+        except _Return as ret:
+            return ret.value
+        return 0
+
+    def _tick(self) -> None:
+        self.steps += 1
+        if self.steps > self.max_steps:
+            raise ReferenceError_("step limit exceeded")
+
+    # -- statements -----------------------------------------------------------
+
+    def _exec_block(self, stmts, env) -> None:
+        for stmt in stmts:
+            self._exec(stmt, env)
+
+    def _exec(self, stmt, env) -> None:
+        self._tick()
+        if isinstance(stmt, ast.VarDecl):
+            env[stmt.name] = (
+                self._eval(stmt.init, env) if stmt.init is not None else
+                env.get(stmt.name, 0)
+            )
+            if stmt.init is None and stmt.name not in env:
+                env[stmt.name] = 0
+        elif isinstance(stmt, ast.Assign):
+            env[stmt.target] = self._eval(stmt.value, env)
+        elif isinstance(stmt, ast.ArrayAssign):
+            index = self._eval(stmt.index, env)
+            value = self._eval(stmt.value, env)
+            array = self.arrays[stmt.name]
+            if not 0 <= index < len(array):
+                raise ReferenceError_(
+                    f"store out of range: {stmt.name}[{index}]"
+                )
+            array[index] = value
+        elif isinstance(stmt, ast.If):
+            if self._eval(stmt.cond, env) != 0:
+                self._exec_block(stmt.then_body, env)
+            else:
+                self._exec_block(stmt.else_body, env)
+        elif isinstance(stmt, ast.While):
+            while self._eval(stmt.cond, env) != 0:
+                try:
+                    self._exec_block(stmt.body, env)
+                except _Break:
+                    break
+                except _Continue:
+                    continue
+        elif isinstance(stmt, ast.For):
+            if stmt.init is not None:
+                self._exec(stmt.init, env)
+            while (
+                stmt.cond is None or self._eval(stmt.cond, env) != 0
+            ):
+                try:
+                    self._exec_block(stmt.body, env)
+                except _Break:
+                    break
+                except _Continue:
+                    pass
+                if stmt.step is not None:
+                    self._exec(stmt.step, env)
+        elif isinstance(stmt, ast.Break):
+            raise _Break()
+        elif isinstance(stmt, ast.Continue):
+            raise _Continue()
+        elif isinstance(stmt, ast.Return):
+            value = (
+                self._eval(stmt.value, env) if stmt.value is not None else 0
+            )
+            raise _Return(value)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._eval(stmt.expr, env)
+        else:  # pragma: no cover
+            raise ReferenceError_(f"unknown statement {type(stmt).__name__}")
+
+    # -- expressions ------------------------------------------------------------
+
+    def _eval(self, expr, env) -> int:
+        self._tick()
+        if isinstance(expr, ast.IntLit):
+            return wrap(expr.value)
+        if isinstance(expr, ast.VarRef):
+            return env.get(expr.name, 0)
+        if isinstance(expr, ast.ArrayRef):
+            index = self._eval(expr.index, env)
+            array = self.arrays[expr.name]
+            if 0 <= index < len(array):
+                return array[index]
+            return 0  # non-faulting load semantics
+        if isinstance(expr, ast.Unary):
+            value = self._eval(expr.operand, env)
+            if expr.op == "-":
+                return wrap(-value)
+            if expr.op == "~":
+                return wrap(~value)
+            return 1 if value == 0 else 0  # '!'
+        if isinstance(expr, ast.Binary):
+            return self._binary(expr, env)
+        if isinstance(expr, ast.Logical):
+            left = self._eval(expr.left, env)
+            # Operands are call-free (sema), so short-circuit and eager
+            # evaluation agree; evaluate eagerly like the predicated code.
+            right = self._eval(expr.right, env)
+            if expr.op == "&&":
+                return 1 if (left != 0 and right != 0) else 0
+            return 1 if (left != 0 or right != 0) else 0
+        if isinstance(expr, ast.Call):
+            args = [self._eval(arg, env) for arg in expr.args]
+            return self.call(expr.name, args)
+        raise ReferenceError_(  # pragma: no cover
+            f"unknown expression {type(expr).__name__}"
+        )
+
+    def _binary(self, expr: ast.Binary, env) -> int:
+        op = expr.op
+        a = self._eval(expr.left, env)
+        b = self._eval(expr.right, env)
+        if op == "+":
+            return wrap(a + b)
+        if op == "-":
+            return wrap(a - b)
+        if op == "*":
+            return wrap(a * b)
+        if op == "/":
+            if b == 0:
+                return 0
+            q = abs(a) // abs(b)
+            return wrap(-q if (a < 0) != (b < 0) else q)
+        if op == "%":
+            if b == 0:
+                return 0
+            q = abs(a) // abs(b)
+            q = -q if (a < 0) != (b < 0) else q
+            return wrap(a - q * b)
+        if op == "&":
+            return wrap(a & b)
+        if op == "|":
+            return wrap(a | b)
+        if op == "^":
+            return wrap(a ^ b)
+        if op == "<<":
+            return wrap(a << (b & 63))
+        if op == ">>":
+            return wrap(a >> (b & 63))  # arithmetic shift on signed ints
+        if op == "==":
+            return 1 if a == b else 0
+        if op == "!=":
+            return 1 if a != b else 0
+        if op == "<":
+            return 1 if a < b else 0
+        if op == "<=":
+            return 1 if a <= b else 0
+        if op == ">":
+            return 1 if a > b else 0
+        return 1 if a >= b else 0  # ">="
+
+
+def evaluate(source: str, max_steps: int = 50_000_000) -> int:
+    """Parse and evaluate a program, returning ``main``'s value."""
+    from repro.lang.parser import parse
+
+    return ReferenceInterpreter(parse(source), max_steps=max_steps).run()

@@ -1,0 +1,210 @@
+"""Semantic analysis for ``minic``.
+
+Checks performed:
+
+* every referenced variable is declared (params count as declarations);
+  declarations are function-scoped and must precede use;
+* no duplicate variable/parameter/global/function names;
+* every called function exists with matching arity;
+* arrays are always indexed and scalars never are; globals are arrays,
+  locals are scalars;
+* ``break``/``continue`` appear only inside loops;
+* call expressions do not appear inside ``&&``/``||`` operands (the rule
+  that makes eager and short-circuit evaluation indistinguishable — see
+  :mod:`repro.lang`);
+* a ``main`` function with no parameters exists.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from repro.lang import ast
+
+
+class SemaError(Exception):
+    """A semantic rule violation, with line information."""
+
+    def __init__(self, message: str, line: int):
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+@dataclass
+class ModuleInfo:
+    """Symbol information produced by :func:`analyze`."""
+
+    globals: Dict[str, int] = field(default_factory=dict)  #: name -> size
+    functions: Dict[str, int] = field(default_factory=dict)  #: name -> arity
+    #: per function: declared variable names in declaration order
+    function_vars: Dict[str, List[str]] = field(default_factory=dict)
+
+
+def analyze(module: ast.Module) -> ModuleInfo:
+    """Check ``module`` and return its symbol information."""
+    info = ModuleInfo()
+    for decl in module.globals:
+        if decl.name in info.globals:
+            raise SemaError(f"duplicate global {decl.name!r}", decl.line)
+        if decl.size <= 0:
+            raise SemaError(
+                f"global {decl.name!r} must have positive size", decl.line
+            )
+        info.globals[decl.name] = decl.size
+    for func in module.functions:
+        if func.name in info.functions:
+            raise SemaError(f"duplicate function {func.name!r}", func.line)
+        if func.name in info.globals:
+            raise SemaError(
+                f"function {func.name!r} collides with a global", func.line
+            )
+        info.functions[func.name] = len(func.params)
+    if "main" not in info.functions:
+        raise SemaError("no 'main' function", module.line)
+    if info.functions["main"] != 0:
+        raise SemaError("'main' must take no parameters", module.line)
+    for func in module.functions:
+        info.function_vars[func.name] = _check_function(func, info)
+    return info
+
+
+def _check_function(func: ast.FuncDecl, info: ModuleInfo) -> List[str]:
+    declared: List[str] = []
+    seen: Set[str] = set()
+    for param in func.params:
+        if param in seen:
+            raise SemaError(
+                f"duplicate parameter {param!r} in {func.name}", func.line
+            )
+        if param in info.globals:
+            raise SemaError(
+                f"parameter {param!r} shadows a global array", func.line
+            )
+        seen.add(param)
+        declared.append(param)
+    _check_stmts(func.body, seen, declared, info, func.name, loop_depth=0)
+    return declared
+
+
+def _check_stmts(stmts, seen, declared, info, fname, loop_depth):
+    for stmt in stmts:
+        if isinstance(stmt, ast.VarDecl):
+            if stmt.name in seen:
+                raise SemaError(
+                    f"duplicate variable {stmt.name!r} in {fname}", stmt.line
+                )
+            if stmt.name in info.globals:
+                raise SemaError(
+                    f"variable {stmt.name!r} shadows a global array",
+                    stmt.line,
+                )
+            if stmt.init is not None:
+                _check_expr(stmt.init, seen, info, fname)
+            seen.add(stmt.name)
+            declared.append(stmt.name)
+        elif isinstance(stmt, ast.Assign):
+            if stmt.target not in seen:
+                if stmt.target in info.globals:
+                    raise SemaError(
+                        f"global array {stmt.target!r} needs an index",
+                        stmt.line,
+                    )
+                raise SemaError(
+                    f"assignment to undeclared variable {stmt.target!r}",
+                    stmt.line,
+                )
+            _check_expr(stmt.value, seen, info, fname)
+        elif isinstance(stmt, ast.ArrayAssign):
+            if stmt.name not in info.globals:
+                raise SemaError(
+                    f"{stmt.name!r} is not a global array", stmt.line
+                )
+            _check_expr(stmt.index, seen, info, fname)
+            _check_expr(stmt.value, seen, info, fname)
+        elif isinstance(stmt, ast.If):
+            _check_expr(stmt.cond, seen, info, fname)
+            _check_stmts(stmt.then_body, seen, declared, info, fname,
+                         loop_depth)
+            _check_stmts(stmt.else_body, seen, declared, info, fname,
+                         loop_depth)
+        elif isinstance(stmt, ast.While):
+            _check_expr(stmt.cond, seen, info, fname)
+            _check_stmts(stmt.body, seen, declared, info, fname,
+                         loop_depth + 1)
+        elif isinstance(stmt, ast.For):
+            if stmt.init is not None:
+                _check_stmts([stmt.init], seen, declared, info, fname,
+                             loop_depth)
+            if stmt.cond is not None:
+                _check_expr(stmt.cond, seen, info, fname)
+            if stmt.step is not None:
+                _check_stmts([stmt.step], seen, declared, info, fname,
+                             loop_depth)
+            _check_stmts(stmt.body, seen, declared, info, fname,
+                         loop_depth + 1)
+        elif isinstance(stmt, (ast.Break, ast.Continue)):
+            if loop_depth == 0:
+                word = "break" if isinstance(stmt, ast.Break) else "continue"
+                raise SemaError(f"{word!r} outside a loop", stmt.line)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                _check_expr(stmt.value, seen, info, fname)
+        elif isinstance(stmt, ast.ExprStmt):
+            _check_expr(stmt.expr, seen, info, fname)
+        else:  # pragma: no cover - parser produces no other nodes
+            raise SemaError(f"unknown statement {type(stmt).__name__}",
+                            stmt.line)
+
+
+def _check_expr(expr, seen, info, fname):
+    if isinstance(expr, ast.IntLit):
+        return
+    if isinstance(expr, ast.VarRef):
+        if expr.name not in seen:
+            if expr.name in info.globals:
+                raise SemaError(
+                    f"global array {expr.name!r} needs an index", expr.line
+                )
+            raise SemaError(
+                f"undeclared variable {expr.name!r} in {fname}", expr.line
+            )
+        return
+    if isinstance(expr, ast.ArrayRef):
+        if expr.name not in info.globals:
+            raise SemaError(f"{expr.name!r} is not a global array", expr.line)
+        _check_expr(expr.index, seen, info, fname)
+        return
+    if isinstance(expr, ast.Unary):
+        _check_expr(expr.operand, seen, info, fname)
+        return
+    if isinstance(expr, ast.Binary):
+        _check_expr(expr.left, seen, info, fname)
+        _check_expr(expr.right, seen, info, fname)
+        return
+    if isinstance(expr, ast.Logical):
+        for side in (expr.left, expr.right):
+            if ast.contains_call(side):
+                raise SemaError(
+                    "calls are not allowed inside '&&'/'||' operands "
+                    "(evaluation order would be observable)",
+                    expr.line,
+                )
+        _check_expr(expr.left, seen, info, fname)
+        _check_expr(expr.right, seen, info, fname)
+        return
+    if isinstance(expr, ast.Call):
+        if expr.name not in info.functions:
+            raise SemaError(f"call to unknown function {expr.name!r}",
+                            expr.line)
+        arity = info.functions[expr.name]
+        if len(expr.args) != arity:
+            raise SemaError(
+                f"{expr.name!r} takes {arity} argument(s), got "
+                f"{len(expr.args)}",
+                expr.line,
+            )
+        for arg in expr.args:
+            _check_expr(arg, seen, info, fname)
+        return
+    raise SemaError(  # pragma: no cover - parser produces no other nodes
+        f"unknown expression {type(expr).__name__}", expr.line
+    )

@@ -1,0 +1,27 @@
+"""Front-end timing models.
+
+* :mod:`repro.pipeline.availability` — when a computed predicate value
+  becomes visible to the fetch stage (the distance-``D`` model both of
+  the paper's mechanisms hinge on).
+* :mod:`repro.pipeline.frontend` — the global history register and its
+  update policies.
+* :mod:`repro.pipeline.cost` — an analytic cycle/speedup model for an
+  EPIC-class front end.
+"""
+
+from repro.pipeline.availability import AvailabilityModel
+from repro.pipeline.btb import BTBConfig, BranchTargetBuffer
+from repro.pipeline.cost import CostModel
+from repro.pipeline.fetchsim import FetchModel, FrontendResult, simulate_frontend
+from repro.pipeline.frontend import GlobalHistory
+
+__all__ = [
+    "AvailabilityModel",
+    "BTBConfig",
+    "BranchTargetBuffer",
+    "CostModel",
+    "FetchModel",
+    "FrontendResult",
+    "GlobalHistory",
+    "simulate_frontend",
+]

@@ -1,0 +1,76 @@
+"""Branch target buffer (extension beyond the paper's scope).
+
+Direction prediction is only half the front end: a taken prediction
+needs the *target* by the next fetch cycle, which a tagged BTB provides.
+This module models a set-associative BTB with true-LRU replacement so
+experiment E12 can show how the predicate techniques interact with
+target pressure (a squashed branch is not-taken by construction, so it
+needs no BTB entry and — under the filter policy — does not insert one).
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class BTBConfig:
+    """Geometry of the branch target buffer."""
+
+    sets: int = 256
+    ways: int = 2
+
+    def __post_init__(self):
+        if self.sets <= 0 or self.sets & (self.sets - 1):
+            raise ValueError("sets must be a positive power of two")
+        if self.ways <= 0:
+            raise ValueError("ways must be positive")
+
+    @property
+    def entries(self) -> int:
+        return self.sets * self.ways
+
+    def describe(self) -> str:
+        return f"btb({self.sets}x{self.ways})"
+
+
+class BranchTargetBuffer:
+    """A tagged, set-associative target buffer with LRU replacement."""
+
+    def __init__(self, config: BTBConfig):
+        self.config = config
+        self._mask = config.sets - 1
+        # per set: list of [tag, target], most-recently-used last
+        self._sets: List[List[List[int]]] = [
+            [] for _ in range(config.sets)
+        ]
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, pc: int) -> Optional[int]:
+        """Target for ``pc``, or ``None``; updates LRU and counters."""
+        ways = self._sets[pc & self._mask]
+        tag = pc >> self.config.sets.bit_length() - 1
+        for index, entry in enumerate(ways):
+            if entry[0] == tag:
+                ways.append(ways.pop(index))
+                self.hits += 1
+                return entry[1]
+        self.misses += 1
+        return None
+
+    def insert(self, pc: int, target: int) -> None:
+        """Install/refresh the mapping for a taken branch."""
+        ways = self._sets[pc & self._mask]
+        tag = pc >> self.config.sets.bit_length() - 1
+        for index, entry in enumerate(ways):
+            if entry[0] == tag:
+                entry[1] = target
+                ways.append(ways.pop(index))
+                return
+        if len(ways) >= self.config.ways:
+            ways.pop(0)  # evict LRU
+        ways.append([tag, target])
+
+    @property
+    def storage_entries(self) -> int:
+        return self.config.entries

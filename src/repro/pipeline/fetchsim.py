@@ -1,0 +1,115 @@
+"""Discrete front-end fetch simulation.
+
+A step up from the analytic :class:`~repro.pipeline.cost.CostModel`: the
+fetch stream is replayed branch by branch, charging
+
+* ``ceil(run / width)`` cycles per straight-line fetch run (a taken
+  branch ends its fetch cycle — *fragmentation*, the second cost
+  if-conversion removes besides mispredictions);
+* the full ``mispredict_penalty`` per wrong direction;
+* ``misfetch_penalty`` when the direction was right but the BTB missed;
+* ``taken_bubble`` cycles per correctly predicted taken branch (the
+  one-cycle redirect of front ends without a next-line predictor).
+
+The model consumes the per-branch flags a simulation run records with
+``SimOptions(record_flags=True)``, so the same replay prices any
+predictor/front-end configuration.  Unconditional jumps are not branch
+events in our traces; their (identical in every configuration)
+fragmentation is left out, which cancels in speedup ratios.
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.trace.container import Trace
+
+
+@dataclass(frozen=True)
+class FetchModel:
+    """Front-end fetch parameters."""
+
+    width: int = 6
+    mispredict_penalty: int = 10
+    misfetch_penalty: int = 2
+    taken_bubble: int = 1
+
+    def __post_init__(self):
+        if self.width <= 0:
+            raise ValueError("width must be positive")
+
+
+@dataclass
+class FrontendResult:
+    """Cycle breakdown of one fetch replay."""
+
+    cycles: float
+    instructions: int
+    fetch_cycles: float
+    mispredict_cycles: float
+    misfetch_cycles: float
+    bubble_cycles: float
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+
+def simulate_frontend(trace: Trace, flags, model: FetchModel = FetchModel()
+                      ) -> FrontendResult:
+    """Replay the fetch stream of ``trace`` under ``model``.
+
+    ``flags`` is the :class:`~repro.sim.driver.BranchFlags` recorded by a
+    simulation run over the *same trace*.
+    """
+    b_idx = trace.b_idx
+    taken = trace.b_taken
+    correct = flags.correct
+    misfetch = flags.misfetch
+    if len(correct) != trace.num_branches:
+        raise ValueError("flags do not match the trace")
+
+    width = model.width
+    fetch_cycles = 0.0
+    mispredict_cycles = 0.0
+    misfetch_cycles = 0.0
+    bubble_cycles = 0.0
+
+    prev = 0  # dynamic index where the current fetch run began
+    for i in range(trace.num_branches):
+        end = int(b_idx[i])
+        if taken[i]:
+            run = end - prev + 1
+            fetch_cycles += -(-run // width)
+            prev = end + 1
+            if correct[i]:
+                if misfetch[i]:
+                    misfetch_cycles += model.misfetch_penalty
+                else:
+                    bubble_cycles += model.taken_bubble
+            else:
+                mispredict_cycles += model.mispredict_penalty
+        elif not correct[i]:
+            # Wrongly predicted taken: the run still breaks at the
+            # branch (fetch went down the wrong path) plus the penalty.
+            run = end - prev + 1
+            fetch_cycles += -(-run // width)
+            prev = end + 1
+            mispredict_cycles += model.mispredict_penalty
+        # correctly predicted not-taken: the run continues.
+
+    tail = trace.meta.instructions - prev
+    if tail > 0:
+        fetch_cycles += -(-tail // width)
+
+    cycles = (
+        fetch_cycles + mispredict_cycles + misfetch_cycles + bubble_cycles
+    )
+    return FrontendResult(
+        cycles=cycles,
+        instructions=trace.meta.instructions,
+        fetch_cycles=fetch_cycles,
+        mispredict_cycles=mispredict_cycles,
+        misfetch_cycles=misfetch_cycles,
+        bubble_cycles=bubble_cycles,
+    )

@@ -1,0 +1,38 @@
+"""The front end's global history register."""
+
+
+class GlobalHistory:
+    """A shift register of recent outcome/predicate bits.
+
+    The least-significant bit is the most recent event.  Branch outcomes
+    are shifted in at predict time (trace-driven simulation follows the
+    correct path, so "speculative update + repair" collapses to updating
+    with the actual outcome immediately — the standard idealization).
+    Predicate-define bits are shifted in by the driver when the
+    availability model says the value has reached the front end.
+    """
+
+    __slots__ = ("bits", "mask", "length")
+
+    def __init__(self, length: int = 32):
+        if not 1 <= length <= 64:
+            raise ValueError("history length must be 1..64")
+        self.length = length
+        self.mask = (1 << length) - 1
+        self.bits = 0
+
+    def shift(self, bit: bool) -> None:
+        self.bits = ((self.bits << 1) | int(bit)) & self.mask
+
+    @property
+    def value(self) -> int:
+        return self.bits
+
+    def reset(self) -> None:
+        self.bits = 0
+
+    def snapshot(self) -> int:
+        return self.bits
+
+    def restore(self, value: int) -> None:
+        self.bits = value & self.mask

@@ -1,0 +1,58 @@
+"""Branch predictors and the paper's two predicate mechanisms.
+
+Conventional predictors (:mod:`repro.predictors`):
+
+* ``static`` — always-taken / always-not-taken / backward-taken
+  forward-not-taken;
+* ``bimodal`` — per-PC 2-bit counters;
+* ``gshare`` / ``gselect`` / ``gag`` — global-history two-level tables;
+* ``local`` — per-branch history, PAg style;
+* ``tournament`` — Alpha-21264-style chooser over local + gshare;
+* ``perceptron`` — global-history perceptron (a post-paper extension for
+  context);
+* ``perfect`` — oracle lower bound.
+
+All predictors expose ``predict(pc, history)`` / ``update(pc, history,
+taken)`` where ``history`` is the *front end's* global history register —
+owned by the simulation driver, because the paper's predicate
+global-update mechanism changes what goes into it
+(:class:`repro.predictors.pgu.PGUConfig`), and the squash false-path
+filter can bypass the predictor entirely
+(:class:`repro.predictors.sfp.SFPConfig`).
+"""
+
+from repro.predictors.base import BranchPredictor, SaturatingCounters
+from repro.predictors.static import StaticPredictor
+from repro.predictors.bimodal import BimodalPredictor
+from repro.predictors.gshare import GSharePredictor
+from repro.predictors.gselect import GSelectPredictor
+from repro.predictors.twolevel import GAgPredictor, LocalPredictor
+from repro.predictors.tournament import TournamentPredictor
+from repro.predictors.perceptron import PerceptronPredictor
+from repro.predictors.perfect import PerfectPredictor
+from repro.predictors.tage import TagePredictor
+from repro.predictors.confidence import ConfidenceEstimator, ConfidenceResult
+from repro.predictors.sfp import SFPConfig
+from repro.predictors.pgu import PGUConfig
+from repro.predictors.registry import available_predictors, make_predictor
+
+__all__ = [
+    "BimodalPredictor",
+    "ConfidenceEstimator",
+    "ConfidenceResult",
+    "BranchPredictor",
+    "GAgPredictor",
+    "GSelectPredictor",
+    "GSharePredictor",
+    "LocalPredictor",
+    "PGUConfig",
+    "PerceptronPredictor",
+    "PerfectPredictor",
+    "SFPConfig",
+    "SaturatingCounters",
+    "StaticPredictor",
+    "TagePredictor",
+    "TournamentPredictor",
+    "available_predictors",
+    "make_predictor",
+]

@@ -1,0 +1,74 @@
+"""Predictor interface and the saturating-counter table primitive."""
+
+from abc import ABC, abstractmethod
+
+
+class SaturatingCounters:
+    """A table of 2-bit saturating counters.
+
+    Counter values 0..3; 2 and 3 predict taken.  Backed by a plain Python
+    list — in a scalar simulation loop, list indexing beats numpy scalar
+    access by a wide margin.
+    """
+
+    __slots__ = ("table", "mask")
+
+    def __init__(self, entries: int, init: int = 1):
+        if entries <= 0 or entries & (entries - 1):
+            raise ValueError("entries must be a positive power of two")
+        if not 0 <= init <= 3:
+            raise ValueError("init must be 0..3")
+        self.table = [init] * entries
+        self.mask = entries - 1
+
+    def predict(self, index: int) -> bool:
+        return self.table[index & self.mask] >= 2
+
+    def update(self, index: int, taken: bool) -> None:
+        index &= self.mask
+        value = self.table[index]
+        if taken:
+            if value < 3:
+                self.table[index] = value + 1
+        elif value > 0:
+            self.table[index] = value - 1
+
+    def __len__(self) -> int:
+        return self.mask + 1
+
+    @property
+    def storage_bits(self) -> int:
+        return 2 * (self.mask + 1)
+
+
+class BranchPredictor(ABC):
+    """Interface every predictor implements.
+
+    ``history`` is the front end's global history register (an int whose
+    least-significant bit is the most recent outcome/predicate bit).  The
+    simulation driver owns and updates it; predictors that keep private
+    state (local history, perceptron weights) simply ignore it.
+    """
+
+    #: set by subclasses; used in reports
+    name: str = "predictor"
+
+    @abstractmethod
+    def predict(self, pc: int, history: int) -> bool:
+        """Predicted direction for the branch at ``pc``."""
+
+    @abstractmethod
+    def update(self, pc: int, history: int, taken: bool) -> None:
+        """Train on the resolved outcome.  ``history`` is the value the
+        front end used at predict time for this branch."""
+
+    @property
+    def storage_bits(self) -> int:
+        """Approximate hardware budget, in bits."""
+        return 0
+
+    def reset(self) -> None:
+        """Forget all state (fresh tables).  Subclasses override."""
+
+    def describe(self) -> str:
+        return f"{self.name} ({self.storage_bits} bits)"

@@ -1,0 +1,25 @@
+"""Bimodal predictor: a per-PC table of 2-bit counters (Smith, 1981)."""
+
+from repro.predictors.base import BranchPredictor, SaturatingCounters
+
+
+class BimodalPredictor(BranchPredictor):
+    """``table[pc mod entries]`` of 2-bit counters; ignores history."""
+
+    def __init__(self, entries: int = 4096):
+        self.entries = entries
+        self.counters = SaturatingCounters(entries)
+        self.name = f"bimodal-{entries}"
+
+    def predict(self, pc: int, history: int) -> bool:
+        return self.counters.predict(pc)
+
+    def update(self, pc: int, history: int, taken: bool) -> None:
+        self.counters.update(pc, taken)
+
+    @property
+    def storage_bits(self) -> int:
+        return self.counters.storage_bits
+
+    def reset(self) -> None:
+        self.counters = SaturatingCounters(self.entries)

@@ -1,0 +1,102 @@
+"""Branch-confidence estimation (JRS-style), predicate-aware.
+
+Jacobsen/Rotenberg/Smith (MICRO 1996) attach a *confidence* to every
+branch prediction: a table of resetting counters indexed like gshare —
+incremented when the branch predicts correctly, cleared on a
+misprediction; a prediction is high-confidence when its counter is
+saturated-enough.  Consumers include pipeline gating, SMT fetch
+steering, and selective recovery.
+
+The predicate connection (our extension, E14): a branch squashed by the
+false-path filter is *perfectly* confident — the guard value proves the
+direction.  A predicate-aware estimator therefore reports three classes:
+``perfect`` (squashed), ``high`` (counter above threshold) and ``low``;
+SFP converts part of the hard-to-trust population into free perfect
+confidence, which gating-style consumers can exploit directly.
+"""
+
+from dataclasses import dataclass
+
+
+class ConfidenceEstimator:
+    """A table of resetting counters (miss-distance counters).
+
+    Args:
+        entries: table size (power of two).
+        threshold: counter value at/above which a prediction is
+            high-confidence.
+        ceiling: saturation value of the counters.
+    """
+
+    def __init__(self, entries: int = 1024, threshold: int = 8,
+                 ceiling: int = 15):
+        if entries <= 0 or entries & (entries - 1):
+            raise ValueError("entries must be a positive power of two")
+        if not 0 < threshold <= ceiling:
+            raise ValueError("need 0 < threshold <= ceiling")
+        self.mask = entries - 1
+        self.threshold = threshold
+        self.ceiling = ceiling
+        self.table = [0] * entries
+
+    def _index(self, pc: int, history: int) -> int:
+        return (pc ^ history) & self.mask
+
+    def is_confident(self, pc: int, history: int) -> bool:
+        """High confidence for the upcoming prediction at ``pc``?"""
+        return self.table[self._index(pc, history)] >= self.threshold
+
+    def update(self, pc: int, history: int, correct: bool) -> None:
+        """Train on the resolved prediction outcome."""
+        index = self._index(pc, history)
+        if correct:
+            if self.table[index] < self.ceiling:
+                self.table[index] += 1
+        else:
+            self.table[index] = 0
+
+    @property
+    def storage_bits(self) -> int:
+        return (self.mask + 1) * self.ceiling.bit_length()
+
+
+@dataclass
+class ConfidenceResult:
+    """Outcome of a confidence-instrumented simulation."""
+
+    branches: int
+    perfect: int  #: squashed: direction proven by the guard
+    high: int  #: estimator said confident (excluding perfect)
+    high_correct: int
+    low: int
+    low_correct: int
+
+    @property
+    def perfect_coverage(self) -> float:
+        return self.perfect / self.branches if self.branches else 0.0
+
+    @property
+    def high_coverage(self) -> float:
+        return self.high / self.branches if self.branches else 0.0
+
+    @property
+    def high_accuracy(self) -> float:
+        return self.high_correct / self.high if self.high else 1.0
+
+    @property
+    def low_accuracy(self) -> float:
+        return self.low_correct / self.low if self.low else 1.0
+
+    @property
+    def trusted_coverage(self) -> float:
+        """Fraction a gating consumer may trust: perfect + high."""
+        if not self.branches:
+            return 0.0
+        return (self.perfect + self.high) / self.branches
+
+    @property
+    def trusted_accuracy(self) -> float:
+        trusted = self.perfect + self.high
+        if not trusted:
+            return 1.0
+        return (self.perfect + self.high_correct) / trusted

@@ -1,0 +1,43 @@
+"""gselect: concatenated PC and history bits index the counter table."""
+
+from repro.predictors.base import BranchPredictor, SaturatingCounters
+
+
+class GSelectPredictor(BranchPredictor):
+    """``table[pc_bits .. history_bits]`` of 2-bit counters.
+
+    With ``entries = 2**n`` and ``history_bits = h``, the low ``n - h``
+    PC bits are concatenated with the low ``h`` history bits.
+    """
+
+    def __init__(self, entries: int = 4096, history_bits: int = -1):
+        self.entries = entries
+        self.counters = SaturatingCounters(entries)
+        index_bits = entries.bit_length() - 1
+        if history_bits < 0:
+            history_bits = index_bits // 2
+        if history_bits > index_bits:
+            raise ValueError("history_bits exceeds index width")
+        self.history_bits = history_bits
+        self.pc_bits = index_bits - history_bits
+        self.history_mask = (1 << history_bits) - 1
+        self.pc_mask = (1 << self.pc_bits) - 1
+        self.name = f"gselect-{entries}/h{history_bits}"
+
+    def _index(self, pc: int, history: int) -> int:
+        return ((pc & self.pc_mask) << self.history_bits) | (
+            history & self.history_mask
+        )
+
+    def predict(self, pc: int, history: int) -> bool:
+        return self.counters.predict(self._index(pc, history))
+
+    def update(self, pc: int, history: int, taken: bool) -> None:
+        self.counters.update(self._index(pc, history), taken)
+
+    @property
+    def storage_bits(self) -> int:
+        return self.counters.storage_bits
+
+    def reset(self) -> None:
+        self.counters = SaturatingCounters(self.entries)

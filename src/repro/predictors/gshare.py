@@ -1,0 +1,42 @@
+"""gshare: global history XOR-folded with the PC (McFarling, 1993).
+
+This is the paper's workhorse baseline: the predicate global-update
+mechanism changes what enters the *history*, and gshare is the canonical
+consumer of that history.
+"""
+
+from repro.predictors.base import BranchPredictor, SaturatingCounters
+
+
+class GSharePredictor(BranchPredictor):
+    """``table[(pc XOR history) mod entries]`` of 2-bit counters.
+
+    Args:
+        entries: pattern-history-table size (power of two).
+        history_bits: how many history bits participate in the index;
+            defaults to ``log2(entries)`` (the full-width classic).
+    """
+
+    def __init__(self, entries: int = 4096, history_bits: int = -1):
+        self.entries = entries
+        self.counters = SaturatingCounters(entries)
+        index_bits = entries.bit_length() - 1
+        self.history_bits = index_bits if history_bits < 0 else history_bits
+        self.history_mask = (1 << self.history_bits) - 1
+        self.name = f"gshare-{entries}/h{self.history_bits}"
+
+    def _index(self, pc: int, history: int) -> int:
+        return pc ^ (history & self.history_mask)
+
+    def predict(self, pc: int, history: int) -> bool:
+        return self.counters.predict(self._index(pc, history))
+
+    def update(self, pc: int, history: int, taken: bool) -> None:
+        self.counters.update(self._index(pc, history), taken)
+
+    @property
+    def storage_bits(self) -> int:
+        return self.counters.storage_bits
+
+    def reset(self) -> None:
+        self.counters = SaturatingCounters(self.entries)

@@ -1,0 +1,26 @@
+"""Oracle predictor: a lower bound for misprediction studies."""
+
+from repro.predictors.base import BranchPredictor
+
+
+class PerfectPredictor(BranchPredictor):
+    """Always right.  The simulation driver feeds it the actual outcome
+    through :meth:`set_outcome` just before asking for a prediction."""
+
+    name = "perfect"
+
+    def __init__(self):
+        self._outcome = False
+
+    def set_outcome(self, taken: bool) -> None:
+        self._outcome = taken
+
+    def predict(self, pc: int, history: int) -> bool:
+        return self._outcome
+
+    def update(self, pc: int, history: int, taken: bool) -> None:
+        pass
+
+    @property
+    def storage_bits(self) -> int:
+        return 0

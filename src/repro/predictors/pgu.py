@@ -1,0 +1,47 @@
+"""The predicate global-update mechanism (the paper's second mechanism).
+
+Predicate *defines* — compare instructions writing predicate registers —
+are shifted into the global history register alongside branch outcomes.
+A region-based branch correlates with the predicate definitions in its
+region (including, but not limited to, the define of its own guard), so
+the augmented history gives any global-history predictor a sharper
+second-level context.
+
+Timing: a predicate value computed at dynamic index ``i`` can reach the
+front end's history register once it has actually been computed, i.e.
+``delay`` instructions later (normally the same front-end distance ``D``
+used by the squash filter).  Branch outcomes, by contrast, enter history
+speculatively at predict time, as real front ends do.
+
+Design space (E10 ablations):
+
+* ``delay`` — 0 models an idealized machine where defines are visible
+  immediately; ``None`` means "use the front end's D".
+* ``which`` — insert *all* predicate defines (hardware cannot know which
+  predicates will guard a branch; default) or only defines of predicates
+  that ever guard one (an oracle filter showing how much of the history
+  is diluted by non-guard predicates).
+"""
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class PGUConfig:
+    """Configuration of predicate global update."""
+
+    delay: Optional[int] = None  #: None -> use the front end's distance D
+    which: str = "all"  #: "all" or "guards_only"
+
+    def __post_init__(self):
+        if self.which not in ("all", "guards_only"):
+            raise ValueError(f"unknown PGU filter {self.which!r}")
+
+    def describe(self) -> str:
+        delay = "D" if self.delay is None else str(self.delay)
+        return f"pgu(delay={delay},{self.which})"
+
+
+#: The paper's default behaviour.
+DEFAULT = PGUConfig()

@@ -1,0 +1,50 @@
+"""The squash false-path filter (the paper's first mechanism).
+
+A branch guarded by a qualifying predicate *cannot* be taken if that
+predicate is false.  When the predicate's defining compare resolved at
+least ``D`` dynamic instructions before the branch is fetched (``D`` =
+front-end depth, :class:`repro.pipeline.availability.AvailabilityModel`),
+the front end *knows* the guard is false at fetch and can assert
+not-taken with 100% accuracy — no table lookup, no possibility of a
+misprediction.
+
+The filter also controls what the squashed branch does to predictor
+state; both questions are the paper's (and our E10 ablation's) design
+space:
+
+* ``update_pht`` — train the pattern table with the (certain) not-taken
+  outcome anyway, or keep it out of the tables (filtering avoids
+  aliasing/pollution; default).
+* ``update_history`` — shift the not-taken outcome into the global
+  history register so history stays aligned with the fetch stream
+  (default), or skip the shift to keep history dense in "real" outcomes.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SFPConfig:
+    """Configuration of the squash false-path filter.
+
+    ``squash_known_true`` is an *extension* beyond the paper: a branch is
+    taken iff its qualifying predicate holds, so a guard resolved *true*
+    by fetch time determines the direction just as certainly as a false
+    one (the target still needs a BTB, but the direction is exact).  The
+    paper's filter handles only the false case; E10 ablates the
+    difference.
+    """
+
+    update_pht: bool = False
+    update_history: bool = True
+    squash_known_true: bool = False
+
+    def describe(self) -> str:
+        pht = "train-pht" if self.update_pht else "filter-pht"
+        hist = "shift-history" if self.update_history else "skip-history"
+        both = ",both-dirs" if self.squash_known_true else ""
+        return f"sfp({pht},{hist}{both})"
+
+
+#: The paper's default behaviour.
+DEFAULT = SFPConfig()

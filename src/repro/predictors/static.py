@@ -1,0 +1,37 @@
+"""Static (history-free) predictors."""
+
+from repro.predictors.base import BranchPredictor
+
+
+class StaticPredictor(BranchPredictor):
+    """Always-taken, always-not-taken, or BTFN.
+
+    BTFN (backward taken, forward not-taken) needs branch targets; the
+    simulation driver calls :meth:`set_target` before each prediction.
+    """
+
+    POLICIES = ("taken", "not_taken", "btfn")
+
+    def __init__(self, policy: str = "not_taken"):
+        if policy not in self.POLICIES:
+            raise ValueError(f"unknown static policy {policy!r}")
+        self.policy = policy
+        self.name = f"static-{policy}"
+        self._target = -1
+
+    def set_target(self, target: int) -> None:
+        self._target = target
+
+    def predict(self, pc: int, history: int) -> bool:
+        if self.policy == "taken":
+            return True
+        if self.policy == "not_taken":
+            return False
+        return self._target >= 0 and self._target <= pc
+
+    def update(self, pc: int, history: int, taken: bool) -> None:
+        pass
+
+    @property
+    def storage_bits(self) -> int:
+        return 0

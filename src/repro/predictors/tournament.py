@@ -1,0 +1,56 @@
+"""Tournament predictor (Alpha-21264 style chooser)."""
+
+from repro.predictors.base import BranchPredictor, SaturatingCounters
+from repro.predictors.gshare import GSharePredictor
+from repro.predictors.twolevel import LocalPredictor
+
+
+class TournamentPredictor(BranchPredictor):
+    """A chooser of 2-bit counters selects between two components.
+
+    Defaults to local + gshare, the 21264 pairing.  The chooser is
+    indexed by global history XOR PC and trains only when the components
+    disagree, toward whichever was right.
+    """
+
+    def __init__(
+        self,
+        entries: int = 4096,
+        component_a: BranchPredictor = None,
+        component_b: BranchPredictor = None,
+    ):
+        self.entries = entries
+        self.chooser = SaturatingCounters(entries)
+        self.a = component_a or LocalPredictor(entries)
+        self.b = component_b or GSharePredictor(entries)
+        self.name = f"tournament-{entries}({self.a.name}|{self.b.name})"
+
+    def _choose_b(self, pc: int, history: int) -> bool:
+        return self.chooser.predict(pc ^ history)
+
+    def predict(self, pc: int, history: int) -> bool:
+        if self._choose_b(pc, history):
+            return self.b.predict(pc, history)
+        return self.a.predict(pc, history)
+
+    def update(self, pc: int, history: int, taken: bool) -> None:
+        pred_a = self.a.predict(pc, history)
+        pred_b = self.b.predict(pc, history)
+        if pred_a != pred_b:
+            # Train the chooser toward the component that was right.
+            self.chooser.update(pc ^ history, pred_b == taken)
+        self.a.update(pc, history, taken)
+        self.b.update(pc, history, taken)
+
+    @property
+    def storage_bits(self) -> int:
+        return (
+            self.chooser.storage_bits
+            + self.a.storage_bits
+            + self.b.storage_bits
+        )
+
+    def reset(self) -> None:
+        self.chooser = SaturatingCounters(self.entries)
+        self.a.reset()
+        self.b.reset()

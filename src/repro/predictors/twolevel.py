@@ -1,0 +1,73 @@
+"""Two-level predictors: GAg (pure global) and PAg-style local."""
+
+from repro.predictors.base import BranchPredictor, SaturatingCounters
+
+
+class GAgPredictor(BranchPredictor):
+    """Pure global two-level: history alone indexes the pattern table."""
+
+    def __init__(self, entries: int = 4096):
+        self.entries = entries
+        self.counters = SaturatingCounters(entries)
+        self.history_bits = entries.bit_length() - 1
+        self.name = f"gag-{entries}"
+
+    def predict(self, pc: int, history: int) -> bool:
+        return self.counters.predict(history)
+
+    def update(self, pc: int, history: int, taken: bool) -> None:
+        self.counters.update(history, taken)
+
+    @property
+    def storage_bits(self) -> int:
+        return self.counters.storage_bits
+
+    def reset(self) -> None:
+        self.counters = SaturatingCounters(self.entries)
+
+
+class LocalPredictor(BranchPredictor):
+    """PAg-style local predictor.
+
+    A per-PC history table feeds a shared pattern table of 2-bit
+    counters.  The front end's global history is ignored — local history
+    is private predictor state, updated at ``update`` time (trace-driven
+    simulation resolves branches in order, so speculative-history
+    subtleties do not arise for the local table).
+    """
+
+    def __init__(self, entries: int = 4096, local_entries: int = 1024,
+                 history_bits: int = 10):
+        self.entries = entries
+        self.local_entries = local_entries
+        self.history_bits = history_bits
+        self.history_mask = (1 << history_bits) - 1
+        self.local_mask = local_entries - 1
+        if local_entries & self.local_mask:
+            raise ValueError("local_entries must be a power of two")
+        self.histories = [0] * local_entries
+        self.counters = SaturatingCounters(entries)
+        self.name = f"local-{entries}/l{local_entries}x{history_bits}"
+
+    def _index(self, pc: int) -> int:
+        return self.histories[pc & self.local_mask] & self.history_mask
+
+    def predict(self, pc: int, history: int) -> bool:
+        return self.counters.predict(self._index(pc))
+
+    def update(self, pc: int, history: int, taken: bool) -> None:
+        slot = pc & self.local_mask
+        local = self.histories[slot] & self.history_mask
+        self.counters.update(local, taken)
+        self.histories[slot] = ((local << 1) | int(taken))
+
+    @property
+    def storage_bits(self) -> int:
+        return (
+            self.counters.storage_bits
+            + self.local_entries * self.history_bits
+        )
+
+    def reset(self) -> None:
+        self.histories = [0] * self.local_entries
+        self.counters = SaturatingCounters(self.entries)

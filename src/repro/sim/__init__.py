@@ -1,0 +1,21 @@
+"""Trace-driven predictor simulation."""
+
+from repro.sim.driver import BranchFlags, SimOptions, SimResult, simulate
+from repro.sim.stats import ClassStats, format_result_table
+from repro.sim.confidence import simulate_with_confidence
+from repro.sim.hotspots import SiteStats, per_site_stats, top_hotspots
+from repro.sim.sweep import sweep
+
+__all__ = [
+    "BranchFlags",
+    "ClassStats",
+    "SimOptions",
+    "SimResult",
+    "SiteStats",
+    "per_site_stats",
+    "simulate_with_confidence",
+    "top_hotspots",
+    "format_result_table",
+    "simulate",
+    "sweep",
+]

@@ -1,0 +1,284 @@
+"""The trace-driven simulation loop.
+
+:func:`simulate` replays a trace's branch stream through one predictor
+under a front-end configuration: the availability distance ``D``, the
+squash false-path filter, and predicate global update.  The driver owns
+the global history register because the paper's mechanisms manipulate it;
+predictors just consume the history value they are handed.
+
+Event ordering: branches are processed in fetch order.  Before predicting
+the branch at dynamic index ``j``, every predicate define that became
+visible by ``j`` (``d_idx + delay <= j``) is shifted into history — this
+interleaves predicate bits and branch outcomes in the order the front end
+would see them.
+"""
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.isa.opcodes import BranchKind
+from repro.pipeline.availability import DEFAULT_DISTANCE, AvailabilityModel
+from repro.pipeline.btb import BTBConfig, BranchTargetBuffer
+from repro.pipeline.frontend import GlobalHistory
+from repro.predictors.base import BranchPredictor
+from repro.predictors.perfect import PerfectPredictor
+from repro.predictors.pgu import PGUConfig
+from repro.predictors.sfp import SFPConfig
+from repro.predictors.static import StaticPredictor
+from repro.sim.stats import ClassStats
+from repro.trace.container import BranchClass, Trace
+
+
+@dataclass(frozen=True)
+class SimOptions:
+    """Front-end configuration for one simulation run.
+
+    ``delayed_update`` models trainer latency: pattern tables are updated
+    only once the branch has resolved — ``distance`` dynamic instructions
+    after its fetch — instead of instantly.  Global history still updates
+    at predict time (it is speculative in hardware, and trace-driven
+    simulation follows the correct path).
+    """
+
+    distance: int = DEFAULT_DISTANCE
+    history_bits: int = 32
+    sfp: Optional[SFPConfig] = None  #: None disables the squash filter
+    pgu: Optional[PGUConfig] = None  #: None disables predicate update
+    delayed_update: bool = False
+    btb: Optional["BTBConfig"] = None  #: None models a perfect BTB
+    #: record per-branch flags for the fetch simulator
+    record_flags: bool = False
+
+    def describe(self) -> str:
+        parts = [f"D={self.distance}"]
+        if self.sfp is not None:
+            parts.append(self.sfp.describe())
+        if self.pgu is not None:
+            parts.append(self.pgu.describe())
+        if self.delayed_update:
+            parts.append("delayed-update")
+        if self.btb is not None:
+            parts.append(self.btb.describe())
+        return ",".join(parts)
+
+
+@dataclass
+class BranchFlags:
+    """Per-branch outcome flags for the fetch simulator."""
+
+    correct: "np.ndarray"  #: prediction (or squash) matched the outcome
+    squashed: "np.ndarray"  #: handled by the squash filter
+    misfetch: "np.ndarray"  #: right direction, BTB had no target
+
+
+@dataclass
+class SimResult:
+    """Outcome of one (trace, predictor, options) simulation."""
+
+    predictor: str
+    options: SimOptions
+    workload: str
+    instructions: int
+    branches: int
+    mispredictions: int
+    squashed: int
+    per_class: dict = field(default_factory=dict)
+    #: direction was predicted taken and was right, but the BTB had no
+    #: target (only counted when a BTB is modelled)
+    misfetches: int = 0
+    #: per-branch flags (only with ``SimOptions(record_flags=True)``)
+    flags: Optional["BranchFlags"] = None
+
+    @property
+    def misprediction_rate(self) -> float:
+        return self.mispredictions / self.branches if self.branches else 0.0
+
+    @property
+    def accuracy(self) -> float:
+        return 1.0 - self.misprediction_rate
+
+    @property
+    def mpki(self) -> float:
+        """Mispredictions per 1000 dynamic instructions."""
+        if not self.instructions:
+            return 0.0
+        return 1000.0 * self.mispredictions / self.instructions
+
+    @property
+    def squash_coverage(self) -> float:
+        return self.squashed / self.branches if self.branches else 0.0
+
+    @property
+    def misfetch_rate(self) -> float:
+        return self.misfetches / self.branches if self.branches else 0.0
+
+    def class_stats(self, branch_class: BranchClass) -> ClassStats:
+        return self.per_class.get(branch_class, ClassStats())
+
+
+def simulate(
+    trace: Trace,
+    predictor: BranchPredictor,
+    options: SimOptions = SimOptions(),
+) -> SimResult:
+    """Run ``trace`` through ``predictor`` under ``options``."""
+    availability = AvailabilityModel(options.distance)
+    history = GlobalHistory(options.history_bits)
+    sfp = options.sfp
+    pgu = options.pgu
+
+    if sfp is None:
+        squashable = None
+    elif sfp.squash_known_true:
+        # Extension: any resolved guard determines the direction exactly
+        # (false -> not taken, true -> taken).
+        squashable = availability.guard_known_mask(trace) & (
+            trace.b_guard != 0
+        )
+    else:
+        squashable = availability.squashable_mask(trace)
+
+    # Predicate-define stream for PGU, filtered and with its delay fixed.
+    if pgu is not None:
+        delay = options.distance if pgu.delay is None else pgu.delay
+        d_idx = trace.d_idx
+        d_value = trace.d_value
+        if pgu.which == "guards_only":
+            guard_preds = set(int(g) for g in trace.b_guard if g > 0)
+            keep = [
+                k
+                for k in range(trace.num_pdefs)
+                if int(trace.d_pred[k]) in guard_preds
+            ]
+            d_idx = d_idx[keep]
+            d_value = d_value[keep]
+        d_idx = d_idx.tolist()
+        d_value = d_value.tolist()
+        num_defs = len(d_idx)
+    else:
+        delay = 0
+        d_idx = d_value = []
+        num_defs = 0
+
+    b_pc = trace.b_pc.tolist()
+    b_idx = trace.b_idx.tolist()
+    b_taken = trace.b_taken.tolist()
+    b_target = trace.b_target.tolist()
+    classes = trace.branch_classes().tolist()
+    squash_list = squashable.tolist() if squashable is not None else None
+
+    is_static = isinstance(predictor, StaticPredictor)
+    is_perfect = isinstance(predictor, PerfectPredictor)
+    predict = predictor.predict
+    update = predictor.update
+    shift = history.shift
+
+    mispredictions = 0
+    squashed = 0
+    per_class = {
+        BranchClass.NORMAL: ClassStats(),
+        BranchClass.REGION: ClassStats(),
+        BranchClass.LOOP: ClassStats(),
+    }
+    dptr = 0
+    delayed = options.delayed_update
+    resolve_after = options.distance
+    pending = []  # (apply_at, pc, ghr, taken) when delayed_update
+    pptr = 0
+    btb = (
+        BranchTargetBuffer(options.btb) if options.btb is not None else None
+    )
+    misfetches = 0
+    record = options.record_flags
+    f_correct = [] if record else None
+    f_squashed = [] if record else None
+    f_misfetch = [] if record else None
+
+    for i in range(len(b_pc)):
+        j = b_idx[i]
+        while dptr < num_defs and d_idx[dptr] + delay <= j:
+            shift(d_value[dptr])
+            dptr += 1
+        if delayed:
+            while pptr < len(pending) and pending[pptr][0] <= j:
+                __, pc_, ghr_, taken_ = pending[pptr]
+                update(pc_, ghr_, taken_)
+                pptr += 1
+
+        stats = per_class[classes[i]]
+        stats.branches += 1
+        taken = b_taken[i]
+
+        if squash_list is not None and squash_list[i]:
+            # Guard resolved by fetch: the direction is certain (a guard
+            # known false cannot be taken; with squash_known_true, a
+            # guard known true must be).
+            squashed += 1
+            stats.squashed += 1
+            if sfp.update_pht:
+                update(b_pc[i], history.bits, taken)
+            if sfp.update_history:
+                shift(taken)
+            missed_target = False
+            if btb is not None and taken:
+                # A known-true squash still needs the target.
+                if btb.lookup(b_pc[i]) is None:
+                    misfetches += 1
+                    missed_target = True
+                if b_target[i] >= 0:
+                    btb.insert(b_pc[i], b_target[i])
+            if record:
+                f_correct.append(True)
+                f_squashed.append(True)
+                f_misfetch.append(missed_target)
+            continue
+
+        if is_static:
+            predictor.set_target(b_target[i])
+        elif is_perfect:
+            predictor.set_outcome(taken)
+        ghr = history.bits
+        predicted = predict(b_pc[i], ghr)
+        if delayed:
+            pending.append((j + resolve_after, b_pc[i], ghr, taken))
+        else:
+            update(b_pc[i], ghr, taken)
+        shift(taken)
+        if predicted != taken:
+            mispredictions += 1
+            stats.mispredictions += 1
+        missed_target = False
+        if btb is not None:
+            if predicted and taken and btb.lookup(b_pc[i]) is None:
+                # Right direction, no target by fetch: a misfetch.
+                misfetches += 1
+                missed_target = True
+            if taken and b_target[i] >= 0:
+                btb.insert(b_pc[i], b_target[i])
+        if record:
+            f_correct.append(predicted == taken)
+            f_squashed.append(False)
+            f_misfetch.append(missed_target)
+
+    return SimResult(
+        predictor=predictor.name,
+        options=options,
+        workload=trace.meta.workload or "<trace>",
+        instructions=trace.meta.instructions,
+        branches=trace.num_branches,
+        mispredictions=mispredictions,
+        squashed=squashed,
+        per_class=per_class,
+        misfetches=misfetches,
+        flags=(
+            BranchFlags(
+                correct=np.asarray(f_correct, dtype=bool),
+                squashed=np.asarray(f_squashed, dtype=bool),
+                misfetch=np.asarray(f_misfetch, dtype=bool),
+            )
+            if record
+            else None
+        ),
+    )

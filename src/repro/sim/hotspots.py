@@ -1,0 +1,123 @@
+"""Per-site misprediction analysis.
+
+Identifies the static branch sites that contribute the most
+mispredictions under a given configuration — the view an architect uses
+to see *which* branches a mechanism fixed and which remain.  Returns
+structured records; the CLI's ``hotspots`` command prints them alongside
+the disassembled site.
+"""
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.pipeline.availability import DEFAULT_DISTANCE, AvailabilityModel
+from repro.pipeline.frontend import GlobalHistory
+from repro.predictors.base import BranchPredictor
+from repro.sim.driver import SimOptions
+from repro.trace.container import Trace
+
+
+@dataclass
+class SiteStats:
+    """Aggregate behaviour of one static branch site."""
+
+    pc: int
+    executions: int = 0
+    taken: int = 0
+    mispredictions: int = 0
+    squashed: int = 0
+    region_based: bool = False
+
+    @property
+    def misprediction_rate(self) -> float:
+        return (
+            self.mispredictions / self.executions if self.executions else 0.0
+        )
+
+    @property
+    def taken_rate(self) -> float:
+        return self.taken / self.executions if self.executions else 0.0
+
+
+def per_site_stats(
+    trace: Trace,
+    predictor: BranchPredictor,
+    options: SimOptions = SimOptions(),
+) -> List[SiteStats]:
+    """Simulate and aggregate per static branch site.
+
+    A separate (slower, dict-building) loop from the main driver so the
+    hot path stays lean; mechanics mirror
+    :func:`repro.sim.driver.simulate` for the SFP/PGU features.
+    """
+    availability = AvailabilityModel(options.distance)
+    history = GlobalHistory(options.history_bits)
+    sfp = options.sfp
+    if sfp is None:
+        squash_list = None
+    elif sfp.squash_known_true:
+        squash_list = (
+            availability.guard_known_mask(trace) & (trace.b_guard != 0)
+        ).tolist()
+    else:
+        squash_list = availability.squashable_mask(trace).tolist()
+
+    if options.pgu is not None:
+        delay = (
+            options.distance
+            if options.pgu.delay is None
+            else options.pgu.delay
+        )
+        d_idx = trace.d_idx.tolist()
+        d_value = trace.d_value.tolist()
+    else:
+        delay = 0
+        d_idx = d_value = []
+    num_defs = len(d_idx)
+
+    sites = {}
+    b_pc = trace.b_pc.tolist()
+    b_idx = trace.b_idx.tolist()
+    b_taken = trace.b_taken.tolist()
+    b_region = trace.b_region.tolist()
+    dptr = 0
+
+    for i in range(len(b_pc)):
+        j = b_idx[i]
+        while dptr < num_defs and d_idx[dptr] + delay <= j:
+            history.shift(d_value[dptr])
+            dptr += 1
+        pc = b_pc[i]
+        site = sites.get(pc)
+        if site is None:
+            site = SiteStats(pc=pc, region_based=bool(b_region[i]))
+            sites[pc] = site
+        taken = b_taken[i]
+        site.executions += 1
+        site.taken += int(taken)
+        if squash_list is not None and squash_list[i]:
+            site.squashed += 1
+            if sfp.update_pht:
+                predictor.update(pc, history.bits, taken)
+            if sfp.update_history:
+                history.shift(taken)
+            continue
+        predicted = predictor.predict(pc, history.bits)
+        predictor.update(pc, history.bits, taken)
+        history.shift(taken)
+        if predicted != taken:
+            site.mispredictions += 1
+
+    return sorted(
+        sites.values(), key=lambda s: s.mispredictions, reverse=True
+    )
+
+
+def top_hotspots(
+    trace: Trace,
+    predictor: BranchPredictor,
+    options: SimOptions = SimOptions(),
+    limit: int = 10,
+) -> List[SiteStats]:
+    """The ``limit`` worst sites by absolute mispredictions."""
+    return per_site_stats(trace, predictor, options)[:limit]

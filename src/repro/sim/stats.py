@@ -1,0 +1,59 @@
+"""Per-class statistics containers and report formatting."""
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class ClassStats:
+    """Counts for one branch class (normal / region-based / loop)."""
+
+    branches: int = 0
+    mispredictions: int = 0
+    squashed: int = 0
+
+    @property
+    def misprediction_rate(self) -> float:
+        return self.mispredictions / self.branches if self.branches else 0.0
+
+    @property
+    def squash_coverage(self) -> float:
+        return self.squashed / self.branches if self.branches else 0.0
+
+    def merge(self, other: "ClassStats") -> "ClassStats":
+        return ClassStats(
+            branches=self.branches + other.branches,
+            mispredictions=self.mispredictions + other.mispredictions,
+            squashed=self.squashed + other.squashed,
+        )
+
+
+def format_result_table(rows: List[dict], columns: List[str],
+                        title: str = "") -> str:
+    """Render experiment rows as a fixed-width text table.
+
+    Floats are shown with 4 significant decimals; this is what the
+    benchmark harness prints for each reproduced table/figure.
+    """
+    def fmt(value):
+        if isinstance(value, float):
+            return f"{value:.4f}"
+        return str(value)
+
+    table = [[fmt(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(line[i]) for line in table)) if table
+        else len(col)
+        for i, col in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for line in table:
+        lines.append(
+            "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(line))
+        )
+    return "\n".join(lines)

@@ -1,0 +1,30 @@
+"""Parameter sweeps: run a grid of (trace, predictor, options) points."""
+
+from typing import Callable, Dict, Iterable, List
+
+from repro.sim.driver import SimOptions, SimResult, simulate
+from repro.trace.container import Trace
+
+
+def sweep(
+    traces: Dict[str, Trace],
+    predictor_factories: Dict[str, Callable[[], "BranchPredictor"]],
+    options_grid: Iterable[SimOptions],
+) -> List[SimResult]:
+    """Simulate every combination, with a *fresh* predictor per point.
+
+    ``predictor_factories`` maps a label to a zero-argument constructor —
+    predictors are stateful, so each grid point gets its own instance.
+    Results come back in (trace, predictor, options) nesting order.
+    """
+    results: List[SimResult] = []
+    options_list = list(options_grid)
+    for trace_name, trace in traces.items():
+        for label, factory in predictor_factories.items():
+            for options in options_list:
+                predictor = factory()
+                result = simulate(trace, predictor, options)
+                result.workload = trace_name
+                result.predictor = label
+                results.append(result)
+    return results

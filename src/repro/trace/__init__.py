@@ -1,0 +1,20 @@
+"""Dynamic traces: the interface between execution and predictor simulation.
+
+A trace is two event streams recorded while interpreting a workload:
+
+* **branch events** — one per dynamic conditional branch (plus predicated
+  calls/returns), carrying the static site, outcome, qualifying predicate,
+  and the dynamic index at which that predicate was last defined;
+* **predicate-define events** — one per architectural predicate write,
+  carrying the computed value.
+
+Traces are stored as numpy structure-of-arrays
+(:class:`~repro.trace.container.Trace`) and cached on disk keyed by
+workload + compile configuration (:mod:`repro.trace.cache`).
+"""
+
+from repro.trace.container import BranchClass, Trace, TraceMeta
+from repro.trace.recorder import TraceRecorder
+from repro.trace.cache import TraceCache
+
+__all__ = ["BranchClass", "Trace", "TraceCache", "TraceMeta", "TraceRecorder"]

@@ -1,0 +1,74 @@
+"""On-disk trace cache.
+
+Generating a trace means interpreting millions of instructions, so traces
+are cached under a key derived from the workload name, input scale, and
+compile configuration.  Workloads are deterministic, hence a cache hit is
+bit-identical to a regeneration.
+"""
+
+import hashlib
+import os
+from pathlib import Path
+from typing import Callable, Optional
+
+from repro.trace.container import Trace
+
+#: Environment variable overriding the default cache directory.
+CACHE_ENV = "REPRO_TRACE_CACHE"
+
+
+def default_cache_dir() -> Path:
+    """The cache directory (``$REPRO_TRACE_CACHE`` or ``~/.cache/repro``)."""
+    env = os.environ.get(CACHE_ENV)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-traces"
+
+
+class TraceCache:
+    """Caches :class:`~repro.trace.container.Trace` objects on disk."""
+
+    def __init__(self, directory: Optional[Path] = None):
+        self.directory = Path(directory) if directory else default_cache_dir()
+
+    def key_path(self, key: str) -> Path:
+        digest = hashlib.sha256(key.encode()).hexdigest()[:24]
+        return self.directory / f"{digest}.npz"
+
+    def get(self, key: str) -> Optional[Trace]:
+        """Return the cached trace for ``key``, or ``None``."""
+        path = self.key_path(key)
+        if not path.exists():
+            return None
+        try:
+            return Trace.load(path)
+        except Exception:
+            # A truncated or stale file is treated as a miss.
+            path.unlink(missing_ok=True)
+            return None
+
+    def put(self, key: str, trace: Trace) -> None:
+        """Store ``trace`` under ``key``."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.key_path(key)
+        tmp = path.with_suffix(".tmp.npz")
+        trace.save(tmp)
+        tmp.replace(path)
+
+    def get_or_build(self, key: str, builder: Callable[[], Trace]) -> Trace:
+        """Fetch ``key`` from the cache, building and storing on a miss."""
+        trace = self.get(key)
+        if trace is None:
+            trace = builder()
+            self.put(key, trace)
+        return trace
+
+    def clear(self) -> int:
+        """Delete all cached traces; returns the number removed."""
+        if not self.directory.exists():
+            return 0
+        removed = 0
+        for path in self.directory.glob("*.npz"):
+            path.unlink()
+            removed += 1
+        return removed

@@ -1,0 +1,67 @@
+"""In-memory trace recorder fed by the interpreter."""
+
+from typing import Optional
+
+from repro.trace.container import Trace, TraceMeta
+
+
+class TraceRecorder:
+    """Accumulates branch and predicate-define events in plain lists.
+
+    The interpreter calls :meth:`record_branch` and :meth:`record_pdef`
+    with positional ints/bools only (hot path); :meth:`finish` converts
+    the accumulated lists into a packed numpy :class:`Trace`.
+    """
+
+    def __init__(self):
+        self.b_pc = []
+        self.b_idx = []
+        self.b_taken = []
+        self.b_guard = []
+        self.b_guard_def = []
+        self.b_kind = []
+        self.b_region = []
+        self.b_target = []
+        self.d_pc = []
+        self.d_idx = []
+        self.d_value = []
+        self.d_pred = []
+
+    def record_branch(
+        self, pc, dyn_idx, taken, guard, guard_def_idx, kind, region_based,
+        target,
+    ) -> None:
+        """One dynamic branch event (called by the interpreter)."""
+        self.b_pc.append(pc)
+        self.b_idx.append(dyn_idx)
+        self.b_taken.append(taken)
+        self.b_guard.append(guard)
+        self.b_guard_def.append(guard_def_idx)
+        self.b_kind.append(kind)
+        self.b_region.append(region_based)
+        self.b_target.append(target)
+
+    def record_pdef(self, pc, dyn_idx, value, pred) -> None:
+        """One architectural predicate write (called by the interpreter)."""
+        self.d_pc.append(pc)
+        self.d_idx.append(dyn_idx)
+        self.d_value.append(value)
+        self.d_pred.append(pred)
+
+    def finish(self, meta: Optional[TraceMeta] = None) -> Trace:
+        """Pack the accumulated events into a :class:`Trace`."""
+        return Trace.from_lists(
+            b_pc=self.b_pc,
+            b_idx=self.b_idx,
+            b_taken=self.b_taken,
+            b_guard=self.b_guard,
+            b_guard_def=self.b_guard_def,
+            b_kind=self.b_kind,
+            b_region=self.b_region,
+            b_target=self.b_target,
+            d_pc=self.d_pc,
+            d_idx=self.d_idx,
+            d_value=self.d_value,
+            d_pred=self.d_pred,
+            meta=meta or TraceMeta(),
+        )

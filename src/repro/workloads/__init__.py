@@ -1,0 +1,25 @@
+"""The deterministic benchmark suite.
+
+Each workload is a ``minic`` program modelled on a SPECint-class kernel:
+sorting, compression, string matching, cellular automata, graph search,
+interpreters, checksums, coding, hashing and lexing.  Together they cover
+the branch population the paper's techniques target — biased loop exits,
+correlated if-ladders, data-dependent coin-flip branches, cold error
+paths behind side exits, and calls inside predicated arms.
+
+Inputs are generated in-program from seeded linear congruential
+generators, so every trace is bit-reproducible.  Use
+:func:`get_workload`/:func:`all_workloads` and
+:meth:`Workload.trace` to obtain (cached) traces.
+"""
+
+from repro.workloads.base import Workload, WorkloadRun
+from repro.workloads.suite import all_workloads, get_workload, workload_names
+
+__all__ = [
+    "Workload",
+    "WorkloadRun",
+    "all_workloads",
+    "get_workload",
+    "workload_names",
+]

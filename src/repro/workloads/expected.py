@@ -1,0 +1,26 @@
+"""Golden return values for every workload at the tested scales.
+
+These pin down two properties at once, on every run of every compile
+configuration: the workloads are deterministic, and the baseline and
+hyperblock compilers agree (if-conversion must never change a result).
+``ref`` scale is deliberately unpinned — it exists for long experiments
+and would make adding scales tedious.
+"""
+
+EXPECTED = {
+    "qsort": {"tiny": 1539567027, "small": 1244456945},
+    "compress": {"tiny": 291591286, "small": 475323006},
+    "grep": {"tiny": 583926371, "small": 168452006},
+    "life": {"tiny": 420350169, "small": 51584205},
+    "dijkstra": {"tiny": 117651844, "small": 794757740},
+    "expr": {"tiny": 3230987, "small": 16966987},
+    "crc": {"tiny": 56260610, "small": 37672972},
+    "huffman": {"tiny": 112977106, "small": 674688737},
+    "hashlookup": {"tiny": 978, "small": 6365},
+    "lexer": {"tiny": 1170273, "small": 9763421},
+    "nbody": {"tiny": 668431144, "small": 850660568},
+    "mtf": {"tiny": 48223648, "small": 678134767},
+    "parser": {"tiny": 10424, "small": 87266},
+    "maze": {"tiny": 801, "small": 3634},
+    "bitmix": {"tiny": 710247085, "small": 524396849},
+}

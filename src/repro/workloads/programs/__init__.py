@@ -1,0 +1,1 @@
+"""Benchmark program definitions, one module per workload."""

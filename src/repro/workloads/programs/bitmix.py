@@ -1,0 +1,86 @@
+"""bitmix — an ARX-style block mixer with data-dependent rotations.
+
+Models crypto/hash kernels (``sha``-like): mostly straight-line bit
+arithmetic with *few* branches, so it anchors the low end of the
+branch-density spectrum — a workload where neither technique should
+matter much, keeping the suite honest.  The sole data-dependent branch
+(a sparse feedback condition) resists history prediction.
+"""
+
+from repro.workloads.base import Workload
+
+SOURCE = """
+global state[16];
+global digest[$blocks];
+
+func lcg(s) {
+    return (s * 1103515245 + 12345) % 2147483648;
+}
+
+func rotl(v, r) {
+    // rotate-left within 32 bits
+    var lo = v % 4294967296;
+    return (lo << (r % 32 + 32) % 32 | lo >> ((32 - r) % 32 + 32) % 32)
+           % 4294967296;
+}
+
+func main() {
+    var i = 0;
+    while (i < 16) { state[i] = i * 2654435761 % 4294967296; i = i + 1; }
+
+    var block = 0;
+    var seed = $seed;
+    var round = 0;
+    var a = 0; var b = 0; var c = 0; var d = 0;
+    var feedback = 0;
+    while (block < $blocks) {
+        seed = lcg(seed);
+        state[block % 16] = (state[block % 16] + seed) % 4294967296;
+        round = 0;
+        while (round < $rounds) {
+            a = state[(round * 4) % 16];
+            b = state[(round * 4 + 5) % 16];
+            c = state[(round * 4 + 10) % 16];
+            d = state[(round * 4 + 15) % 16];
+            a = (a + b) % 4294967296;
+            d = rotl(d ^ a, 16);
+            c = (c + d) % 4294967296;
+            b = rotl(b ^ c, 12);
+            a = (a + b) % 4294967296;
+            d = rotl(d ^ a, 8);
+            c = (c + d) % 4294967296;
+            b = rotl(b ^ c, b);         // data-dependent rotation
+            state[(round * 4) % 16] = a;
+            state[(round * 4 + 5) % 16] = b;
+            state[(round * 4 + 10) % 16] = c;
+            state[(round * 4 + 15) % 16] = d;
+            // Sparse, hard-to-predict feedback branch.
+            if (a % 1024 < 3) {
+                feedback = feedback + 1;
+                state[0] = state[0] ^ b;
+            }
+            round = round + 1;
+        }
+        digest[block] = (state[0] ^ state[7] ^ state[13]) % 4294967296;
+        block = block + 1;
+    }
+    var check = 0;
+    i = 0;
+    while (i < $blocks) {
+        check = (check * 31 + digest[i]) % 1000000007;
+        i = i + 1;
+    }
+    return check + feedback;
+}
+"""
+
+WORKLOAD = Workload(
+    name="bitmix",
+    description="ARX-style block mixer, branch-sparse control",
+    template=SOURCE,
+    scales={
+        "tiny": {"blocks": 40, "rounds": 12, "seed": 57721},
+        "small": {"blocks": 220, "rounds": 16, "seed": 57721},
+        "ref": {"blocks": 1200, "rounds": 20, "seed": 57721},
+    },
+)

@@ -1,0 +1,94 @@
+"""compress — LZ77-style compressor with a hash-chain match finder.
+
+Models SPECint ``compress``/``gzip``: the match-found branch depends on
+data statistics, the match-extension inner loop has a biased early exit,
+and literal-vs-match emission is a mid-bias hammock correlated with the
+hash-probe outcome (a predicate-correlation target for PGU).
+"""
+
+from repro.workloads.base import Workload
+
+SOURCE = """
+global text[$n];
+global hashtab[512];
+global out[$n];
+
+func lcg(s) {
+    return (s * 1103515245 + 12345) % 2147483648;
+}
+
+func main() {
+    var i = 0;
+    var seed = $seed;
+    var sym = 0;
+    // Skewed 16-symbol alphabet with runs: compressible but not trivial.
+    while (i < $n) {
+        seed = lcg(seed);
+        if (seed % 100 < 55) {
+            // repeat previous symbol (runs)
+            if (i > 0) { sym = text[i - 1]; } else { sym = 3; }
+        } else {
+            sym = seed % 16;
+            if (seed % 7 == 0) { sym = sym % 4; }
+        }
+        text[i] = sym;
+        i = i + 1;
+    }
+    i = 0;
+    while (i < 512) { hashtab[i] = 0 - 1; i = i + 1; }
+
+    var pos = 0;
+    var emitted = 0;
+    var literals = 0;
+    var matches = 0;
+    var h = 0;
+    var cand = 0;
+    var len = 0;
+    var maxlen = 0;
+    var limit = 0;
+    while (pos + 3 < $n) {
+        h = (text[pos] * 33 * 33 + text[pos + 1] * 33 + text[pos + 2]) % 512;
+        cand = hashtab[h];
+        hashtab[h] = pos;
+        maxlen = 0;
+        if (cand >= 0 && pos - cand < 255) {
+            len = 0;
+            limit = $n - pos;
+            if (limit > 32) { limit = 32; }
+            while (len < limit && text[cand + len] == text[pos + len]) {
+                len = len + 1;
+            }
+            maxlen = len;
+        }
+        if (maxlen >= 3) {
+            out[emitted] = (pos - cand) * 64 + maxlen;
+            emitted = emitted + 1;
+            matches = matches + 1;
+            pos = pos + maxlen;
+        } else {
+            out[emitted] = text[pos];
+            emitted = emitted + 1;
+            literals = literals + 1;
+            pos = pos + 1;
+        }
+    }
+    var check = 0;
+    i = 0;
+    while (i < emitted) {
+        check = (check * 131 + out[i]) % 1000000007;
+        i = i + 1;
+    }
+    return check + matches * 3 + literals;
+}
+"""
+
+WORKLOAD = Workload(
+    name="compress",
+    description="LZ77-style compressor with hash-chain match finder",
+    template=SOURCE,
+    scales={
+        "tiny": {"n": 2000, "seed": 99173},
+        "small": {"n": 12000, "seed": 99173},
+        "ref": {"n": 60000, "seed": 99173},
+    },
+)

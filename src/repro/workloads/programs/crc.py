@@ -1,0 +1,61 @@
+"""crc — bit-serial CRC over a message buffer.
+
+Models checksum/codec kernels: the "is the low bit set" branch is a
+data-dependent near-coin-flip that conventional predictors handle poorly
+— the canonical if-conversion victory (the whole loop body becomes two
+predicated ops), after which *no* branch remains to mispredict.
+"""
+
+from repro.workloads.base import Workload
+
+SOURCE = """
+global message[$n];
+
+func lcg(s) {
+    return (s * 1103515245 + 12345) % 2147483648;
+}
+
+func main() {
+    var i = 0;
+    var seed = $seed;
+    while (i < $n) {
+        seed = lcg(seed);
+        message[i] = seed % 65536;
+        i = i + 1;
+    }
+    var crc = 65535;
+    var word = 0;
+    var bit = 0;
+    var parityhits = 0;
+    i = 0;
+    while (i < $n) {
+        word = message[i];
+        crc = crc ^ word;
+        bit = 0;
+        while (bit < 16) {
+            if (crc % 2 == 1) {
+                crc = (crc >> 1) ^ 40961;
+            } else {
+                crc = crc >> 1;
+            }
+            bit = bit + 1;
+        }
+        if (crc % 256 == 0) {
+            parityhits = parityhits + 1;   // cold path
+        }
+        i = i + 1;
+    }
+    return crc * 1024 + parityhits;
+}
+"""
+
+WORKLOAD = Workload(
+    name="crc",
+    description="bit-serial CRC with coin-flip conditional XOR",
+    template=SOURCE,
+    scales={
+        "tiny": {"n": 300, "seed": 60221},
+        "small": {"n": 2000, "seed": 60221},
+        "ref": {"n": 12000, "seed": 60221},
+    },
+)

@@ -1,0 +1,90 @@
+"""dijkstra — single-source shortest paths on a weighted grid graph.
+
+Models pointer-chasing/graph kernels (SPECint ``mcf``-like): the
+min-selection scan's "new best" branch decays from frequent to rare as
+the frontier settles, and the relaxation test is data-dependent with
+drifting bias.
+"""
+
+from repro.workloads.base import Workload
+
+SOURCE = """
+global weight[$cells];
+global dist[$cells];
+global visited[$cells];
+
+func lcg(s) {
+    return (s * 1103515245 + 12345) % 2147483648;
+}
+
+func relax(u, v, w) {
+    var cand = dist[u] + w;
+    if (cand < dist[v]) {
+        dist[v] = cand;
+        return 1;
+    }
+    return 0;
+}
+
+func main() {
+    var w = $width;
+    var h = $height;
+    var cells = w * h;
+    var i = 0;
+    var seed = $seed;
+    while (i < cells) {
+        seed = lcg(seed);
+        weight[i] = seed % 9 + 1;
+        dist[i] = 1000000000;
+        visited[i] = 0;
+        i = i + 1;
+    }
+    dist[0] = 0;
+    var done = 0;
+    var relaxed = 0;
+    var u = 0;
+    var best = 0;
+    var x = 0;
+    var y = 0;
+    while (done < cells) {
+        // pick the unvisited node with the smallest distance
+        best = 1000000001;
+        u = 0 - 1;
+        i = 0;
+        while (i < cells) {
+            if (visited[i] == 0 && dist[i] < best) {
+                best = dist[i];
+                u = i;
+            }
+            i = i + 1;
+        }
+        if (u < 0) { break; }
+        visited[u] = 1;
+        x = u % w;
+        y = u / w;
+        if (x > 0)     { relaxed = relaxed + relax(u, u - 1, weight[u - 1]); }
+        if (x < w - 1) { relaxed = relaxed + relax(u, u + 1, weight[u + 1]); }
+        if (y > 0)     { relaxed = relaxed + relax(u, u - w, weight[u - w]); }
+        if (y < h - 1) { relaxed = relaxed + relax(u, u + w, weight[u + w]); }
+        done = done + 1;
+    }
+    var check = 0;
+    i = 0;
+    while (i < cells) {
+        check = (check * 7 + dist[i]) % 1000000007;
+        i = i + 1;
+    }
+    return check + relaxed;
+}
+"""
+
+WORKLOAD = Workload(
+    name="dijkstra",
+    description="grid-graph shortest paths with min-scan and relaxation",
+    template=SOURCE,
+    scales={
+        "tiny": {"width": 10, "height": 8, "cells": 80, "seed": 31415},
+        "small": {"width": 20, "height": 16, "cells": 320, "seed": 31415},
+        "ref": {"width": 32, "height": 28, "cells": 896, "seed": 31415},
+    },
+)

@@ -1,0 +1,102 @@
+"""expr — a stack-based bytecode interpreter.
+
+Models interpreter dispatch (SPECint ``li``/``perl``): an 8-way opcode
+if-ladder whose outcome pattern follows the (synthetic) program text —
+exactly the correlated branch population global-history predictors and
+the predicate global-update mechanism feed on.
+"""
+
+from repro.workloads.base import Workload
+
+SOURCE = """
+global code[$proglen];
+global stack[64];
+global mem[16];
+
+func lcg(s) {
+    return (s * 1103515245 + 12345) % 2147483648;
+}
+
+func main() {
+    var i = 0;
+    var seed = $seed;
+    var op = 0;
+    // Generate a bytecode program; bias toward push/add like real code.
+    while (i < $proglen) {
+        seed = lcg(seed);
+        op = seed % 100;
+        if (op < 30) { code[i] = 0; }        // PUSHC
+        else if (op < 50) { code[i] = 1; }   // LOAD
+        else if (op < 65) { code[i] = 2; }   // STORE
+        else if (op < 80) { code[i] = 3; }   // ADD
+        else if (op < 88) { code[i] = 4; }   // SUB
+        else if (op < 94) { code[i] = 5; }   // MUL
+        else if (op < 97) { code[i] = 6; }   // DUP
+        else { code[i] = 7; }                // JNZ-back (rare)
+        i = i + 1;
+    }
+    i = 0;
+    while (i < 16) { mem[i] = i * 3 + 1; i = i + 1; }
+
+    var sp = 0;
+    var pc = 0;
+    var steps = 0;
+    var a = 0;
+    var b = 0;
+    var acc = 0;
+    while (steps < $steps) {
+        if (pc >= $proglen) { pc = 0; }
+        op = code[pc];
+        pc = pc + 1;
+        steps = steps + 1;
+        if (op == 0) {
+            if (sp < 63) { stack[sp] = pc * 17 % 256; sp = sp + 1; }
+        } else if (op == 1) {
+            if (sp < 63) { stack[sp] = mem[pc % 16]; sp = sp + 1; }
+        } else if (op == 2) {
+            if (sp > 0) { sp = sp - 1; mem[pc % 16] = stack[sp]; }
+        } else if (op == 3) {
+            if (sp > 1) {
+                sp = sp - 1; a = stack[sp];
+                b = stack[sp - 1];
+                stack[sp - 1] = (a + b) % 65536;
+            }
+        } else if (op == 4) {
+            if (sp > 1) {
+                sp = sp - 1; a = stack[sp];
+                b = stack[sp - 1];
+                stack[sp - 1] = (b - a) % 65536;
+            }
+        } else if (op == 5) {
+            if (sp > 1) {
+                sp = sp - 1; a = stack[sp];
+                b = stack[sp - 1];
+                stack[sp - 1] = a * b % 65536;
+            }
+        } else if (op == 6) {
+            if (sp > 0 && sp < 63) { stack[sp] = stack[sp - 1]; sp = sp + 1; }
+        } else {
+            // JNZ: jump back a little if top of stack is nonzero (rare op)
+            if (sp > 0) {
+                sp = sp - 1;
+                if (stack[sp] % 5 != 0) {
+                    pc = pc - pc % 7;
+                }
+            }
+        }
+        if (sp > 0) { acc = (acc + stack[sp - 1]) % 1000000007; }
+    }
+    return acc * 4 + sp;
+}
+"""
+
+WORKLOAD = Workload(
+    name="expr",
+    description="stack bytecode interpreter with 8-way dispatch ladder",
+    template=SOURCE,
+    scales={
+        "tiny": {"proglen": 256, "steps": 3000, "seed": 2718},
+        "small": {"proglen": 1024, "steps": 20000, "seed": 2718},
+        "ref": {"proglen": 4096, "steps": 120000, "seed": 2718},
+    },
+)

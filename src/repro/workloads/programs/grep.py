@@ -1,0 +1,99 @@
+"""grep — substring search plus character-class scanning.
+
+Models text-processing kernels (SPECint ``gcc``'s lexing, ``perl``'s
+matching): the inner compare loop exits early on first mismatch (heavily
+biased, history-predictable), and per-character class tests form
+correlated if-ladders.
+"""
+
+from repro.workloads.base import Workload
+
+SOURCE = """
+global text[$n];
+global pattern[8];
+global freq[32];
+
+func lcg(s) {
+    return (s * 1103515245 + 12345) % 2147483648;
+}
+
+func match_at(pos, plen) {
+    var k = 0;
+    while (k < plen) {
+        if (text[pos + k] != pattern[k]) {
+            return 0;
+        }
+        k = k + 1;
+    }
+    return 1;
+}
+
+func main() {
+    var i = 0;
+    var seed = $seed;
+    var c = 0;
+    while (i < $n) {
+        seed = lcg(seed);
+        c = seed % 32;
+        // Make a few characters much more common, like real text.
+        if (c > 20) { c = c % 8; }
+        text[i] = c;
+        i = i + 1;
+    }
+    // Plant the pattern at deterministic spots so matches exist.
+    pattern[0] = 5; pattern[1] = 2; pattern[2] = 7; pattern[3] = 1;
+    pattern[4] = 5; pattern[5] = 0; pattern[6] = 3; pattern[7] = 6;
+    i = 400;
+    while (i + 8 < $n) {
+        var k = 0;
+        while (k < 8) { text[i + k] = pattern[k]; k = k + 1; }
+        i = i + $stride;
+    }
+
+    var found = 0;
+    var vowels = 0;
+    var digits = 0;
+    var rare = 0;
+    var pos = 0;
+    while (pos + 8 <= $n) {
+        c = text[pos];
+        // Cheap first-character filter before the full compare.
+        if (c == 5) {
+            if (match_at(pos, 8) == 1) {
+                found = found + 1;
+                pos = pos + 7;
+            }
+        }
+        if (c == 0 || c == 4 || c == 8) {
+            vowels = vowels + 1;
+        } else {
+            if (c >= 16 && c < 26) {
+                digits = digits + 1;
+            }
+        }
+        if (c == 31) {
+            rare = rare + 1;   // cold path
+        }
+        freq[c] = freq[c] + 1;
+        pos = pos + 1;
+    }
+    var check = 0;
+    i = 0;
+    while (i < 32) {
+        check = (check * 37 + freq[i]) % 1000000007;
+        i = i + 1;
+    }
+    return check + found * 1000 + vowels + digits * 3 + rare * 7;
+}
+"""
+
+WORKLOAD = Workload(
+    name="grep",
+    description="substring search with early-exit compare loop",
+    template=SOURCE,
+    scales={
+        "tiny": {"n": 3000, "seed": 4242, "stride": 377},
+        "small": {"n": 20000, "seed": 4242, "stride": 377},
+        "ref": {"n": 120000, "seed": 4242, "stride": 377},
+    },
+)

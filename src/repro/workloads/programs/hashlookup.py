@@ -1,0 +1,110 @@
+"""hashlookup — open-addressing hash table build + probe.
+
+Models symbol-table traffic (SPECint ``gcc``/``vortex``): probe loops
+whose hit/miss/collision branches depend on occupancy, with a biased
+early exit on first-probe hits and a cold table-full path.
+"""
+
+from repro.workloads.base import Workload
+
+SOURCE = """
+global keys[$tabsize];
+global vals[$tabsize];
+global queries[$nq];
+
+func lcg(s) {
+    return (s * 1103515245 + 12345) % 2147483648;
+}
+
+func insert(key, value) {
+    var slot = key * 2654435761 % $tabsize;
+    if (slot < 0) { slot = 0 - slot; }
+    var probes = 0;
+    while (probes < $tabsize) {
+        if (keys[slot] == 0) {
+            keys[slot] = key;
+            vals[slot] = value;
+            return probes;
+        }
+        if (keys[slot] == key) {
+            vals[slot] = vals[slot] + value;
+            return probes;
+        }
+        slot = slot + 1;
+        if (slot >= $tabsize) { slot = 0; }
+        probes = probes + 1;
+    }
+    return 0 - 1;
+}
+
+func lookup(key) {
+    var slot = key * 2654435761 % $tabsize;
+    if (slot < 0) { slot = 0 - slot; }
+    var probes = 0;
+    while (probes < $tabsize) {
+        if (keys[slot] == 0) {
+            return 0 - 1;
+        }
+        if (keys[slot] == key) {
+            return vals[slot];
+        }
+        slot = slot + 1;
+        if (slot >= $tabsize) { slot = 0; }
+        probes = probes + 1;
+    }
+    return 0 - 1;
+}
+
+func main() {
+    var i = 0;
+    var seed = $seed;
+    var key = 0;
+    var inserted = 0;
+    // Fill to ~70% occupancy with nonzero keys.
+    while (i < $nkeys) {
+        seed = lcg(seed);
+        key = seed % 100000 + 1;
+        if (insert(key, key % 97) >= 0) { inserted = inserted + 1; }
+        i = i + 1;
+    }
+    // Queries: half present-ish, half misses.
+    i = 0;
+    var qseed = $seed + 17;
+    while (i < $nq) {
+        qseed = lcg(qseed);
+        if (qseed % 2 == 0) {
+            queries[i] = qseed % 100000 + 1;
+        } else {
+            queries[i] = 100001 + qseed % 50000;  // guaranteed miss range
+        }
+        i = i + 1;
+    }
+    var hits = 0;
+    var misses = 0;
+    var sum = 0;
+    var v = 0;
+    i = 0;
+    while (i < $nq) {
+        v = lookup(queries[i]);
+        if (v >= 0) {
+            hits = hits + 1;
+            sum = (sum + v) % 1000000007;
+        } else {
+            misses = misses + 1;
+        }
+        i = i + 1;
+    }
+    return sum + hits * 10 + misses + inserted;
+}
+"""
+
+WORKLOAD = Workload(
+    name="hashlookup",
+    description="open-addressing hash table probes (hit/miss/collision)",
+    template=SOURCE,
+    scales={
+        "tiny": {"tabsize": 512, "nkeys": 350, "nq": 600, "seed": 8088},
+        "small": {"tabsize": 2048, "nkeys": 1400, "nq": 4000, "seed": 8088},
+        "ref": {"tabsize": 8192, "nkeys": 5700, "nq": 24000, "seed": 8088},
+    },
+)

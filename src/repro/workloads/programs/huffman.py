@@ -1,0 +1,79 @@
+"""huffman — static Huffman-style encoder with bit packing.
+
+Models entropy-coding kernels: the symbol-to-code-length ladder follows
+the skewed symbol distribution (correlated, biased levels), and the
+bit-buffer flush branch fires at data-dependent intervals.
+"""
+
+from repro.workloads.base import Workload
+
+SOURCE = """
+global symbols[$n];
+global packed[$n];
+
+func lcg(s) {
+    return (s * 1103515245 + 12345) % 2147483648;
+}
+
+func main() {
+    var i = 0;
+    var seed = $seed;
+    var r = 0;
+    // Geometric-ish symbol distribution over 16 symbols.
+    while (i < $n) {
+        seed = lcg(seed);
+        r = seed % 100;
+        if (r < 40) { symbols[i] = 0; }
+        else { if (r < 65) { symbols[i] = 1; }
+        else { if (r < 80) { symbols[i] = 2; }
+        else { if (r < 89) { symbols[i] = 3; }
+        else { symbols[i] = 4 + seed % 12; } } } }
+        i = i + 1;
+    }
+
+    var bits = 0;
+    var nbits = 0;
+    var outpos = 0;
+    var sym = 0;
+    var codelen = 0;
+    var codeval = 0;
+    var total = 0;
+    i = 0;
+    while (i < $n) {
+        sym = symbols[i];
+        if (sym == 0) { codelen = 1; codeval = 0; }
+        else { if (sym == 1) { codelen = 2; codeval = 2; }
+        else { if (sym == 2) { codelen = 3; codeval = 6; }
+        else { if (sym == 3) { codelen = 4; codeval = 14; }
+        else { codelen = 8; codeval = 240 + sym - 4; } } } }
+        bits = bits * (1 << codelen) + codeval;
+        nbits = nbits + codelen;
+        total = total + codelen;
+        if (nbits >= 16) {
+            nbits = nbits - 16;
+            packed[outpos] = (bits >> nbits) % 65536;
+            bits = bits % (1 << nbits + 1);
+            outpos = outpos + 1;
+        }
+        i = i + 1;
+    }
+    var check = 0;
+    i = 0;
+    while (i < outpos) {
+        check = (check * 257 + packed[i]) % 1000000007;
+        i = i + 1;
+    }
+    return check + total + outpos;
+}
+"""
+
+WORKLOAD = Workload(
+    name="huffman",
+    description="static Huffman-style encoder with bit packing",
+    template=SOURCE,
+    scales={
+        "tiny": {"n": 3000, "seed": 1009},
+        "small": {"n": 20000, "seed": 1009},
+        "ref": {"n": 120000, "seed": 1009},
+    },
+)

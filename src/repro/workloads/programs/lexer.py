@@ -1,0 +1,125 @@
+"""lexer — a tokenizer state machine over synthetic program text.
+
+Models front-end scanning (SPECint ``gcc``'s lexer): character-class
+if-ladders whose outcomes are strongly correlated within a token
+(identifier and number runs), comment skipping with an inner loop, and a
+rare bad-character path.
+"""
+
+from repro.workloads.base import Workload
+
+SOURCE = """
+global text[$n];
+global counts[8];
+
+func lcg(s) {
+    return (s * 1103515245 + 12345) % 2147483648;
+}
+
+// Character classes: 0 space, 1..26 letters, 27..36 digits,
+// 37 '+', 38 '(', 39 ')', 40 '#' comment-to-eol, 41 newline, 42 junk.
+func main() {
+    var i = 0;
+    var seed = $seed;
+    var r = 0;
+    var run = 0;
+    var cls = 0;
+    while (i < $n) {
+        if (run > 0) {
+            // continue the current identifier/number run
+            seed = lcg(seed);
+            if (cls == 1) { text[i] = 1 + seed % 26; }
+            else { text[i] = 27 + seed % 10; }
+            run = run - 1;
+        } else {
+            seed = lcg(seed);
+            r = seed % 100;
+            if (r < 20) { text[i] = 0; }
+            else { if (r < 55) {
+                cls = 1;
+                run = 2 + seed % 6;
+                text[i] = 1 + seed % 26;
+            } else { if (r < 75) {
+                cls = 2;
+                run = 1 + seed % 4;
+                text[i] = 27 + seed % 10;
+            } else { if (r < 85) { text[i] = 37; }
+            else { if (r < 90) { text[i] = 38; }
+            else { if (r < 95) { text[i] = 39; }
+            else { if (r < 97) { text[i] = 40; }
+            else { if (r < 99) { text[i] = 41; }
+            else { text[i] = 42; } } } } } } } }
+        }
+        i = i + 1;
+    }
+
+    var pos = 0;
+    var c = 0;
+    var idents = 0;
+    var numbers = 0;
+    var ops = 0;
+    var parens = 0;
+    var comments = 0;
+    var bad = 0;
+    var depth = 0;
+    var maxdepth = 0;
+    while (pos < $n) {
+        c = text[pos];
+        if (c == 0 || c == 41) {
+            pos = pos + 1;
+            continue;
+        }
+        if (c >= 1 && c <= 26) {
+            idents = idents + 1;
+            while (pos < $n && text[pos] >= 1 && text[pos] <= 26) {
+                pos = pos + 1;
+            }
+            counts[1] = counts[1] + 1;
+            continue;
+        }
+        if (c >= 27 && c <= 36) {
+            numbers = numbers + 1;
+            while (pos < $n && text[pos] >= 27 && text[pos] <= 36) {
+                pos = pos + 1;
+            }
+            counts[2] = counts[2] + 1;
+            continue;
+        }
+        if (c == 37) {
+            ops = ops + 1;
+            pos = pos + 1;
+            continue;
+        }
+        if (c == 38 || c == 39) {
+            parens = parens + 1;
+            if (c == 38) { depth = depth + 1; }
+            else { if (depth > 0) { depth = depth - 1; } }
+            if (depth > maxdepth) { maxdepth = depth; }
+            pos = pos + 1;
+            continue;
+        }
+        if (c == 40) {
+            comments = comments + 1;
+            while (pos < $n && text[pos] != 41) {
+                pos = pos + 1;
+            }
+            continue;
+        }
+        bad = bad + 1;   // cold error path
+        pos = pos + 1;
+    }
+    return idents * 10007 + numbers * 101 + ops * 13 + parens * 7
+         + comments * 3 + bad + maxdepth + counts[1] + counts[2];
+}
+"""
+
+WORKLOAD = Workload(
+    name="lexer",
+    description="tokenizer state machine with correlated class ladders",
+    template=SOURCE,
+    scales={
+        "tiny": {"n": 4000, "seed": 5551},
+        "small": {"n": 30000, "seed": 5551},
+        "ref": {"n": 180000, "seed": 5551},
+    },
+)

@@ -1,0 +1,93 @@
+"""life — Conway's Game of Life on a torus.
+
+Models stencil codes with rule-based updates: the neighbour-count rules
+are correlated hammocks (alive & n==2|3 vs dead & n==3), strongly
+correlated cell-to-cell — good if-conversion and history-predictor
+material.
+"""
+
+from repro.workloads.base import Workload
+
+SOURCE = """
+global grid[$cells];
+global next[$cells];
+
+func lcg(s) {
+    return (s * 1103515245 + 12345) % 2147483648;
+}
+
+func main() {
+    var w = $width;
+    var h = $height;
+    var i = 0;
+    var seed = $seed;
+    while (i < w * h) {
+        seed = lcg(seed);
+        if (seed % 100 < 35) { grid[i] = 1; } else { grid[i] = 0; }
+        i = i + 1;
+    }
+    var gen = 0;
+    var pop = 0;
+    var x = 0;
+    var y = 0;
+    var n = 0;
+    var xm = 0; var xp = 0; var ym = 0; var yp = 0;
+    var alive = 0;
+    var idx = 0;
+    while (gen < $gens) {
+        y = 0;
+        while (y < h) {
+            ym = y - 1; if (ym < 0) { ym = h - 1; }
+            yp = y + 1; if (yp >= h) { yp = 0; }
+            x = 0;
+            while (x < w) {
+                xm = x - 1; if (xm < 0) { xm = w - 1; }
+                xp = x + 1; if (xp >= w) { xp = 0; }
+                n = grid[ym * w + xm] + grid[ym * w + x] + grid[ym * w + xp]
+                  + grid[y * w + xm] + grid[y * w + xp]
+                  + grid[yp * w + xm] + grid[yp * w + x] + grid[yp * w + xp];
+                idx = y * w + x;
+                alive = grid[idx];
+                if (alive == 1) {
+                    if (n == 2 || n == 3) { next[idx] = 1; }
+                    else { next[idx] = 0; }
+                } else {
+                    if (n == 3) { next[idx] = 1; }
+                    else { next[idx] = 0; }
+                }
+                x = x + 1;
+            }
+            y = y + 1;
+        }
+        i = 0;
+        pop = 0;
+        while (i < w * h) {
+            grid[i] = next[i];
+            pop = pop + grid[i];
+            i = i + 1;
+        }
+        gen = gen + 1;
+    }
+    var check = 0;
+    i = 0;
+    while (i < w * h) {
+        check = (check * 3 + grid[i]) % 1000000007;
+        i = i + 1;
+    }
+    return check + pop;
+}
+"""
+
+WORKLOAD = Workload(
+    name="life",
+    description="Game of Life stencil with correlated rule hammocks",
+    template=SOURCE,
+    scales={
+        "tiny": {"width": 16, "height": 12, "cells": 192, "gens": 4,
+                 "seed": 777},
+        "small": {"width": 32, "height": 24, "cells": 768, "gens": 8,
+                  "seed": 777},
+        "ref": {"width": 64, "height": 48, "cells": 3072, "gens": 16,
+                "seed": 777},
+    },
+)

@@ -1,0 +1,121 @@
+"""maze — Lee-algorithm breadth-first maze routing.
+
+Models CAD/routing kernels (and SPECint ``twolf``-adjacent behaviour):
+wavefront expansion with four bounds-checked neighbour probes per cell
+(correlated guard ladders), a visited test whose bias drifts as the
+wave fills the grid, and a rare target-hit exit.
+"""
+
+from repro.workloads.base import Workload
+
+SOURCE = """
+global grid[$cells];
+global dist[$cells];
+global queue[$cells];
+
+func lcg(s) {
+    return (s * 1103515245 + 12345) % 2147483648;
+}
+
+func main() {
+    var w = $width;
+    var h = $height;
+    var cells = w * h;
+    var i = 0;
+    var seed = $seed;
+    // Obstacles on ~30% of cells; start and goal kept clear.
+    while (i < cells) {
+        seed = lcg(seed);
+        if (seed % 100 < 30) { grid[i] = 1; } else { grid[i] = 0; }
+        dist[i] = 0 - 1;
+        i = i + 1;
+    }
+    grid[0] = 0;
+    grid[cells - 1] = 0;
+
+    var routed = 0;
+    var expansions = 0;
+    var trial = 0;
+    var start = 0;
+    var goal = 0;
+    var head = 0;
+    var tail = 0;
+    var u = 0;
+    var x = 0;
+    var y = 0;
+    var v = 0;
+    var found = 0;
+    while (trial < $trials) {
+        seed = lcg(seed);
+        start = seed % cells;
+        seed = lcg(seed);
+        goal = seed % cells;
+        if (grid[start] == 1 || grid[goal] == 1) {
+            trial = trial + 1;
+            continue;
+        }
+        // reset distances (counts as work, like rip-up in real routers)
+        i = 0;
+        while (i < cells) { dist[i] = 0 - 1; i = i + 1; }
+        head = 0;
+        tail = 0;
+        queue[tail] = start;
+        tail = tail + 1;
+        dist[start] = 0;
+        found = 0;
+        while (head < tail) {
+            u = queue[head];
+            head = head + 1;
+            if (u == goal) { found = 1; break; }
+            x = u % w;
+            y = u / w;
+            if (x > 0) {
+                v = u - 1;
+                if (grid[v] == 0 && dist[v] < 0) {
+                    dist[v] = dist[u] + 1;
+                    queue[tail] = v; tail = tail + 1;
+                }
+            }
+            if (x < w - 1) {
+                v = u + 1;
+                if (grid[v] == 0 && dist[v] < 0) {
+                    dist[v] = dist[u] + 1;
+                    queue[tail] = v; tail = tail + 1;
+                }
+            }
+            if (y > 0) {
+                v = u - w;
+                if (grid[v] == 0 && dist[v] < 0) {
+                    dist[v] = dist[u] + 1;
+                    queue[tail] = v; tail = tail + 1;
+                }
+            }
+            if (y < h - 1) {
+                v = u + w;
+                if (grid[v] == 0 && dist[v] < 0) {
+                    dist[v] = dist[u] + 1;
+                    queue[tail] = v; tail = tail + 1;
+                }
+            }
+            expansions = expansions + 1;
+        }
+        if (found == 1) { routed = routed + dist[goal] + 1; }
+        trial = trial + 1;
+    }
+    return routed * 17 + expansions % 1000000007;
+}
+"""
+
+WORKLOAD = Workload(
+    name="maze",
+    description="Lee-algorithm BFS maze routing with neighbour guards",
+    template=SOURCE,
+    scales={
+        "tiny": {"width": 14, "height": 10, "cells": 140, "trials": 6,
+                 "seed": 141421},
+        "small": {"width": 24, "height": 18, "cells": 432, "trials": 12,
+                  "seed": 141421},
+        "ref": {"width": 40, "height": 30, "cells": 1200, "trials": 30,
+                "seed": 141421},
+    },
+)

@@ -1,0 +1,111 @@
+"""mtf — move-to-front transform plus run-length coding.
+
+Models the front half of ``bzip2``: the move-to-front search loop exits
+early for recently seen symbols (data-dependent, locality-driven), the
+rank-0 test is biased by symbol clustering, and the RLE emitter has a
+run-continuation branch whose bias tracks the input's repetitiveness.
+"""
+
+from repro.workloads.base import Workload
+
+SOURCE = """
+global text[$n];
+global mtftab[64];
+global ranks[$n];
+global out[$n];
+
+func lcg(s) {
+    return (s * 1103515245 + 12345) % 2147483648;
+}
+
+func main() {
+    var i = 0;
+    var seed = $seed;
+    var sym = 0;
+    // Clustered symbol stream: long stretches reuse a small working set.
+    var base = 0;
+    while (i < $n) {
+        seed = lcg(seed);
+        if (seed % 100 < 6) {
+            base = seed % 48;            // switch working set (rare)
+        }
+        if (seed % 100 < 70) {
+            sym = base + seed % 4;       // hot working set
+        } else {
+            sym = seed % 64;             // background noise
+        }
+        text[i] = sym;
+        i = i + 1;
+    }
+    i = 0;
+    while (i < 64) { mtftab[i] = i; i = i + 1; }
+
+    // Move-to-front transform.
+    var pos = 0;
+    var j = 0;
+    var c = 0;
+    var prev = 0;
+    var zeros = 0;
+    while (pos < $n) {
+        c = text[pos];
+        j = 0;
+        while (mtftab[j] != c) {
+            j = j + 1;
+        }
+        ranks[pos] = j;
+        if (j == 0) {
+            zeros = zeros + 1;           // biased by clustering
+        } else {
+            // shift table entries down, put c in front
+            while (j > 0) {
+                mtftab[j] = mtftab[j - 1];
+                j = j - 1;
+            }
+            mtftab[0] = c;
+        }
+        pos = pos + 1;
+    }
+
+    // Run-length code the rank stream.
+    var emitted = 0;
+    var run = 0;
+    pos = 0;
+    prev = 0 - 1;
+    while (pos < $n) {
+        c = ranks[pos];
+        if (c == prev && run < 255) {
+            run = run + 1;
+        } else {
+            if (run > 0) {
+                out[emitted] = prev * 256 + run;
+                emitted = emitted + 1;
+            }
+            prev = c;
+            run = 1;
+        }
+        pos = pos + 1;
+    }
+    if (run > 0) {
+        out[emitted] = prev * 256 + run;
+        emitted = emitted + 1;
+    }
+    var check = 0;
+    i = 0;
+    while (i < emitted) {
+        check = (check * 163 + out[i]) % 1000000007;
+        i = i + 1;
+    }
+    return check + zeros * 3 + emitted;
+}
+"""
+
+WORKLOAD = Workload(
+    name="mtf",
+    description="move-to-front transform with run-length coding",
+    template=SOURCE,
+    scales={
+        "tiny": {"n": 1200, "seed": 70921},
+        "small": {"n": 8000, "seed": 70921},
+        "ref": {"n": 50000, "seed": 70921},
+    },
+)

@@ -1,0 +1,100 @@
+"""nbody — fixed-point particle interaction with cutoff tests.
+
+Models scientific-ish integer kernels with guard-heavy inner loops: the
+cutoff test's bias depends on particle geometry, the cell-pair skip is
+hot, and the close-encounter path is cold (a side-exit candidate).
+"""
+
+from repro.workloads.base import Workload
+
+SOURCE = """
+global px[$n];
+global py[$n];
+global vx[$n];
+global vy[$n];
+
+func lcg(s) {
+    return (s * 1103515245 + 12345) % 2147483648;
+}
+
+func main() {
+    var i = 0;
+    var j = 0;
+    var seed = $seed;
+    while (i < $n) {
+        seed = lcg(seed);
+        px[i] = seed % 1000;
+        seed = lcg(seed);
+        py[i] = seed % 1000;
+        vx[i] = 0;
+        vy[i] = 0;
+        i = i + 1;
+    }
+    var step = 0;
+    var dx = 0;
+    var dy = 0;
+    var d2 = 0;
+    var f = 0;
+    var close = 0;
+    var interactions = 0;
+    while (step < $steps) {
+        i = 0;
+        while (i < $n) {
+            j = i + 1;
+            while (j < $n) {
+                dx = px[j] - px[i];
+                dy = py[j] - py[i];
+                if (dx < 0) { dx = 0 - dx; }
+                if (dy < 0) { dy = 0 - dy; }
+                // Cheap box cutoff before the expensive test.
+                if (dx < 220 && dy < 220) {
+                    d2 = dx * dx + dy * dy;
+                    if (d2 < 48400) {
+                        f = 1000 / (d2 / 100 + 1);
+                        interactions = interactions + 1;
+                        if (px[i] < px[j]) {
+                            vx[i] = vx[i] - f;
+                            vx[j] = vx[j] + f;
+                        } else {
+                            vx[i] = vx[i] + f;
+                            vx[j] = vx[j] - f;
+                        }
+                        if (d2 < 400) {
+                            close = close + 1;   // rare close encounter
+                        }
+                    }
+                }
+                j = j + 1;
+            }
+            i = i + 1;
+        }
+        i = 0;
+        while (i < $n) {
+            px[i] = (px[i] + vx[i] / 16) % 1000;
+            py[i] = (py[i] + vy[i] / 16) % 1000;
+            if (px[i] < 0) { px[i] = px[i] + 1000; }
+            if (py[i] < 0) { py[i] = py[i] + 1000; }
+            i = i + 1;
+        }
+        step = step + 1;
+    }
+    var check = 0;
+    i = 0;
+    while (i < $n) {
+        check = (check * 17 + px[i] + py[i] * 3) % 1000000007;
+        i = i + 1;
+    }
+    return check + interactions + close * 5;
+}
+"""
+
+WORKLOAD = Workload(
+    name="nbody",
+    description="fixed-point particle kernel with cutoff guard ladders",
+    template=SOURCE,
+    scales={
+        "tiny": {"n": 24, "steps": 4, "seed": 1618},
+        "small": {"n": 56, "steps": 8, "seed": 1618},
+        "ref": {"n": 128, "steps": 16, "seed": 1618},
+    },
+)

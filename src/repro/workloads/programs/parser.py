@@ -1,0 +1,120 @@
+"""parser — recursive-descent evaluation of a synthetic token stream.
+
+Models SPECint front-end code (``gcc``'s parser, ``perl``'s evaluator):
+token-kind dispatch ladders whose outcomes follow the grammar (strongly
+correlated), recursion depth tracking, and a rare syntax-error recovery
+path.
+"""
+
+from repro.workloads.base import Workload
+
+SOURCE = """
+global tokens[$n];
+global errors[4];
+
+func lcg(s) {
+    return (s * 1103515245 + 12345) % 2147483648;
+}
+
+// Token kinds: 0..9 number, 10 '+', 11 '*', 12 '(', 13 ')', 14 end.
+// parse_* return packed (value * 8 + consumed-position delta is too
+// costly); instead a cursor lives in a global cell.
+global cursor[1];
+
+func peek() {
+    return tokens[cursor[0]];
+}
+
+func advance() {
+    cursor[0] = cursor[0] + 1;
+    return 0;
+}
+
+func parse_primary(depth) {
+    var t = peek();
+    if (t < 10) {
+        advance();
+        return t;
+    }
+    if (t == 12 && depth < 24) {
+        advance();
+        var v = parse_expr(depth + 1);
+        if (peek() == 13) {
+            advance();
+        } else {
+            errors[0] = errors[0] + 1;   // missing ')': rare
+        }
+        return v;
+    }
+    // Unexpected token: error recovery (cold).
+    errors[1] = errors[1] + 1;
+    advance();
+    return 1;
+}
+
+func parse_term(depth) {
+    var v = parse_primary(depth);
+    while (peek() == 11) {
+        advance();
+        v = v * parse_primary(depth) % 65536;
+    }
+    return v;
+}
+
+func parse_expr(depth) {
+    var v = parse_term(depth);
+    while (peek() == 10) {
+        advance();
+        v = (v + parse_term(depth)) % 65536;
+    }
+    return v;
+}
+
+func main() {
+    var i = 0;
+    var seed = $seed;
+    var r = 0;
+    var open = 0;
+    // Generate a plausible token stream (numbers/ops/parens).
+    while (i < $n - 1) {
+        seed = lcg(seed);
+        r = seed % 100;
+        if (r < 45) { tokens[i] = seed % 10; }
+        else if (r < 65) { tokens[i] = 10; }
+        else if (r < 80) { tokens[i] = 11; }
+        else if (r < 90) { tokens[i] = 12; open = open + 1; }
+        else {
+            if (open > 0) { tokens[i] = 13; open = open - 1; }
+            else { tokens[i] = seed % 10; }
+        }
+        i = i + 1;
+    }
+    tokens[$n - 1] = 14;
+
+    var total = 0;
+    var parses = 0;
+    var t = 0;
+    cursor[0] = 0;
+    while (peek() != 14) {
+        total = (total + parse_expr(0)) % 1000000007;
+        parses = parses + 1;
+        // Skip separators the grammar did not consume.
+        t = peek();
+        if (t != 14 && t >= 10) {
+            advance();
+        }
+    }
+    return total + parses * 7 + errors[0] * 100 + errors[1];
+}
+"""
+
+WORKLOAD = Workload(
+    name="parser",
+    description="recursive-descent parser over a synthetic token stream",
+    template=SOURCE,
+    scales={
+        "tiny": {"n": 1200, "seed": 271828},
+        "small": {"n": 9000, "seed": 271828},
+        "ref": {"n": 60000, "seed": 271828},
+    },
+)

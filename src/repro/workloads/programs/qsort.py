@@ -1,0 +1,103 @@
+"""qsort — recursive quicksort with an insertion-sort base case.
+
+Models the sorting kernels of SPECint-style integer codes: the partition
+loop's comparison is a data-dependent near-coin-flip, the insertion sort
+inner loop exit is short and biased, and median-of-three pivot selection
+is a run of small swappable hammocks (prime if-conversion targets).
+"""
+
+from repro.workloads.base import Workload
+
+SOURCE = """
+global data[$n];
+
+func lcg(s) {
+    return (s * 1103515245 + 12345) % 2147483648;
+}
+
+func insertion(lo, hi) {
+    var i = lo + 1;
+    var key = 0;
+    var j = 0;
+    while (i <= hi) {
+        key = data[i];
+        j = i - 1;
+        while (j >= lo && data[j] > key) {
+            data[j + 1] = data[j];
+            j = j - 1;
+        }
+        data[j + 1] = key;
+        i = i + 1;
+    }
+    return 0;
+}
+
+func median3(lo, mid, hi) {
+    var a = data[lo];
+    var b = data[mid];
+    var c = data[hi];
+    var t = 0;
+    if (a > b) { t = a; a = b; b = t; }
+    if (b > c) { t = b; b = c; c = t; }
+    if (a > b) { t = a; a = b; b = t; }
+    return b;
+}
+
+func quicksort(lo, hi) {
+    if (hi - lo < 12) {
+        insertion(lo, hi);
+        return 0;
+    }
+    var pivot = median3(lo, (lo + hi) / 2, hi);
+    var i = lo;
+    var j = hi;
+    var t = 0;
+    while (i <= j) {
+        while (data[i] < pivot) { i = i + 1; }
+        while (data[j] > pivot) { j = j - 1; }
+        if (i <= j) {
+            t = data[i];
+            data[i] = data[j];
+            data[j] = t;
+            i = i + 1;
+            j = j - 1;
+        }
+    }
+    quicksort(lo, j);
+    quicksort(i, hi);
+    return 0;
+}
+
+func main() {
+    var i = 0;
+    var seed = $seed;
+    while (i < $n) {
+        seed = lcg(seed);
+        data[i] = seed % 100000;
+        i = i + 1;
+    }
+    quicksort(0, $n - 1);
+    var check = 0;
+    var sorted = 1;
+    i = 0;
+    while (i < $n) {
+        check = (check * 31 + data[i]) % 1000000007;
+        if (i > 0 && data[i] < data[i - 1]) {
+            sorted = 0;
+        }
+        i = i + 1;
+    }
+    return check * 2 + sorted;
+}
+"""
+
+WORKLOAD = Workload(
+    name="qsort",
+    description="recursive quicksort with insertion-sort base case",
+    template=SOURCE,
+    scales={
+        "tiny": {"n": 256, "seed": 12345},
+        "small": {"n": 2048, "seed": 12345},
+        "ref": {"n": 12288, "seed": 12345},
+    },
+)

@@ -1,0 +1,72 @@
+"""The workload registry."""
+
+from typing import Dict, List
+
+from repro.workloads.base import Workload
+from repro.workloads.programs import (
+    bitmix,
+    compress,
+    crc,
+    dijkstra,
+    expr,
+    grep,
+    hashlookup,
+    huffman,
+    lexer,
+    life,
+    maze,
+    mtf,
+    nbody,
+    parser,
+    qsort,
+)
+
+_MODULES = (
+    qsort,
+    compress,
+    grep,
+    life,
+    dijkstra,
+    expr,
+    crc,
+    huffman,
+    hashlookup,
+    lexer,
+    nbody,
+    mtf,
+    parser,
+    maze,
+    bitmix,
+)
+
+WORKLOADS: Dict[str, Workload] = {
+    module.WORKLOAD.name: module.WORKLOAD for module in _MODULES
+}
+
+# Attach the golden return values (see repro.workloads.expected).
+from repro.workloads.expected import EXPECTED  # noqa: E402
+
+for _name, _values in EXPECTED.items():
+    if _name in WORKLOADS:
+        WORKLOADS[_name].expected.update(_values)
+
+
+def workload_names() -> List[str]:
+    """All workload names, in suite order."""
+    return list(WORKLOADS)
+
+
+def get_workload(name: str) -> Workload:
+    """Look a workload up by name."""
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: "
+            f"{', '.join(workload_names())}"
+        ) from None
+
+
+def all_workloads() -> List[Workload]:
+    """Every workload in the suite."""
+    return list(WORKLOADS.values())

@@ -1,0 +1,139 @@
+"""Parametric synthetic workloads with *controlled* branch behaviour.
+
+The benchmark suite tells you the techniques work on realistic code;
+these generators tell you *why*, by making the relevant statistics
+knobs:
+
+* ``bias`` — P(condition true) of the hammock that gets if-converted
+  (its compare becomes the predicate define the mechanisms feed on);
+* ``noise`` — how loosely a later region-based branch tracks that
+  predicate: its outcome is ``(r < bias) XOR noisebit``.  Crucially the
+  noise bit is computed *arithmetically* (sign extraction, no compare),
+  so it never enters the predicate-define stream: PGU sees the
+  correlation source but not the noise, and its benefit must decay from
+  near-perfect at ``noise = 0`` to nothing at ``noise = 50``
+  (independence);
+* ``spacing`` — straight-line filler statements inside the converted
+  arms, between the predicate-defining compare and the correlated
+  branch.  The branch's guard slice hoists above the filler, so the
+  dynamic guard-to-branch distance grows with ``spacing`` and the
+  squash filter switches on once it clears the pipeline's D.
+
+Experiment E15 sweeps these.  The correlated branch stays a *branch*
+because its arm contains a tiny loop (loops are never predicated) —
+exactly the side-exit shape the paper studies.
+"""
+
+from repro.workloads.base import Workload
+
+_TEMPLATE = """
+global sink[64];
+
+func lcg(s) {
+    return (s * 1103515245 + 12345) % 2147483648;
+}
+
+func main() {
+    var i = 0;
+    var seed = $seed;
+    var r = 0;
+    var r2 = 0;
+    var noisebit = 0;
+    var cond = 0;
+    var acc = 1;
+    var j = 0;
+    while (i < $iters) {
+        seed = lcg(seed);
+        r = seed % 100;
+        seed = lcg(seed);
+        r2 = seed % 100;
+        // 1 iff r2 < noise, via sign extraction: no compare instruction,
+        // hence invisible to the predicate-define stream.
+        noisebit = ((r2 - $noise) >> 63) & 1;
+
+        // The hammock: fully if-converted; its compare is the predicate
+        // define the techniques feed on.  The filler gives the later
+        // branch's hoisted guard its lead time.
+        if (r < $bias) {
+            cond = 1;
+$then_filler
+        } else {
+            cond = 0;
+$else_filler
+        }
+
+        // The correlated branch: outcome = cond XOR noisebit.  The arm's
+        // inner loop keeps it un-predicable, so it stays a region-based
+        // side exit.
+        if ((cond + noisebit) % 2 == 1) {
+            j = 0;
+            while (j < 2) {
+                sink[(acc + j) % 64 * ((acc + j) % 64 >= 0)] = acc;
+                j = j + 1;
+            }
+        }
+        i = i + 1;
+    }
+    var check = 0;
+    i = 0;
+    while (i < 64) { check = (check * 13 + sink[i]) % 1000000007; i = i + 1; }
+    return check + acc % 1000000007;
+}
+"""
+
+#: Largest spacing the default if-conversion heuristics still convert.
+MAX_SPACING = 9
+
+
+def _filler(count: int, salt: int) -> str:
+    lines = [
+        f"            acc = (acc * 3 + {17 * (k + 1) + salt}) % 65536;"
+        for k in range(count)
+    ]
+    return "\n".join(lines)
+
+
+def make_synthetic(
+    bias: int = 50,
+    noise: int = 0,
+    spacing: int = 0,
+    iters: int = 4000,
+    seed: int = 90210,
+) -> Workload:
+    """Build a synthetic workload with the given branch statistics.
+
+    Args:
+        bias: percentage chance the hammock condition is true (0..100).
+        noise: percentage chance the correlated branch's outcome is
+            flipped relative to the hammock condition (0..50; 50 means
+            statistically independent).
+        spacing: filler statements per hammock arm (0..9; larger would
+            stop the hammock from being if-converted under the default
+            heuristics).
+        iters: outer-loop trip count (dynamic size knob).
+        seed: LCG seed.
+    """
+    if not 0 <= bias <= 100:
+        raise ValueError("bias must be 0..100")
+    if not 0 <= noise <= 50:
+        raise ValueError("noise must be 0..50")
+    if not 0 <= spacing <= MAX_SPACING:
+        raise ValueError(f"spacing must be 0..{MAX_SPACING}")
+    name = f"synthetic-b{bias}-n{noise}-s{spacing}"
+    template = _TEMPLATE.replace(
+        "$then_filler", _filler(spacing, salt=1)
+    ).replace("$else_filler", _filler(spacing, salt=2))
+    params = {"bias": bias, "noise": noise, "iters": iters, "seed": seed}
+    return Workload(
+        name=name,
+        description=(
+            f"controlled correlation: bias={bias}% noise={noise}% "
+            f"spacing={spacing}"
+        ),
+        template=template,
+        scales={
+            "tiny": dict(params, iters=max(200, iters // 8)),
+            "small": params,
+            "ref": dict(params, iters=iters * 6),
+        },
+    )

@@ -1,0 +1,173 @@
+"""Random ``minic`` program generator for differential testing.
+
+Generates syntactically and semantically valid programs that terminate:
+loops are counter-bounded with the increment *first* (so ``continue``
+cannot skip it), array stores are range-reduced, conditions are
+call-free, and recursion is avoided.  Every generated program is run
+through the reference interpreter, the baseline compiler and the
+hyperblock compiler; all three must agree.
+"""
+
+import random
+
+NAMES = ["a", "b", "c", "d", "e", "x", "y", "z", "w", "v"]
+ARRAYS = [("arr0", 16), ("arr1", 32)]
+
+
+class ProgramGenerator:
+    """Seeded generator; same seed -> same program."""
+
+    def __init__(self, seed: int):
+        self.rng = random.Random(seed)
+        self.counter = 0
+        self.funcs = []  # (name, arity) defined so far, callable later
+        #: loop counters: readable but never assignment targets, so every
+        #: generated loop provably terminates
+        self.readonly = set()
+
+    def fresh(self, prefix: str) -> str:
+        self.counter += 1
+        return f"{prefix}{self.counter}"
+
+    # -- expressions -----------------------------------------------------------
+
+    def expr(self, variables, depth: int, allow_calls: bool = True) -> str:
+        rng = self.rng
+        if depth <= 0 or rng.random() < 0.3:
+            return self.leaf(variables)
+        kind = rng.random()
+        if kind < 0.45:
+            op = rng.choice(
+                ["+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>"]
+            )
+            left = self.expr(variables, depth - 1, allow_calls)
+            right = self.expr(variables, depth - 1, allow_calls)
+            if op in ("<<", ">>"):
+                right = f"({right} % 8 + 8) % 8"
+            return f"({left} {op} {right})"
+        if kind < 0.65:
+            op = rng.choice(["<", "<=", ">", ">=", "==", "!="])
+            left = self.expr(variables, depth - 1, allow_calls)
+            right = self.expr(variables, depth - 1, allow_calls)
+            return f"({left} {op} {right})"
+        if kind < 0.78:
+            op = rng.choice(["&&", "||"])
+            left = self.expr(variables, depth - 1, False)
+            right = self.expr(variables, depth - 1, False)
+            return f"({left} {op} {right})"
+        if kind < 0.86:
+            op = rng.choice(["-", "!", "~"])
+            operand = self.expr(variables, depth - 1, allow_calls)
+            if op == "-":
+                return f"(0 - {operand})"
+            return f"({op}{operand})"
+        if kind < 0.94:
+            name, size = rng.choice(ARRAYS)
+            index = self.expr(variables, depth - 1, False)
+            return f"{name}[{index}]"  # loads may go out of range (-> 0)
+        if allow_calls and self.funcs:
+            name, arity = rng.choice(self.funcs)
+            args = ", ".join(
+                self.expr(variables, depth - 1, False) for _ in range(arity)
+            )
+            return f"{name}({args})"
+        return self.leaf(variables)
+
+    def leaf(self, variables) -> str:
+        rng = self.rng
+        if variables and rng.random() < 0.6:
+            return rng.choice(variables)
+        return str(rng.randint(-50, 100))
+
+    def condition(self, variables, depth: int = 2) -> str:
+        return self.expr(variables, depth, allow_calls=False)
+
+    # -- statements -------------------------------------------------------------
+
+    def block(self, variables, depth: int, in_loop: bool) -> list:
+        lines = []
+        for _ in range(self.rng.randint(1, 4)):
+            lines.extend(self.stmt(variables, depth, in_loop))
+        return lines
+
+    def stmt(self, variables, depth: int, in_loop: bool) -> list:
+        rng = self.rng
+        roll = rng.random()
+        writable = [v for v in variables if v not in self.readonly]
+        if roll < 0.40 and writable:
+            target = rng.choice(writable)
+            return [f"{target} = {self.expr(variables, 2)};"]
+        if roll < 0.52:
+            name, size = rng.choice(ARRAYS)
+            index = self.expr(variables, 1, False)
+            value = self.expr(variables, 2)
+            return [
+                f"{name}[(({index}) % {size} + {size}) % {size}] = {value};"
+            ]
+        if roll < 0.75 and depth > 0:
+            cond = self.condition(variables)
+            then_body = self.block(variables, depth - 1, in_loop)
+            lines = [f"if ({cond}) {{"] + _indent(then_body)
+            if rng.random() < 0.5:
+                else_body = self.block(variables, depth - 1, in_loop)
+                lines += ["} else {"] + _indent(else_body)
+            lines.append("}")
+            return lines
+        if roll < 0.85 and depth > 0:
+            counter = self.fresh("i")
+            self.readonly.add(counter)
+            bound = rng.randint(2, 8)
+            variables_inner = variables + [counter]
+            body = self.block(variables_inner, depth - 1, True)
+            return (
+                [f"var {counter} = 0;", f"while ({counter} < {bound}) {{",
+                 f"    {counter} = {counter} + 1;"]
+                + _indent(body)
+                + ["}"]
+            )
+        if roll < 0.90 and in_loop:
+            return [rng.choice(["break;", "continue;"])]
+        if roll < 0.95 and variables:
+            name = self.fresh("t")
+            variables.append(name)
+            return [f"var {name} = {self.expr(variables[:-1], 2)};"]
+        return [f"{self.expr(variables, 1)};"]
+
+    def helper(self) -> str:
+        arity = self.rng.randint(1, 3)
+        params = [f"p{k}" for k in range(arity)]
+        name = self.fresh("fn")
+        variables = list(params)
+        body = self.block(variables, 2, False)
+        body.append(f"return {self.expr(variables, 2, False)};")
+        self.funcs.append((name, arity))
+        lines = [f"func {name}({', '.join(params)}) {{"]
+        lines += _indent(body)
+        lines.append("}")
+        return "\n".join(lines)
+
+    def program(self) -> str:
+        parts = [f"global {name}[{size}];" for name, size in ARRAYS]
+        for _ in range(self.rng.randint(0, 2)):
+            parts.append(self.helper())
+        variables = []
+        main = ["func main() {"]
+        decls = []
+        for name in NAMES[: self.rng.randint(2, 5)]:
+            decls.append(f"    var {name} = {self.rng.randint(-20, 50)};")
+            variables.append(name)
+        main += decls
+        main += _indent(self.block(variables, 3, False))
+        main.append(f"    return {self.expr(variables, 2)};")
+        main.append("}")
+        parts.append("\n".join(main))
+        return "\n\n".join(parts)
+
+
+def _indent(lines):
+    return [f"    {line}" for line in lines]
+
+
+def generate_program(seed: int) -> str:
+    """A deterministic random program for ``seed``."""
+    return ProgramGenerator(seed).program()

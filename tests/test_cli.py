@@ -1,0 +1,106 @@
+"""CLI smoke tests (everything runs at tiny scale)."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        code, out = run_cli(capsys, "list")
+        assert code == 0
+        assert "qsort" in out
+        assert "gshare" in out
+        assert "E6" in out
+
+    def test_simulate(self, capsys):
+        code, out = run_cli(
+            capsys, "simulate", "crc", "--scale", "tiny",
+            "--predictor", "gshare", "--entries", "256",
+            "--sfp", "--pgu",
+        )
+        assert code == 0
+        assert "mispredicts" in out
+        assert "squashed" in out
+
+    def test_simulate_baseline(self, capsys):
+        code, out = run_cli(
+            capsys, "simulate", "crc", "--scale", "tiny", "--baseline"
+        )
+        assert code == 0
+
+    def test_run_experiment(self, capsys):
+        code, out = run_cli(
+            capsys, "run-experiment", "E3", "--scale", "tiny",
+            "--workloads", "crc,grep",
+        )
+        assert code == 0
+        assert "[E3]" in out
+
+    def test_characterise(self, capsys):
+        code, out = run_cli(
+            capsys, "characterise", "grep", "--scale", "tiny"
+        )
+        assert code == 0
+        assert "region_fraction" in out
+
+    def test_disasm(self, capsys):
+        code, out = run_cli(
+            capsys, "disasm", "crc", "--function", "main",
+            "--scale", "tiny",
+        )
+        assert code == 0
+        assert "cmp" in out
+
+    def test_disasm_unknown_function(self, capsys):
+        code = main(["disasm", "crc", "--function", "ghost"])
+        assert code == 1
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestAnalyzeCommand:
+    def test_analyze(self, capsys):
+        code, out = run_cli(capsys, "analyze", "grep", "--regions")
+        assert code == 0
+        assert "regions" in out
+        assert "mean_guard_distance" in out
+
+    def test_analyze_baseline(self, capsys):
+        code, out = run_cli(capsys, "analyze", "crc", "--baseline")
+        assert code == 0
+        assert "regions                0" in out
+
+
+class TestHotspotsAndExport:
+    def test_hotspots(self, capsys):
+        code, out = run_cli(
+            capsys, "hotspots", "crc", "--scale", "tiny", "--limit", "3"
+        )
+        assert code == 0
+        assert "misp" in out
+
+    def test_csv_format(self, capsys):
+        code, out = run_cli(
+            capsys, "run-experiment", "E3", "--scale", "tiny",
+            "--workloads", "crc", "--format", "csv",
+        )
+        assert code == 0
+        assert out.splitlines()[0].startswith("distance,")
+
+    def test_output_dir(self, capsys, tmp_path):
+        code, out = run_cli(
+            capsys, "run-experiment", "E3", "--scale", "tiny",
+            "--workloads", "crc", "--format", "json",
+            "--output", str(tmp_path),
+        )
+        assert code == 0
+        assert (tmp_path / "e3.json").exists()

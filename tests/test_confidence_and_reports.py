@@ -1,0 +1,158 @@
+"""Tests for the confidence estimator, confidence simulation, report
+exporters and hotspot analysis."""
+
+import json
+
+import pytest
+
+from repro.experiments.common import ExperimentResult, ExperimentSpec
+from repro.experiments.report import render, to_csv, to_json, write_result
+from repro.isa.opcodes import BranchKind
+from repro.predictors import SFPConfig, make_predictor
+from repro.predictors.confidence import ConfidenceEstimator
+from repro.sim import SimOptions
+from repro.sim.confidence import simulate_with_confidence
+from repro.sim.hotspots import per_site_stats, top_hotspots
+from repro.trace.container import Trace, TraceMeta
+
+
+def make_trace(branches, instructions=1000):
+    return Trace.from_lists(
+        b_pc=[b[0] for b in branches],
+        b_idx=[b[1] for b in branches],
+        b_taken=[b[2] for b in branches],
+        b_guard=[b[3] if len(b) > 3 else 0 for b in branches],
+        b_guard_def=[b[4] if len(b) > 4 else -1 for b in branches],
+        b_kind=[int(BranchKind.COND)] * len(branches),
+        b_region=[len(b) > 3 and b[3] != 0 for b in branches],
+        b_target=[0] * len(branches),
+        d_pc=[], d_idx=[], d_value=[], d_pred=[],
+        meta=TraceMeta(instructions=instructions),
+    )
+
+
+class TestConfidenceEstimator:
+    def test_counter_builds_and_resets(self):
+        estimator = ConfidenceEstimator(entries=16, threshold=3,
+                                        ceiling=7)
+        assert not estimator.is_confident(5, 0)
+        for _ in range(3):
+            estimator.update(5, 0, correct=True)
+        assert estimator.is_confident(5, 0)
+        estimator.update(5, 0, correct=False)
+        assert not estimator.is_confident(5, 0)
+
+    def test_ceiling_saturation(self):
+        estimator = ConfidenceEstimator(entries=16, threshold=2,
+                                        ceiling=3)
+        for _ in range(10):
+            estimator.update(1, 0, correct=True)
+        assert estimator.table[estimator._index(1, 0)] == 3
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            ConfidenceEstimator(entries=10)
+        with pytest.raises(ValueError):
+            ConfidenceEstimator(threshold=0)
+        with pytest.raises(ValueError):
+            ConfidenceEstimator(threshold=20, ceiling=15)
+
+
+class TestConfidenceSimulation:
+    def test_squashed_branches_are_perfect(self):
+        # One squashable branch (old false guard), one ordinary.
+        trace = make_trace(
+            [(1, 100, False, 3, 10), (2, 200, True, 0, -1)]
+        )
+        result = simulate_with_confidence(
+            trace,
+            make_predictor("gshare", entries=64),
+            ConfidenceEstimator(entries=64),
+            SimOptions(distance=4, sfp=SFPConfig()),
+        )
+        assert result.perfect == 1
+        assert result.high + result.low == 1
+        assert result.perfect_coverage == pytest.approx(0.5)
+        assert 0.0 <= result.trusted_accuracy <= 1.0
+
+    def test_repeated_correct_predictions_become_confident(self):
+        branches = [(7, 10 * (k + 1), True) for k in range(40)]
+        trace = make_trace(branches)
+        result = simulate_with_confidence(
+            trace,
+            make_predictor("bimodal", entries=64),
+            ConfidenceEstimator(entries=64, threshold=4),
+            SimOptions(),
+        )
+        assert result.high > 0
+        assert result.high_accuracy > result.low_accuracy - 1e-9
+
+
+class TestReports:
+    def sample(self):
+        return ExperimentResult(
+            spec=ExperimentSpec(id="EX", title="t", paper_artifact="p",
+                                description="d"),
+            columns=["a", "b"],
+            rows=[{"a": 1, "b": 0.5}, {"a": 2, "b": 0.25}],
+            notes="n",
+        )
+
+    def test_csv(self):
+        text = to_csv(self.sample())
+        lines = text.strip().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,0.5"
+
+    def test_json_roundtrip(self):
+        payload = json.loads(to_json(self.sample()))
+        assert payload["id"] == "EX"
+        assert payload["rows"][1]["a"] == 2
+
+    def test_render_dispatch(self):
+        result = self.sample()
+        assert "EX" in render(result, "table")
+        assert render(result, "csv").startswith("a,b")
+        with pytest.raises(ValueError):
+            render(result, "xml")
+
+    def test_write_result(self, tmp_path):
+        path = write_result(self.sample(), tmp_path, "json")
+        assert path.name == "ex.json"
+        assert json.loads(path.read_text())["title"] == "t"
+
+
+class TestHotspots:
+    def test_sites_aggregate_and_sort(self):
+        branches = (
+            [(5, 10 * k + 10, k % 2 == 0) for k in range(20)]  # flaky
+            + [(9, 1000 + 10 * k, True) for k in range(20)]  # easy
+        )
+        trace = make_trace(branches, instructions=2000)
+        sites = per_site_stats(
+            trace, make_predictor("bimodal", entries=64), SimOptions()
+        )
+        assert sites[0].pc == 5  # the alternating branch mispredicts most
+        by_pc = {s.pc: s for s in sites}
+        assert by_pc[5].executions == 20
+        assert by_pc[9].taken_rate == 1.0
+        assert by_pc[9].mispredictions < by_pc[5].mispredictions
+
+    def test_top_limit(self):
+        branches = [(pc, 10 * pc, True) for pc in range(1, 30)]
+        trace = make_trace(branches, instructions=500)
+        top = top_hotspots(
+            trace, make_predictor("bimodal", entries=64), SimOptions(),
+            limit=5,
+        )
+        assert len(top) == 5
+
+    def test_squash_counted_per_site(self):
+        trace = make_trace([(3, 100, False, 2, 10)])
+        sites = per_site_stats(
+            trace,
+            make_predictor("gshare", entries=64),
+            SimOptions(distance=4, sfp=SFPConfig()),
+        )
+        assert sites[0].squashed == 1
+        assert sites[0].mispredictions == 0

@@ -1,0 +1,248 @@
+"""Differential tests: reference interpreter vs baseline compile vs
+hyperblock compile (several configurations) must all agree.
+
+This is the reproduction's strongest correctness net: if-conversion,
+scheduling, unrolling and register allocation may rearrange anything,
+but results must be bit-identical.
+"""
+
+import pytest
+
+from tests.progen import generate_program
+from repro.compiler import CompileConfig, compile_source, compile_with_profile
+from repro.compiler import config as config_mod
+from repro.engine import run
+from repro.lang.reference import evaluate
+
+#: Hyperblock variants the differential suite exercises.
+VARIANTS = {
+    "hyperblock": config_mod.HYPERBLOCK,
+    "no-schedule": CompileConfig(
+        hyperblocks=True, schedule_compares=False,
+        merge_adjacent_regions=False,
+    ),
+    "no-unroll": CompileConfig(hyperblocks=True, unroll=1),
+    "unroll4": CompileConfig(hyperblocks=True, unroll=4),
+    "aggressive": CompileConfig(
+        hyperblocks=True, max_arm_stmts=40, max_region_stmts=80,
+        cold_threshold=0.0, tiny_arm_stmts=40,
+    ),
+    "timid": CompileConfig(
+        hyperblocks=True, max_arm_stmts=2, max_region_stmts=3,
+        cold_threshold=0.4,
+    ),
+    "no-peephole": CompileConfig(hyperblocks=True, peephole=False),
+}
+
+
+def all_results(source: str):
+    expected = evaluate(source, max_steps=20_000_000)
+    results = {"reference": expected}
+    baseline = compile_source(source, config_mod.BASELINE)
+    results["baseline"] = run(
+        baseline.executable, max_instructions=20_000_000
+    ).return_value
+    results["profiling-style"] = run(
+        compile_source(source, config_mod.PROFILING).executable,
+        max_instructions=20_000_000,
+    ).return_value
+    for name, config in VARIANTS.items():
+        compiled = compile_with_profile(
+            source, config, max_instructions=20_000_000
+        )
+        results[name] = run(
+            compiled.executable, max_instructions=20_000_000
+        ).return_value
+    return results
+
+
+def assert_all_agree(source: str):
+    results = all_results(source)
+    reference = results["reference"]
+    mismatches = {
+        name: value for name, value in results.items() if value != reference
+    }
+    assert not mismatches, (
+        f"configs disagree with reference ({reference}): {mismatches}\n"
+        f"--- source ---\n{source}"
+    )
+
+
+class TestHandWritten:
+    def test_nested_if_else(self):
+        assert_all_agree(
+            """
+            func main() {
+                var total = 0;
+                var i = 0;
+                while (i < 50) {
+                    if (i % 3 == 0) {
+                        if (i % 2 == 0) { total = total + i; }
+                        else { total = total - 1; }
+                    } else if (i % 7 == 0) {
+                        total = total * 2;
+                    }
+                    i = i + 1;
+                }
+                return total;
+            }
+            """
+        )
+
+    def test_breaks_in_converted_arms(self):
+        assert_all_agree(
+            """
+            func main() {
+                var i = 0; var s = 0;
+                while (i < 100) {
+                    i = i + 1;
+                    s = s + i;
+                    if (s > 300) { break; }
+                    if (i % 11 == 0) { continue; }
+                    s = s + 1;
+                }
+                return s * 10 + i;
+            }
+            """
+        )
+
+    def test_returns_in_converted_arms(self):
+        assert_all_agree(
+            """
+            func pick(v) {
+                if (v < 0) { return 0 - v; }
+                if (v % 2 == 0) { return v / 2; }
+                return v * 3 + 1;
+            }
+            func main() {
+                var i = 0 - 20; var s = 0;
+                while (i < 20) { s = s + pick(i); i = i + 1; }
+                return s;
+            }
+            """
+        )
+
+    def test_calls_in_predicated_arms(self):
+        assert_all_agree(
+            """
+            global log[64];
+            func bump(i, v) { log[i % 64] = v; return v + 1; }
+            func main() {
+                var i = 0; var s = 0;
+                while (i < 60) {
+                    if (i % 5 == 0) { s = bump(i, s); }
+                    else { s = s + 2; }
+                    i = i + 1;
+                }
+                return s + log[0] + log[5];
+            }
+            """
+        )
+
+    def test_logical_ops_both_modes(self):
+        assert_all_agree(
+            """
+            func main() {
+                var i = 0; var hits = 0;
+                while (i < 200) {
+                    if (i % 3 == 0 && i % 5 == 0) { hits = hits + 100; }
+                    if (i % 7 == 0 || i % 11 == 0) { hits = hits + 1; }
+                    if (!(i % 2 == 0) && (i > 50 || i < 10)) {
+                        hits = hits + 3;
+                    }
+                    i = i + 1;
+                }
+                return hits;
+            }
+            """
+        )
+
+    def test_division_corner_cases(self):
+        assert_all_agree(
+            """
+            func main() {
+                var s = 0; var i = 0 - 10;
+                while (i < 10) {
+                    s = s + 100 / i + 100 % i;
+                    i = i + 1;
+                }
+                return s;
+            }
+            """
+        )
+
+    def test_guarded_oob_loads(self):
+        assert_all_agree(
+            """
+            global data[8];
+            func main() {
+                var i = 0; var s = 0;
+                while (i < 8) { data[i] = i * i; i = i + 1; }
+                i = 0 - 4;
+                while (i < 12) {
+                    if (i >= 0 && data[i] > 5) { s = s + data[i]; }
+                    i = i + 1;
+                }
+                return s;
+            }
+            """
+        )
+
+    def test_deeply_nested_regions(self):
+        assert_all_agree(
+            """
+            func main() {
+                var i = 0; var s = 0;
+                while (i < 64) {
+                    if (i % 2 == 0) {
+                        if (i % 4 == 0) {
+                            if (i % 8 == 0) { s = s + 8; }
+                            else { s = s + 4; }
+                        } else {
+                            s = s + 2;
+                        }
+                    } else {
+                        s = s + 1;
+                    }
+                    i = i + 1;
+                }
+                return s;
+            }
+            """
+        )
+
+    def test_loop_inside_if_arm_blocks_conversion(self):
+        assert_all_agree(
+            """
+            func main() {
+                var i = 0; var s = 0; var j = 0;
+                while (i < 20) {
+                    if (i % 4 == 1) {
+                        j = 0;
+                        while (j < i) { s = s + j; j = j + 1; }
+                    } else {
+                        s = s + 1;
+                    }
+                    i = i + 1;
+                }
+                return s;
+            }
+            """
+        )
+
+
+@pytest.mark.parametrize("seed", range(60))
+def test_random_programs(seed):
+    assert_all_agree(generate_program(seed))
+
+
+class TestProgenProperties:
+    def test_deterministic(self):
+        assert generate_program(123) == generate_program(123)
+        assert generate_program(123) != generate_program(124)
+
+    def test_generated_programs_are_valid(self):
+        from repro.lang import analyze, parse
+        for seed in range(10):
+            module = parse(generate_program(seed))
+            analyze(module)

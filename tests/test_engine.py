@@ -1,0 +1,376 @@
+"""Unit tests for the interpreter: semantics of every opcode, predication,
+calls, tracing hooks, and limits."""
+
+import pytest
+
+from repro.engine import EngineError, EngineLimitError, run
+from repro.isa import CmpType, ProgramBuilder, Relation
+from repro.isa.registers import ARG_BASE
+from repro.trace import TraceRecorder
+
+
+def build_and_run(build, recorder=None, max_instructions=1_000_000):
+    pb = ProgramBuilder()
+    build(pb)
+    exe = pb.link()
+    result = run(exe, recorder=recorder, max_instructions=max_instructions)
+    return exe, result
+
+
+class TestAlu:
+    @pytest.mark.parametrize(
+        "method,a,b,expected",
+        [
+            ("add", 2, 3, 5),
+            ("sub", 2, 3, -1),
+            ("mul", -4, 3, -12),
+            ("div", 7, 2, 3),
+            ("div", -7, 2, -3),  # C-style truncation toward zero
+            ("mod", 7, 2, 1),
+            ("mod", -7, 2, -1),  # remainder keeps dividend sign
+            ("and_", 0b1100, 0b1010, 0b1000),
+            ("or_", 0b1100, 0b1010, 0b1110),
+            ("xor", 0b1100, 0b1010, 0b0110),
+        ],
+    )
+    def test_binary_ops(self, method, a, b, expected):
+        def build(pb):
+            f = pb.function("main")
+            f.movi(1, a)
+            f.movi(2, b)
+            getattr(f, method)(3, 1, 2)
+            f.ret(ra=3)
+
+        _, result = build_and_run(build)
+        assert result.return_value == expected
+
+    def test_shifts(self):
+        def build(pb):
+            f = pb.function("main")
+            f.movi(1, -8)
+            f.shli(2, 1, 1)  # -16
+            f.srai(3, 1, 1)  # -4
+            f.shri(4, 1, 60)  # logical: high bits of two's complement
+            f.add(5, 2, 3)
+            f.add(5, 5, 4)
+            f.ret(ra=5)
+
+        _, result = build_and_run(build)
+        assert result.return_value == -16 + -4 + ((-8 % 2**64) >> 60)
+
+    def test_wrapping_overflow(self):
+        def build(pb):
+            f = pb.function("main")
+            f.movi(1, 2**62)
+            f.shli(2, 1, 2)  # 2**64 wraps to 0
+            f.ret(ra=2)
+
+        _, result = build_and_run(build)
+        assert result.return_value == 0
+
+    def test_division_by_zero_yields_zero(self):
+        def build(pb):
+            f = pb.function("main")
+            f.movi(1, 1)
+            f.movi(2, 0)
+            f.div(3, 1, 2)
+            f.modi(4, 1, 0)
+            f.add(5, 3, 4)
+            f.ret(ra=5)
+
+        _, result = build_and_run(build)
+        assert result.return_value == 0
+
+    def test_r0_is_hardwired_zero(self):
+        def build(pb):
+            f = pb.function("main")
+            f.movi(0, 99)
+            f.mov(1, 0)
+            f.ret(ra=1)
+
+        _, result = build_and_run(build)
+        assert result.return_value == 0
+
+
+class TestPredication:
+    def test_nullified_alu_does_not_write(self):
+        def build(pb):
+            f = pb.function("main")
+            f.movi(1, 5)
+            # p1 never set, so this add is nullified.
+            f.addi(1, 1, 100, qp=1)
+            f.ret(ra=1)
+
+        _, result = build_and_run(build)
+        assert result.return_value == 5
+
+    def test_cmp_normal_writes_pair(self):
+        def build(pb):
+            f = pb.function("main")
+            f.movi(1, 3)
+            f.cmp(Relation.LT, 1, 2, ra=1, imm=10)  # p1=T, p2=F
+            f.movi(3, 0)
+            f.addi(3, 3, 1, qp=1)
+            f.addi(3, 3, 10, qp=2)
+            f.ret(ra=3)
+
+        _, result = build_and_run(build)
+        assert result.return_value == 1
+
+    def test_cmp_normal_under_false_qp_leaves_stale(self):
+        def build(pb):
+            f = pb.function("main")
+            f.movi(1, 0)
+            f.cmp(Relation.EQ, 1, -1, ra=1, imm=0)  # p1 = True
+            # Nested compare under false p2 (never set): should not write.
+            f.cmp(Relation.EQ, 1, -1, ra=1, imm=99, qp=2)
+            f.movi(3, 0)
+            f.addi(3, 3, 1, qp=1)
+            f.ret(ra=3)
+
+        _, result = build_and_run(build)
+        assert result.return_value == 1
+
+    def test_cmp_unc_clears_under_false_qp(self):
+        def build(pb):
+            f = pb.function("main")
+            f.movi(1, 0)
+            f.cmp(Relation.EQ, 1, -1, ra=1, imm=0)  # p1 = True
+            # p3 never set; unconditional compare under p3 clears p1.
+            f.cmp(Relation.EQ, 1, 2, ra=1, imm=0, ctype=CmpType.UNC, qp=3)
+            f.movi(3, 100)
+            f.addi(3, 3, 1, qp=1)
+            f.addi(3, 3, 10, qp=2)
+            f.ret(ra=3)
+
+        _, result = build_and_run(build)
+        assert result.return_value == 100
+
+    def test_cmp_and_or_accumulate(self):
+        def build(pb):
+            f = pb.function("main")
+            f.movi(1, 5)
+            # start p1 true via normal compare
+            f.cmp(Relation.EQ, 1, -1, ra=1, imm=5)
+            # AND-type: 5 < 3 is false -> clears p1
+            f.cmp(Relation.LT, 1, -1, ra=1, imm=3, ctype=CmpType.AND)
+            # OR-type: 5 > 4 is true -> sets p2
+            f.cmp(Relation.GT, 2, -1, ra=1, imm=4, ctype=CmpType.OR)
+            f.movi(3, 0)
+            f.addi(3, 3, 1, qp=1)
+            f.addi(3, 3, 10, qp=2)
+            f.ret(ra=3)
+
+        _, result = build_and_run(build)
+        assert result.return_value == 10
+
+    def test_and_or_do_not_touch_when_inactive(self):
+        def build(pb):
+            f = pb.function("main")
+            f.movi(1, 5)
+            f.cmp(Relation.EQ, 1, -1, ra=1, imm=5)  # p1 = True
+            # AND-type with true result: leaves p1 set.
+            f.cmp(Relation.EQ, 1, -1, ra=1, imm=5, ctype=CmpType.AND)
+            # OR-type with false result: leaves p1 alone too.
+            f.cmp(Relation.EQ, 1, -1, ra=1, imm=6, ctype=CmpType.OR)
+            f.movi(3, 0)
+            f.addi(3, 3, 1, qp=1)
+            f.ret(ra=3)
+
+        _, result = build_and_run(build)
+        assert result.return_value == 1
+
+
+class TestControl:
+    def test_loop_counts(self):
+        def build(pb):
+            f = pb.function("main")
+            f.movi(1, 0)  # i = 0
+            f.movi(2, 0)  # sum = 0
+            f.label("loop")
+            f.add(2, 2, 1)
+            f.addi(1, 1, 1)
+            f.cmp(Relation.LT, 1, 2, ra=1, imm=10)
+            f.br("loop", qp=1)
+            f.ret(ra=2)
+
+        _, result = build_and_run(build)
+        assert result.return_value == sum(range(10))
+
+    def test_call_and_return_value(self):
+        def build(pb):
+            main = pb.function("main")
+            main.movi(ARG_BASE, 20)
+            main.movi(ARG_BASE + 1, 22)
+            main.call(1, "adder", nargs=2)
+            main.ret(ra=1)
+            adder = pb.function("adder", nparams=2)
+            adder.add(1, ARG_BASE, ARG_BASE + 1)
+            adder.ret(ra=1)
+
+        _, result = build_and_run(build)
+        assert result.return_value == 42
+
+    def test_callee_frame_is_fresh(self):
+        def build(pb):
+            main = pb.function("main")
+            main.movi(5, 123)
+            main.call(1, "clobber", nargs=0)
+            main.ret(ra=5)
+            clobber = pb.function("clobber")
+            clobber.movi(5, 999)
+            clobber.ret(imm=0)
+
+        _, result = build_and_run(build)
+        assert result.return_value == 123
+
+    def test_recursion(self):
+        def build(pb):
+            main = pb.function("main")
+            main.movi(ARG_BASE, 10)
+            main.call(1, "fib", nargs=1)
+            main.ret(ra=1)
+            fib = pb.function("fib", nparams=1)
+            fib.mov(2, ARG_BASE)  # n
+            fib.cmp(Relation.LT, 1, -1, ra=2, imm=2)
+            fib.br("base", qp=1)
+            fib.subi(ARG_BASE, 2, 1)
+            fib.call(3, "fib", nargs=1)
+            fib.subi(ARG_BASE, 2, 2)
+            fib.call(4, "fib", nargs=1)
+            fib.add(5, 3, 4)
+            fib.ret(ra=5)
+            fib.label("base")
+            fib.ret(ra=2)
+
+        _, result = build_and_run(build)
+        assert result.return_value == 55
+
+    def test_nullified_branch_not_taken(self):
+        def build(pb):
+            f = pb.function("main")
+            f.movi(1, 1)
+            f.br("skip", qp=5)  # p5 false: fall through
+            f.movi(1, 2)
+            f.label("skip")
+            f.ret(ra=1)
+
+        _, result = build_and_run(build)
+        assert result.return_value == 2
+
+    def test_instruction_limit(self):
+        def build(pb):
+            f = pb.function("main")
+            f.label("spin")
+            f.jmp("spin")
+
+        with pytest.raises(EngineLimitError):
+            build_and_run(build, max_instructions=100)
+
+    def test_falling_off_program_raises(self):
+        def build(pb):
+            f = pb.function("main")
+            f.nop()
+
+        with pytest.raises(EngineError):
+            build_and_run(build)
+
+
+class TestMemory:
+    def test_load_store_roundtrip(self):
+        def build(pb):
+            pb.array("data", 8)
+            f = pb.function("main")
+            f.movi(1, 2)  # index
+            f.movi(2, 77)
+            f.store(1, 2, imm=0)
+            f.load(3, 1, imm=0)
+            f.ret(ra=3)
+
+        _, result = build_and_run(build)
+        assert result.return_value == 77
+
+    def test_bad_load_yields_zero(self):
+        # Non-faulting speculative-load semantics (IA-64 ld.s): predicated
+        # code may form wild addresses down nullified paths.
+        def build(pb):
+            f = pb.function("main")
+            f.movi(1, -5)
+            f.movi(2, 99)
+            f.load(2, 1)
+            f.ret(ra=2)
+
+        _, result = build_and_run(build)
+        assert result.return_value == 0
+
+    def test_bad_store_raises(self):
+        def build(pb):
+            f = pb.function("main")
+            f.movi(1, -5)
+            f.movi(2, 1)
+            f.store(1, 2)
+            f.halt()
+
+        with pytest.raises(EngineError):
+            build_and_run(build)
+
+    def test_predicated_store_is_nullified(self):
+        def build(pb):
+            pb.array("data", 4)
+            f = pb.function("main")
+            f.movi(1, 0)
+            f.movi(2, 55)
+            f.store(1, 2, qp=7)  # p7 false
+            f.load(3, 1)
+            f.ret(ra=3)
+
+        _, result = build_and_run(build)
+        assert result.return_value == 0
+
+
+class TestTracing:
+    def test_branch_events_recorded(self):
+        recorder = TraceRecorder()
+
+        def build(pb):
+            f = pb.function("main")
+            f.movi(1, 0)
+            f.label("loop")
+            f.addi(1, 1, 1)
+            f.cmp(Relation.LT, 1, 2, ra=1, imm=3)
+            f.br("loop", qp=1)
+            f.halt()
+
+        build_and_run(build, recorder=recorder)
+        trace = recorder.finish()
+        assert trace.num_branches == 3
+        assert list(trace.b_taken) == [True, True, False]
+        # Guard was defined one instruction before each branch.
+        assert all(trace.b_idx - trace.b_guard_def == 1)
+
+    def test_pdef_events_recorded(self):
+        recorder = TraceRecorder()
+
+        def build(pb):
+            f = pb.function("main")
+            f.movi(1, 1)
+            f.cmp(Relation.EQ, 1, 2, ra=1, imm=1)
+            f.cmp(Relation.EQ, 3, 4, ra=1, imm=0)
+            f.halt()
+
+        build_and_run(build, recorder=recorder)
+        trace = recorder.finish()
+        assert trace.num_pdefs == 2
+        assert list(trace.d_value) == [True, False]
+
+    def test_unconditional_jump_not_traced(self):
+        recorder = TraceRecorder()
+
+        def build(pb):
+            f = pb.function("main")
+            f.jmp("end")
+            f.label("end")
+            f.halt()
+
+        build_and_run(build, recorder=recorder)
+        assert recorder.finish().num_branches == 0

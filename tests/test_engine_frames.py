@@ -1,0 +1,171 @@
+"""Deeper engine tests: register frames, predicate tracking across
+calls, argument conventions, spill-stack behaviour."""
+
+import pytest
+
+from repro.engine import EngineError, run
+from repro.isa import CmpType, ProgramBuilder, Relation
+from repro.isa.registers import ARG_BASE, R_SP
+from repro.trace import TraceRecorder
+
+
+def build_and_run(build, recorder=None):
+    pb = ProgramBuilder()
+    build(pb)
+    return run(pb.link(), recorder=recorder, max_instructions=1_000_000)
+
+
+class TestRegisterFrames:
+    def test_predicates_are_per_frame(self):
+        # Callee sets p1; caller's p1 must remain false after return.
+        def build(pb):
+            main = pb.function("main")
+            main.call(1, "setter", nargs=0)
+            main.movi(2, 0)
+            main.addi(2, 2, 10, qp=1)  # caller p1 still false
+            main.ret(ra=2)
+            setter = pb.function("setter")
+            setter.movi(1, 1)
+            setter.cmp(Relation.EQ, 1, -1, ra=1, imm=1)  # p1 = True
+            setter.ret(imm=0)
+
+        assert build_and_run(build).return_value == 0
+
+    def test_arg_registers_copied_not_shared(self):
+        # Callee overwrites its incoming arg register; caller's copy
+        # stays intact.
+        def build(pb):
+            main = pb.function("main")
+            main.movi(ARG_BASE, 5)
+            main.call(1, "clobber", nargs=1)
+            main.mov(2, ARG_BASE)
+            main.ret(ra=2)
+            clobber = pb.function("clobber", nparams=1)
+            clobber.movi(ARG_BASE, 999)
+            clobber.ret(imm=0)
+
+        assert build_and_run(build).return_value == 5
+
+    def test_deep_recursion_hits_stack_limit(self):
+        def build(pb):
+            main = pb.function("main")
+            main.call(1, "down", nargs=0)
+            main.ret(ra=1)
+            down = pb.function("down")
+            down.call(1, "down", nargs=0)
+            down.ret(ra=1)
+
+        with pytest.raises(EngineError):
+            build_and_run(build)
+
+    def test_sp_inherited_and_adjusted_by_frame_slots(self):
+        # A callee with frame slots gets SP lowered by that amount.
+        def build(pb):
+            main = pb.function("main")
+            main.mov(1, R_SP)
+            main.call(2, "probe", nargs=0)
+            main.sub(3, 1, 2)  # caller SP - callee SP = slots
+            main.ret(ra=3)
+            probe = pb.function("probe")
+            probe.function.frame_slots = 7
+            probe.mov(1, R_SP)
+            probe.ret(ra=1)
+
+        assert build_and_run(build).return_value == 7
+
+    def test_nullified_call_is_not_entered(self):
+        def build(pb):
+            main = pb.function("main")
+            main.movi(1, 42)
+            main.call(1, "boom", nargs=0, qp=5)  # p5 false
+            main.ret(ra=1)
+            boom = pb.function("boom")
+            boom.ret(imm=999)
+
+        assert build_and_run(build).return_value == 42
+
+    def test_nullified_ret_falls_through(self):
+        def build(pb):
+            main = pb.function("main")
+            main.call(1, "maybe", nargs=0)
+            main.ret(ra=1)
+            maybe = pb.function("maybe")
+            maybe.ret(imm=111, qp=9)  # p9 false: not taken
+            maybe.ret(imm=222)
+
+        assert build_and_run(build).return_value == 222
+
+
+class TestGuardDefTracking:
+    def test_pdef_index_is_per_frame(self):
+        # Callee writes p1 at its own time; caller's p1 def-index is
+        # whatever the caller wrote, not the callee.
+        recorder = TraceRecorder()
+
+        def build(pb):
+            main = pb.function("main")
+            main.movi(1, 1)
+            main.cmp(Relation.EQ, 1, -1, ra=1, imm=1)  # main defines p1
+            main.call(2, "noise", nargs=0)
+            main.br("skip", qp=1)  # guarded by main's p1
+            main.label("skip")
+            main.halt()
+            noise = pb.function("noise")
+            noise.movi(1, 0)
+            noise.cmp(Relation.EQ, 1, -1, ra=1, imm=0)
+            noise.ret(imm=0)
+
+        build_and_run(build, recorder=recorder)
+        trace = recorder.finish()
+        # The traced branch is main's; its guard def must be main's cmp
+        # (dyn idx 1), not the callee's later cmp.
+        assert trace.num_branches == 1
+        assert trace.b_guard_def[0] == 1
+
+    def test_unc_compare_updates_def_index_even_when_nullified(self):
+        recorder = TraceRecorder()
+
+        def build(pb):
+            f = pb.function("main")
+            f.movi(1, 1)
+            f.cmp(Relation.EQ, 2, -1, ra=1, imm=99)  # p2 = False @1
+            f.nop()
+            f.nop()
+            # unc under false p2 still clears p3 (an architectural write)
+            f.cmp(Relation.EQ, 3, -1, ra=1, imm=1, ctype=CmpType.UNC,
+                  qp=2)
+            f.br("end", qp=3)
+            f.label("end")
+            f.halt()
+
+        build_and_run(build, recorder=recorder)
+        trace = recorder.finish()
+        assert trace.num_branches == 1
+        assert trace.b_guard_def[0] == 4  # the unc compare's dyn index
+
+
+class TestReturnValueRouting:
+    def test_return_value_to_r0_is_dropped(self):
+        def build(pb):
+            main = pb.function("main")
+            main.call(0, "seven", nargs=0)  # rd = r0: discarded
+            main.mov(1, 0)
+            main.ret(ra=1)
+            seven = pb.function("seven")
+            seven.ret(imm=7)
+
+        assert build_and_run(build).return_value == 0
+
+    def test_nested_call_results_compose(self):
+        def build(pb):
+            main = pb.function("main")
+            main.movi(ARG_BASE, 3)
+            main.call(1, "double", nargs=1)
+            main.mov(ARG_BASE, 1)
+            main.call(2, "double", nargs=1)
+            main.ret(ra=2)
+            double = pb.function("double", nparams=1)
+            double.add(1, ARG_BASE, ARG_BASE)
+            double.ret(ra=1)
+
+        assert build_and_run(build).return_value == 12

@@ -1,0 +1,28 @@
+"""The examples must keep running: each is executed as a subprocess."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+@pytest.mark.parametrize(
+    "script",
+    ["quickstart.py", "compare_predictors.py", "compiler_explorer.py",
+     "custom_workload.py", "confidence_gating.py"],
+)
+def test_example_runs(script):
+    # compare_predictors takes a workload argument; use a tiny-ish one.
+    argv = [sys.executable, str(EXAMPLES / script)]
+    if script == "compare_predictors.py":
+        argv.append("crc")
+    elif script == "confidence_gating.py":
+        argv.append("crc")
+    completed = subprocess.run(
+        argv, capture_output=True, text=True, timeout=600
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert completed.stdout.strip()

@@ -1,0 +1,176 @@
+"""Experiment harness tests: every experiment runs and its headline
+claims hold at tiny scale on a fast subset."""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, experiment_ids, get_experiment
+from repro.experiments.common import geometric_mean
+
+#: cheap but technique-sensitive subset
+SUBSET = ["compress", "grep", "nbody"]
+SCALE = "tiny"
+
+
+def run_fast(exp_id, **kw):
+    module = get_experiment(exp_id)
+    kwargs = {"scale": SCALE, "workloads": SUBSET}
+    code = module.run.__code__
+    if "fast" in code.co_varnames[: code.co_argcount]:
+        kwargs["fast"] = True
+    kwargs.update(kw)
+    return module.run(**kwargs)
+
+
+class TestRegistry:
+    def test_all_registered(self):
+        assert len(experiment_ids()) == 15
+        assert experiment_ids()[0] == "E1"
+        assert experiment_ids()[-1] == "E15"
+
+    def test_lookup_case_insensitive(self):
+        assert get_experiment("e6").SPEC.id == "E6"
+        with pytest.raises(KeyError):
+            get_experiment("E99")
+
+    def test_specs_complete(self):
+        for module in EXPERIMENTS.values():
+            spec = module.SPEC
+            assert spec.title and spec.paper_artifact and spec.description
+
+
+class TestEveryExperimentRuns:
+    @pytest.mark.parametrize("exp_id", experiment_ids())
+    def test_runs_and_formats(self, exp_id):
+        result = run_fast(exp_id)
+        assert result.rows, f"{exp_id} produced no rows"
+        text = result.format()
+        assert exp_id in text
+        for column in result.columns:
+            assert column in text
+
+
+class TestHeadlineClaims:
+    """The paper's qualitative claims, checked on every test run."""
+
+    def test_e1_if_conversion_removes_branches(self):
+        result = run_fast("E1")
+        for row in result.rows:
+            assert row["branch_reduction"] > 0.0
+            assert row["instr_overhead"] >= 1.0
+            assert row["region_frac"] > 0.0
+
+    def test_e2_bigger_tables_do_not_hurt_much(self):
+        result = run_fast("E2")
+        mean = result.rows[-1]
+        sizes = [c for c in result.columns if c.startswith("gshare_")]
+        small, large = mean[sizes[0]], mean[sizes[-1]]
+        assert large <= small + 0.01
+
+    def test_e3_coverage_decays_with_distance(self):
+        result = run_fast("E3")
+        coverage = result.column("squashable")
+        assert coverage == sorted(coverage, reverse=True)
+        assert coverage[0] > coverage[-1]
+
+    def test_e4_sfp_never_hurts_and_helps_somewhere(self):
+        result = run_fast("E4")
+        rows = result.rows[:-1]
+        for row in rows:
+            assert row["sfp_filter"] <= row["base"] + 0.002
+        assert any(r["sfp_filter"] < r["base"] - 0.005 for r in rows)
+
+    def test_e5_pgu_helps_on_mean(self):
+        result = run_fast("E5")
+        mean = result.rows[-1]
+        assert mean["pgu_1024"] < mean["base_1024"]
+
+    def test_e6_combined_beats_base_on_mean(self):
+        result = run_fast("E6")
+        mean = result.rows[-1]
+        assert mean["both"] < mean["base"]
+        assert mean["improvement"] > 0.05
+
+    def test_e7_region_branches_improve(self):
+        result = run_fast("E7")
+        improved = sum(
+            1 for r in result.rows if r["region_both"] <= r["region_base"]
+        )
+        assert improved >= len(result.rows) - 1
+
+    def test_e8_benefit_decays_with_distance(self):
+        result = run_fast("E8")
+        both = result.column("both")
+        # Benefit (base - both) shrinks as D grows.
+        base = result.column("base")
+        benefits = [b - t for b, t in zip(base, both)]
+        assert benefits[0] >= benefits[-1]
+        coverage = result.column("squash_coverage")
+        assert coverage == sorted(coverage, reverse=True)
+
+    def test_e9_techniques_speed_up_geomean(self):
+        result = run_fast("E9")
+        geomean = result.rows[-1]
+        assert geomean["workload"] == "GEOMEAN"
+        assert geomean["techniques_speedup"] > geomean["hyper_speedup"] - 0.02
+
+    def test_e10_idealized_pgu_dominates(self):
+        result = run_fast("E10")
+        by_config = {row["config"]: row["misprediction"]
+                     for row in result.rows}
+        assert by_config["pgu/delay=0"] <= by_config["pgu/delay=D"]
+        assert by_config["pgu/delay=D"] <= by_config["pgu/delay=2D"] + 0.002
+        assert by_config["sfp/filter+shift"] <= by_config["none"] + 0.002
+
+    def test_e12_misfetch_rates_bounded_and_speedup_positive(self):
+        result = run_fast("E12")
+        for row in result.rows:
+            for key in ("base_misfetch", "hyper_misfetch",
+                        "hyper_both_misfetch"):
+                assert 0.0 <= row[key] <= 1.0
+            assert row["techniques_speedup"] > 0
+        # A bigger BTB never misfetches more on the baseline compile.
+        base = result.column("base_misfetch")
+        assert base == sorted(base, reverse=True)
+
+    def test_e13_frontend_shows_fetch_win(self):
+        result = run_fast("E13")
+        geomean = result.rows[-1]
+        assert geomean["workload"] == "GEOMEAN"
+        # If-conversion improves fetch-limited IPC; techniques add more.
+        assert geomean["hyper_ipc"] > geomean["base_ipc"]
+        assert geomean["both_speedup"] >= geomean["hyper_speedup"] - 0.02
+
+    def test_e14_confidence_classes(self):
+        result = run_fast("E14")
+        by_config = {row["config"]: row for row in result.rows}
+        # SFP adds perfect-confidence coverage at no accuracy cost.
+        assert by_config["plain"]["perfect_cov"] == 0.0
+        assert by_config["sfp"]["perfect_cov"] > 0.0
+        assert (by_config["sfp"]["trusted_cov"]
+                >= by_config["plain"]["trusted_cov"] - 0.01)
+        for row in result.rows:
+            assert row["high_acc"] >= row["low_acc"]
+            assert row["trusted_acc"] >= 0.9
+
+    def test_e15_controlled_knobs(self):
+        result = run_fast("E15")
+        noise_rows = [r for r in result.rows
+                      if r["knob"].startswith("noise=")]
+        benefits = [r["benefit"] for r in noise_rows]
+        # PGU benefit decays as correlation weakens.
+        assert benefits[0] > benefits[-1]
+        assert benefits == sorted(benefits, reverse=True)
+        spacing_rows = [r for r in result.rows
+                        if r["knob"].startswith("spacing=")]
+        # SFP coverage grows once the guard clears the pipeline distance.
+        coverages = [r["squash_coverage"] for r in spacing_rows]
+        assert coverages[-1] > coverages[0]
+
+    def test_e11_history_consumers_gain_more(self):
+        result = run_fast("E11")
+        rows = {row["predictor"]: row for row in result.rows}
+        assert rows["gshare"]["improvement"] >= rows["bimodal"][
+            "improvement"
+        ] - 0.05
+        for row in result.rows:
+            assert row["with_techniques"] <= row["base"] + 0.005

@@ -1,0 +1,88 @@
+"""Hypothesis-driven fuzzing: fresh random program seeds every run
+(unlike the fixed seed range in test_differential), plus monotonicity
+properties of the trace masks on synthetic traces."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler import compile_source, compile_with_profile
+from repro.compiler import config as config_mod
+from repro.engine import run
+from repro.lang.reference import evaluate
+from repro.trace.container import Trace, TraceMeta
+from tests.progen import generate_program
+
+
+@given(st.integers(min_value=10_000, max_value=10_000_000))
+@settings(max_examples=6, deadline=None)
+def test_fresh_random_programs_agree(seed):
+    source = generate_program(seed)
+    expected = evaluate(source, max_steps=20_000_000)
+    baseline = run(
+        compile_source(source, config_mod.BASELINE).executable,
+        max_instructions=20_000_000,
+    ).return_value
+    hyper = run(
+        compile_with_profile(
+            source, config_mod.HYPERBLOCK, max_instructions=20_000_000
+        ).executable,
+        max_instructions=20_000_000,
+    ).return_value
+    assert baseline == expected, f"baseline diverged for seed {seed}"
+    assert hyper == expected, f"hyperblock diverged for seed {seed}"
+
+
+branch_records = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=50),  # pc
+        st.booleans(),  # taken
+        st.integers(min_value=0, max_value=8),  # guard
+        st.integers(min_value=-1, max_value=40),  # def offset back
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+def _synthetic_trace(records):
+    b_idx = []
+    b_guard_def = []
+    time = 10
+    for _, __, ___, back in records:
+        time += 5
+        b_idx.append(time)
+        b_guard_def.append(-1 if back < 0 else max(0, time - back))
+    return Trace.from_lists(
+        b_pc=[r[0] for r in records],
+        b_idx=b_idx,
+        b_taken=[r[1] for r in records],
+        b_guard=[r[2] for r in records],
+        b_guard_def=b_guard_def,
+        b_kind=[1] * len(records),
+        b_region=[r[2] != 0 for r in records],
+        b_target=[0] * len(records),
+        d_pc=[], d_idx=[], d_value=[], d_pred=[],
+        meta=TraceMeta(instructions=time + 10),
+    )
+
+
+class TestMaskProperties:
+    @given(branch_records, st.integers(min_value=0, max_value=16))
+    @settings(max_examples=60, deadline=None)
+    def test_squashable_shrinks_with_distance(self, records, distance):
+        trace = _synthetic_trace(records)
+        nearer = trace.guard_known_false(distance)
+        farther = trace.guard_known_false(distance + 4)
+        # Everything squashable at the larger distance is squashable at
+        # the smaller one.
+        assert bool(((~nearer) & farther).sum()) is False
+
+    @given(branch_records, st.integers(min_value=0, max_value=16))
+    @settings(max_examples=60, deadline=None)
+    def test_squashable_implies_known_and_not_taken(self, records,
+                                                    distance):
+        trace = _synthetic_trace(records)
+        squashable = trace.guard_known_false(distance)
+        known = trace.guard_known(distance)
+        assert not (squashable & ~known).any()
+        assert not (squashable & trace.b_taken).any()
+        assert not (squashable & (trace.b_guard == 0)).any()

@@ -1,0 +1,205 @@
+"""Unit tests for the ISA package: instructions, programs, linking."""
+
+import pytest
+
+from repro.isa import (
+    BranchKind,
+    CmpType,
+    Instruction,
+    LinkError,
+    Opcode,
+    Program,
+    ProgramBuilder,
+    Relation,
+    disassemble,
+    format_instruction,
+)
+from repro.isa.registers import wrap
+
+
+class TestRelation:
+    def test_evaluate_all(self):
+        assert Relation.EQ.evaluate(3, 3)
+        assert not Relation.EQ.evaluate(3, 4)
+        assert Relation.NE.evaluate(3, 4)
+        assert Relation.LT.evaluate(-1, 0)
+        assert Relation.LE.evaluate(5, 5)
+        assert Relation.GT.evaluate(7, 2)
+        assert Relation.GE.evaluate(2, 2)
+
+    def test_negated_is_involution(self):
+        for rel in Relation:
+            assert rel.negated().negated() is rel
+
+    def test_negated_is_complement(self):
+        pairs = [(0, 0), (1, 2), (-5, 3), (7, 7), (2, -2)]
+        for rel in Relation:
+            for a, b in pairs:
+                assert rel.evaluate(a, b) != rel.negated().evaluate(a, b)
+
+
+class TestWrap:
+    def test_wrap_identity_in_range(self):
+        assert wrap(42) == 42
+        assert wrap(-42) == -42
+
+    def test_wrap_overflow(self):
+        assert wrap(2**63) == -(2**63)
+        assert wrap(2**64) == 0
+        assert wrap(-(2**63) - 1) == 2**63 - 1
+
+
+class TestInstruction:
+    def test_branch_event_classification(self):
+        uncond = Instruction(op=Opcode.BR, target="x")
+        assert not uncond.is_branch_event()
+        cond = Instruction(
+            op=Opcode.BR, qp=3, target="x", kind=BranchKind.COND
+        )
+        assert cond.is_branch_event()
+        pred_call = Instruction(op=Opcode.CALL, qp=2, target="f")
+        assert pred_call.is_branch_event()
+        plain_call = Instruction(op=Opcode.CALL, target="f")
+        assert not plain_call.is_branch_event()
+
+    def test_copy_is_independent(self):
+        instr = Instruction(op=Opcode.ADD, rd=1, ra=2, rb=3)
+        dup = instr.copy()
+        dup.rd = 9
+        assert instr.rd == 1
+
+    def test_reads_and_writes(self):
+        add = Instruction(op=Opcode.ADD, rd=1, ra=2, rb=3)
+        assert add.reads_regs() == [2, 3]
+        assert add.writes_reg() == 1
+        store = Instruction(op=Opcode.STORE, ra=4, rb=5)
+        assert store.reads_regs() == [4, 5]
+        assert store.writes_reg() == -1
+
+    def test_writes_predicates(self):
+        cmp = Instruction(op=Opcode.CMP, pd1=1, pd2=2)
+        assert cmp.writes_predicates()
+        add = Instruction(op=Opcode.ADD, rd=1, ra=1, rb=1)
+        assert not add.writes_predicates()
+
+
+class TestLinking:
+    def test_link_resolves_labels(self):
+        pb = ProgramBuilder()
+        f = pb.function("main")
+        f.movi(1, 0)
+        f.label("top")
+        f.addi(1, 1, 1)
+        f.jmp("end")
+        f.label("end")
+        f.halt()
+        exe = pb.link()
+        jump = exe.code[2]
+        assert jump.target == 3
+
+    def test_link_missing_label_raises(self):
+        pb = ProgramBuilder()
+        f = pb.function("main")
+        f.jmp("nowhere")
+        with pytest.raises(LinkError):
+            pb.link()
+
+    def test_link_missing_function_raises(self):
+        pb = ProgramBuilder()
+        f = pb.function("main")
+        f.call(1, "ghost")
+        f.halt()
+        with pytest.raises(LinkError):
+            pb.link()
+
+    def test_link_requires_entry(self):
+        program = Program()
+        with pytest.raises(LinkError):
+            program.link()
+
+    def test_duplicate_label_raises(self):
+        pb = ProgramBuilder()
+        f = pb.function("main")
+        f.label("a")
+        f.nop()
+        with pytest.raises(LinkError):
+            f.label("a")
+            f.label("a")
+
+    def test_globals_are_packed_in_order(self):
+        pb = ProgramBuilder()
+        pb.array("a", 10)
+        pb.array("b", 5)
+        f = pb.function("main")
+        f.halt()
+        exe = pb.link()
+        assert exe.global_base("a") == 0
+        assert exe.global_base("b") == 10
+        assert exe.memory_words >= 15
+
+    def test_call_targets_resolve_to_entries(self):
+        pb = ProgramBuilder()
+        main = pb.function("main")
+        main.call(1, "helper")
+        main.halt()
+        helper = pb.function("helper")
+        helper.ret(imm=7)
+        exe = pb.link()
+        assert exe.code[0].target == exe.function_entries["helper"]
+
+    def test_entry_function_comes_first(self):
+        pb = ProgramBuilder()
+        helper = pb.function("zzz")
+        helper.ret(imm=1)
+        main = pb.function("main")
+        main.halt()
+        exe = pb.link()
+        assert exe.entry == 0
+        assert exe.function_at(0) == "main"
+
+
+class TestPrinter:
+    def test_format_cmp(self):
+        instr = Instruction(
+            op=Opcode.CMP,
+            qp=3,
+            ra=4,
+            rb=7,
+            pd1=5,
+            pd2=6,
+            crel=Relation.LT,
+            ctype=CmpType.UNC,
+        )
+        text = format_instruction(instr)
+        assert "(p3)" in text
+        assert "cmp.lt.unc p5, p6 = r4, r7" in text
+
+    def test_format_region_annotations(self):
+        instr = Instruction(
+            op=Opcode.BR,
+            qp=2,
+            target=10,
+            kind=BranchKind.COND,
+            region=1,
+            region_based=True,
+        )
+        text = format_instruction(instr)
+        assert "region 1" in text
+        assert "region-based" in text
+
+    def test_disassemble_executable(self):
+        pb = ProgramBuilder()
+        f = pb.function("main")
+        f.movi(1, 5)
+        f.halt()
+        text = disassemble(pb.link())
+        assert "main:" in text
+        assert "mov r1 = 5" in text
+
+    def test_disassemble_function_shows_labels(self):
+        pb = ProgramBuilder()
+        f = pb.function("main")
+        f.label("loop")
+        f.jmp("loop")
+        text = disassemble(f.function)
+        assert "loop:" in text

@@ -1,0 +1,231 @@
+"""Unit tests for the minic front end: lexer, parser, sema, reference."""
+
+import pytest
+
+from repro.lang import LexError, ParseError, SemaError, analyze, parse, tokenize
+from repro.lang import ast
+from repro.lang.lexer import TokenType
+from repro.lang.reference import evaluate
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        tokens = tokenize("func main() { return 1 + 2; }")
+        kinds = [t.type for t in tokens]
+        assert kinds[0] is TokenType.KEYWORD
+        assert kinds[-1] is TokenType.EOF
+        values = [t.value for t in tokens[:-1]]
+        assert values == ["func", "main", "(", ")", "{", "return", "1",
+                          "+", "2", ";", "}"]
+
+    def test_comments_skipped(self):
+        tokens = tokenize("1 // a comment\n2")
+        assert [t.value for t in tokens[:-1]] == ["1", "2"]
+
+    def test_line_numbers(self):
+        tokens = tokenize("1\n2\n3")
+        assert [t.line for t in tokens[:-1]] == [1, 2, 3]
+
+    def test_multichar_operators(self):
+        tokens = tokenize("<= >= == != && || << >>")
+        assert [t.value for t in tokens[:-1]] == [
+            "<=", ">=", "==", "!=", "&&", "||", "<<", ">>"
+        ]
+
+    def test_bad_character(self):
+        with pytest.raises(LexError):
+            tokenize("a @ b")
+
+    def test_bad_numeric_literal(self):
+        with pytest.raises(LexError):
+            tokenize("123abc")
+
+    def test_keywords_vs_identifiers(self):
+        tokens = tokenize("whilex while")
+        assert tokens[0].type is TokenType.IDENT
+        assert tokens[1].type is TokenType.KEYWORD
+
+
+class TestParser:
+    def test_precedence(self):
+        module = parse("func main() { return 1 + 2 * 3; }")
+        ret = module.functions[0].body[0]
+        assert isinstance(ret.value, ast.Binary)
+        assert ret.value.op == "+"
+        assert ret.value.right.op == "*"
+
+    def test_shift_binds_looser_than_add(self):
+        module = parse("func main() { return 1 << 2 + 3; }")
+        expr = module.functions[0].body[0].value
+        assert expr.op == "<<"
+        assert expr.right.op == "+"
+
+    def test_logical_structure(self):
+        module = parse("func main() { return 1 && 2 || 3; }")
+        expr = module.functions[0].body[0].value
+        assert isinstance(expr, ast.Logical) and expr.op == "||"
+        assert expr.left.op == "&&"
+
+    def test_else_if_chain(self):
+        module = parse(
+            "func main() { var x = 1;"
+            " if (x) { } else if (x > 1) { } else { x = 2; } return x; }"
+        )
+        if_stmt = module.functions[0].body[1]
+        assert isinstance(if_stmt, ast.If)
+        assert isinstance(if_stmt.else_body[0], ast.If)
+
+    def test_for_loop(self):
+        module = parse(
+            "func main() { var i; var s = 0;"
+            " for (i = 0; i < 3; i = i + 1) { s = s + i; } return s; }"
+        )
+        for_stmt = module.functions[0].body[2]
+        assert isinstance(for_stmt, ast.For)
+        assert for_stmt.init is not None and for_stmt.step is not None
+
+    def test_var_in_for_clause_rejected(self):
+        with pytest.raises(ParseError):
+            parse("func main() { for (var i = 0; i < 3; i = i + 1) {} }")
+
+    def test_array_assign_vs_read(self):
+        module = parse(
+            "global a[4]; func main() { a[1] = 2; return a[1]; }"
+        )
+        assert isinstance(module.functions[0].body[0], ast.ArrayAssign)
+
+    def test_multiple_var_decls(self):
+        module = parse("func main() { var a = 1, b = 2, c; return a + b; }")
+        decls = [s for s in module.functions[0].body
+                 if isinstance(s, ast.VarDecl)]
+        assert [d.name for d in decls] == ["a", "b", "c"]
+
+    def test_unterminated_block(self):
+        with pytest.raises(ParseError):
+            parse("func main() { return 0;")
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse("func main() { return 0 }")
+
+    def test_node_ids_are_stable(self):
+        source = "func main() { if (1 < 2) { return 3; } return 4; }"
+        ids1 = [s.node_id for s in parse(source).functions[0].body]
+        ids2 = [s.node_id for s in parse(source).functions[0].body]
+        assert ids1 == ids2
+
+    def test_walk_helpers(self):
+        module = parse(
+            "func f() { return 0; }"
+            "func main() { if (f() == 0 + 1) { return 1; } return 2; }"
+        )
+        cond = module.functions[1].body[0].cond
+        assert ast.contains_call(cond)
+        stmts = list(ast.walk_stmts(module.functions[1].body))
+        assert any(isinstance(s, ast.Return) for s in stmts)
+
+
+class TestSema:
+    def check(self, source):
+        return analyze(parse(source))
+
+    def test_valid_program(self):
+        info = self.check(
+            "global g[4];"
+            "func helper(a, b) { return a + b; }"
+            "func main() { var x = helper(1, 2); g[0] = x; return g[0]; }"
+        )
+        assert info.functions == {"helper": 2, "main": 0}
+        assert info.globals == {"g": 4}
+
+    @pytest.mark.parametrize(
+        "source,fragment",
+        [
+            ("func main() { return x; }", "undeclared"),
+            ("func main() { x = 1; }", "undeclared"),
+            ("func main() { var x; var x; return 0; }", "duplicate"),
+            ("func f(a, a) { return 0; } func main() { return 0; }",
+             "duplicate"),
+            ("func main() { return f(); }", "unknown function"),
+            ("func f(a) { return a; } func main() { return f(); }",
+             "argument"),
+            ("func main() { return g[0]; }", "not a global array"),
+            ("global g[4]; func main() { return g; }", "needs an index"),
+            ("global g[4]; func main() { g = 1; }", "needs an index"),
+            ("func main() { break; }", "outside a loop"),
+            ("func main() { continue; }", "outside a loop"),
+            ("func f() { return 0; }"
+             "func main() { if (1 && f()) { } return 0; }",
+             "&&"),
+            ("global g[0]; func main() { return 0; }", "positive size"),
+            ("global g[4]; global g[4]; func main() { return 0; }",
+             "duplicate"),
+            ("func f() { return 0; } func f() { return 1; }"
+             "func main() { return 0; }", "duplicate"),
+            ("func notmain() { return 0; }", "no 'main'"),
+            ("func main(a) { return a; }", "no parameters"),
+            ("global main[4]; func main() { return 0; }", "collides"),
+        ],
+    )
+    def test_rejections(self, source, fragment):
+        with pytest.raises(SemaError) as err:
+            self.check(source)
+        assert fragment in str(err.value)
+
+    def test_declaration_must_precede_use(self):
+        with pytest.raises(SemaError):
+            self.check("func main() { x = 1; var x; return x; }")
+
+
+class TestReference:
+    def test_arithmetic(self):
+        assert evaluate("func main() { return 7 / 2 + 7 % 2 * 10; }") == 13
+
+    def test_negative_division(self):
+        assert evaluate("func main() { return (0-7) / 2; }") == -3
+        assert evaluate("func main() { return (0-7) % 2; }") == -1
+
+    def test_division_by_zero_is_zero(self):
+        assert evaluate("func main() { var z = 0; return 5 / z + 5 % z; }") == 0
+
+    def test_logical_and_comparisons(self):
+        assert evaluate("func main() { return (1 < 2) && (3 != 4); }") == 1
+        assert evaluate("func main() { return (1 > 2) || 0; }") == 0
+        assert evaluate("func main() { return !5 + !0; }") == 1
+
+    def test_loops_and_break_continue(self):
+        source = """
+        func main() {
+            var i = 0; var s = 0;
+            while (i < 10) {
+                i = i + 1;
+                if (i % 2 == 0) { continue; }
+                if (i > 7) { break; }
+                s = s + i;
+            }
+            return s;
+        }
+        """
+        assert evaluate(source) == 1 + 3 + 5 + 7
+
+    def test_oob_load_is_zero_store_faults(self):
+        assert evaluate(
+            "global g[2]; func main() { return g[5] + 1; }"
+        ) == 1
+        from repro.lang.reference import ReferenceError_
+        with pytest.raises(ReferenceError_):
+            evaluate("global g[2]; func main() { g[5] = 1; return 0; }")
+
+    def test_recursion(self):
+        source = """
+        func fact(n) {
+            if (n <= 1) { return 1; }
+            return n * fact(n - 1);
+        }
+        func main() { return fact(10); }
+        """
+        assert evaluate(source) == 3628800
+
+    def test_wrapping(self):
+        source = "func main() { return 1 << 63; }"
+        assert evaluate(source) == -(2**63)

@@ -1,0 +1,333 @@
+"""Direct unit tests for the scheduler, peephole optimizer and verifier,
+operating on hand-built IR."""
+
+import pytest
+
+from repro.compiler.lower import TEMP_BASE, VREG_BASE
+from repro.compiler.optimize import optimize_function
+from repro.compiler.schedule import (
+    _can_cross,
+    hoist_slices,
+    merge_regions,
+)
+from repro.compiler.verify import (
+    VerificationError,
+    verify_executable,
+    verify_function,
+)
+from repro.isa import (
+    BranchKind,
+    CmpType,
+    Instruction,
+    Opcode,
+    ProgramBuilder,
+    Relation,
+)
+from repro.isa.program import Function
+
+
+def temp(k):
+    return TEMP_BASE + k
+
+
+def var(k):
+    return VREG_BASE + k
+
+
+class TestCanCross:
+    def cmp_on(self, ra, qp=0, pd1=5):
+        return Instruction(op=Opcode.CMP, qp=qp, ra=ra, pd1=pd1,
+                           crel=Relation.EQ, region=1)
+
+    def test_blocks_source_writer(self):
+        cmp = self.cmp_on(ra=var(1))
+        writer = Instruction(op=Opcode.ADD, rd=var(1), ra=var(2), rb=-1,
+                             imm=1)
+        assert not _can_cross(cmp, writer)
+
+    def test_blocks_guard_definer(self):
+        cmp = self.cmp_on(ra=var(1), qp=7)
+        definer = Instruction(op=Opcode.CMP, ra=var(2), pd1=7,
+                              crel=Relation.EQ)
+        assert not _can_cross(cmp, definer)
+
+    def test_blocks_reader_of_dest_predicate(self):
+        cmp = self.cmp_on(ra=var(1), pd1=5)
+        guarded = Instruction(op=Opcode.ADD, qp=5, rd=var(3), ra=var(3),
+                              rb=-1, imm=1)
+        assert not _can_cross(cmp, guarded)
+
+    def test_allows_independent(self):
+        cmp = self.cmp_on(ra=var(1))
+        other = Instruction(op=Opcode.ADD, rd=var(9), ra=var(8), rb=-1,
+                            imm=1)
+        assert _can_cross(cmp, other)
+
+    def test_compare_may_cross_branch_but_var_write_may_not(self):
+        branch = Instruction(op=Opcode.BR, qp=3, target=0,
+                             kind=BranchKind.EXIT)
+        cmp = self.cmp_on(ra=var(1))
+        assert _can_cross(cmp, branch)
+        var_write = Instruction(op=Opcode.ADD, rd=var(2), ra=var(2),
+                                rb=-1, imm=1, region=1)
+        assert not _can_cross(var_write, branch)
+        temp_write = Instruction(op=Opcode.ADD, rd=temp(2), ra=var(2),
+                                 rb=-1, imm=1, region=1)
+        assert _can_cross(temp_write, branch)
+
+    def test_load_never_crosses_store(self):
+        load = Instruction(op=Opcode.LOAD, rd=temp(1), ra=var(1),
+                           region=1)
+        store = Instruction(op=Opcode.STORE, ra=var(5), rb=var(6))
+        assert not _can_cross(load, store)
+
+
+def build_function(instrs, labels=None):
+    function = Function(name="f")
+    function.code = instrs
+    function.labels = labels or {}
+    return function
+
+
+class TestMergeRegions:
+    def test_adjacent_regions_merge(self):
+        code = [
+            Instruction(op=Opcode.CMP, ra=var(1), pd1=1, region=1),
+            Instruction(op=Opcode.ADD, qp=1, rd=var(2), ra=var(2),
+                        rb=-1, imm=1, region=1),
+            Instruction(op=Opcode.MOV, rd=var(9), imm=3),  # gap
+            Instruction(op=Opcode.CMP, ra=var(1), pd1=2, region=2),
+            Instruction(op=Opcode.ADD, qp=2, rd=var(3), ra=var(3),
+                        rb=-1, imm=1, region=2),
+        ]
+        function = build_function(code)
+        merge_regions(function)
+        assert {i.region for i in code} == {1}
+
+    def test_label_blocks_merge(self):
+        code = [
+            Instruction(op=Opcode.CMP, ra=var(1), pd1=1, region=1),
+            Instruction(op=Opcode.CMP, ra=var(1), pd1=2, region=2),
+        ]
+        function = build_function(code, labels={"L": 1})
+        merge_regions(function)
+        assert code[0].region == 1
+        assert code[1].region == 2
+
+    def test_loop_branch_blocks_merge(self):
+        code = [
+            Instruction(op=Opcode.CMP, ra=var(1), pd1=1, region=1),
+            Instruction(op=Opcode.BR, qp=1, target=0,
+                        kind=BranchKind.LOOP),
+            Instruction(op=Opcode.CMP, ra=var(1), pd1=2, region=2),
+        ]
+        function = build_function(code)
+        merge_regions(function)
+        assert code[2].region == 2
+
+
+class TestHoistSlices:
+    def test_compare_and_feeding_load_hoist(self):
+        # [store][load t][cmp t] with independent filler above: the load
+        # and compare should rise above the filler but not above the
+        # store (no alias analysis).
+        code = [
+            Instruction(op=Opcode.STORE, ra=var(1), rb=var(2)),
+            Instruction(op=Opcode.ADD, rd=var(3), ra=var(3), rb=-1,
+                        imm=1),
+            Instruction(op=Opcode.ADD, rd=var(4), ra=var(4), rb=-1,
+                        imm=2),
+            Instruction(op=Opcode.LOAD, rd=temp(1), ra=var(5), region=1),
+            Instruction(op=Opcode.CMP, ra=temp(1), pd1=1, region=1),
+        ]
+        function = build_function(code)
+        hoist_slices(function)
+        ops = [i.op for i in function.code]
+        assert ops[0] is Opcode.STORE
+        assert ops[1] is Opcode.LOAD
+        assert ops[2] is Opcode.CMP
+
+    def test_hoist_respects_data_dependence(self):
+        code = [
+            Instruction(op=Opcode.ADD, rd=var(1), ra=var(1), rb=-1,
+                        imm=1),
+            Instruction(op=Opcode.CMP, ra=var(1), pd1=1, region=1),
+        ]
+        function = build_function(code)
+        hoist_slices(function)
+        assert function.code[0].op is Opcode.ADD
+
+    def test_labels_survive_hoisting(self):
+        code = [
+            Instruction(op=Opcode.MOV, rd=var(9), imm=0),
+            Instruction(op=Opcode.ADD, rd=var(3), ra=var(3), rb=-1,
+                        imm=1),
+            Instruction(op=Opcode.CMP, ra=var(9), pd1=1, region=1),
+        ]
+        function = build_function(code, labels={"top": 1})
+        hoist_slices(function)
+        # The compare may not cross the label at position 1.
+        assert function.code[2].op is Opcode.CMP
+        assert function.labels["top"] == 1
+
+
+class TestOptimizer:
+    def test_copy_coalescing(self):
+        code = [
+            Instruction(op=Opcode.ADD, rd=temp(1), ra=var(1), rb=var(2)),
+            Instruction(op=Opcode.MOV, rd=var(3), ra=temp(1)),
+            Instruction(op=Opcode.RET, ra=var(3)),
+        ]
+        function = build_function(code)
+        optimize_function(function)
+        assert len(function.code) == 2
+        assert function.code[0].rd == var(3)
+
+    def test_no_coalescing_across_predicates(self):
+        code = [
+            Instruction(op=Opcode.ADD, rd=temp(1), ra=var(1), rb=var(2)),
+            Instruction(op=Opcode.MOV, qp=4, rd=var(3), ra=temp(1)),
+            Instruction(op=Opcode.RET, ra=var(3)),
+        ]
+        function = build_function(code)
+        optimize_function(function)
+        assert len(function.code) == 3
+
+    def test_no_coalescing_with_second_reader(self):
+        code = [
+            Instruction(op=Opcode.ADD, rd=temp(1), ra=var(1), rb=var(2)),
+            Instruction(op=Opcode.MOV, rd=var(3), ra=temp(1)),
+            Instruction(op=Opcode.MOV, rd=var(4), ra=temp(1)),
+            Instruction(op=Opcode.RET, ra=var(3)),
+        ]
+        function = build_function(code)
+        optimize_function(function)
+        assert len(function.code) == 4
+
+    def test_immediate_folding(self):
+        code = [
+            Instruction(op=Opcode.MOV, rd=temp(1), imm=42, ra=-1),
+            Instruction(op=Opcode.ADD, rd=var(2), ra=var(1), rb=temp(1)),
+            Instruction(op=Opcode.RET, ra=var(2)),
+        ]
+        function = build_function(code)
+        optimize_function(function)
+        assert len(function.code) == 2
+        add = function.code[0]
+        assert add.rb == -1 and add.imm == 42
+
+    def test_dead_temp_elimination(self):
+        code = [
+            Instruction(op=Opcode.MUL, rd=temp(1), ra=var(1), rb=var(1)),
+            Instruction(op=Opcode.RET, ra=var(1)),
+        ]
+        function = build_function(code)
+        optimize_function(function)
+        assert len(function.code) == 1
+
+    def test_labels_remap_after_deletion(self):
+        code = [
+            Instruction(op=Opcode.MUL, rd=temp(1), ra=var(1), rb=var(1)),
+            Instruction(op=Opcode.ADD, rd=var(1), ra=var(1), rb=-1,
+                        imm=1),
+            Instruction(op=Opcode.BR, target="top",
+                        kind=BranchKind.UNCOND),
+        ]
+        function = build_function(code, labels={"top": 1})
+        optimize_function(function)
+        assert function.labels["top"] == 0
+        assert function.code[0].op is Opcode.ADD
+
+    def test_stores_and_calls_never_removed(self):
+        code = [
+            Instruction(op=Opcode.STORE, ra=var(1), rb=var(2)),
+            Instruction(op=Opcode.CALL, rd=temp(5), target="g", nargs=0),
+            Instruction(op=Opcode.RET, imm=0),
+        ]
+        function = build_function(code)
+        optimize_function(function)
+        assert [i.op for i in function.code] == [
+            Opcode.STORE, Opcode.CALL, Opcode.RET
+        ]
+
+
+class TestVerifier:
+    def test_accepts_valid_program(self):
+        pb = ProgramBuilder()
+        f = pb.function("main")
+        f.movi(1, 5)
+        f.cmp(Relation.GT, 1, 2, ra=1, imm=0)
+        f.br("end", qp=1)
+        f.label("end")
+        f.halt()
+        verify_executable(pb.link())
+
+    def test_rejects_predicate_dest_on_alu(self):
+        bad = Function(name="f")
+        bad.code = [Instruction(op=Opcode.ADD, rd=1, ra=1, rb=1, pd1=3)]
+        with pytest.raises(VerificationError):
+            verify_function(bad)
+
+    def test_rejects_unknown_label(self):
+        bad = Function(name="f")
+        bad.code = [Instruction(op=Opcode.BR, target="ghost")]
+        with pytest.raises(VerificationError):
+            verify_function(bad)
+
+    def test_rejects_surviving_vreg_after_regalloc(self):
+        bad = Function(name="f")
+        bad.code = [
+            Instruction(op=Opcode.ADD, rd=var(1), ra=1, rb=1)
+        ]
+        with pytest.raises(VerificationError):
+            verify_function(bad, allow_vregs=False)
+
+    def test_rejects_unguarded_region_branch(self):
+        bad = Function(name="f")
+        bad.code = [
+            Instruction(op=Opcode.BR, target=0, qp=0,
+                        kind=BranchKind.EXIT, region_based=True)
+        ]
+        with pytest.raises(VerificationError):
+            verify_function(bad)
+
+
+class TestStaticAnalysis:
+    def test_report_on_hyperblock_compile(self):
+        from repro.compiler import compile_with_profile
+        from repro.compiler import config as config_mod
+        from repro.compiler.analysis import analyze_executable
+
+        source = """
+        func main() {
+            var i = 0; var s = 0;
+            while (i < 40) {
+                var v = i * 7 % 13;
+                if (v > 6) { s = s + v; } else { s = s - 1; }
+                if (v == 3) { s = s * 2; }
+                if (v == 12) { break; }
+                i = i + 1;
+            }
+            return s;
+        }
+        """
+        compiled = compile_with_profile(source, config_mod.HYPERBLOCK)
+        report = analyze_executable(compiled.executable)
+        assert report.num_regions >= 1
+        assert report.region_branch_sites >= 1
+        assert report.mean_region_size > 0
+        assert 0.0 < report.summary()["predicated_fraction"] < 1.0
+        assert report.mean_guard_distance >= 1.0
+
+    def test_baseline_has_no_regions(self):
+        from repro.compiler import compile_source
+        from repro.compiler.analysis import analyze_executable
+
+        compiled = compile_source(
+            "func main() { var x = 1;"
+            " if (x > 0) { x = 2; } return x; }"
+        )
+        report = analyze_executable(compiled.executable)
+        assert report.num_regions == 0
+        assert report.region_branch_sites == 0
+        assert report.summary()["predicated_fraction"] < 0.5

@@ -1,0 +1,200 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.isa.opcodes import Relation
+from repro.isa.registers import wrap
+from repro.pipeline import AvailabilityModel, CostModel, GlobalHistory
+from repro.predictors import SaturatingCounters, make_predictor
+from repro.lang.reference import evaluate
+
+words = st.integers(min_value=-(2**63), max_value=2**63 - 1)
+any_ints = st.integers(min_value=-(2**70), max_value=2**70)
+
+
+class TestWrap:
+    @given(any_ints)
+    def test_wrap_is_idempotent(self, value):
+        assert wrap(wrap(value)) == wrap(value)
+
+    @given(any_ints)
+    def test_wrap_range(self, value):
+        wrapped = wrap(value)
+        assert -(2**63) <= wrapped < 2**63
+
+    @given(any_ints, any_ints)
+    def test_wrap_is_additive_homomorphism(self, a, b):
+        assert wrap(wrap(a) + wrap(b)) == wrap(a + b)
+
+    @given(any_ints, any_ints)
+    def test_wrap_is_multiplicative_homomorphism(self, a, b):
+        assert wrap(wrap(a) * wrap(b)) == wrap(a * b)
+
+
+class TestRelations:
+    @given(words, words)
+    def test_exactly_one_of_relation_and_negation(self, a, b):
+        for rel in Relation:
+            assert rel.evaluate(a, b) != rel.negated().evaluate(a, b)
+
+    @given(words, words)
+    def test_trichotomy(self, a, b):
+        holds = [
+            rel
+            for rel in (Relation.LT, Relation.EQ, Relation.GT)
+            if rel.evaluate(a, b)
+        ]
+        assert len(holds) == 1
+
+
+class TestSaturatingCounters:
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.lists(st.booleans(), max_size=64),
+    )
+    def test_counter_stays_in_range(self, index, outcomes):
+        counters = SaturatingCounters(64)
+        for taken in outcomes:
+            counters.update(index, taken)
+            assert 0 <= counters.table[index & counters.mask] <= 3
+
+    @given(st.integers(min_value=0, max_value=63))
+    def test_three_agreeing_updates_determine_prediction(self, index):
+        counters = SaturatingCounters(64)
+        for _ in range(3):
+            counters.update(index, True)
+        assert counters.predict(index)
+        for _ in range(4):
+            counters.update(index, False)
+        assert not counters.predict(index)
+
+
+class TestGlobalHistoryProperties:
+    @given(
+        st.integers(min_value=1, max_value=64),
+        st.lists(st.booleans(), min_size=1, max_size=200),
+    )
+    def test_history_equals_last_k_bits(self, length, bits):
+        history = GlobalHistory(length)
+        for bit in bits:
+            history.shift(bit)
+        expected = 0
+        for bit in bits[-length:]:
+            expected = (expected << 1) | int(bit)
+        assert history.value == expected
+
+
+class TestAvailabilityProperties:
+    @given(
+        st.integers(min_value=0, max_value=64),
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_monotone_in_distance(self, distance, produced, fetched):
+        tighter = AvailabilityModel(distance)
+        looser = AvailabilityModel(distance + 1)
+        if looser.value_visible(produced, fetched):
+            assert tighter.value_visible(produced, fetched)
+
+
+class TestCostModelProperties:
+    @given(
+        st.integers(min_value=1, max_value=10**7),
+        st.integers(min_value=0, max_value=10**5),
+        st.integers(min_value=0, max_value=10**5),
+    )
+    def test_more_mispredictions_never_faster(self, instrs, m1, m2):
+        model = CostModel()
+        lo, hi = sorted((m1, m2))
+        assert model.cycles(instrs, lo) <= model.cycles(instrs, hi)
+
+    @given(st.integers(min_value=1, max_value=10**6))
+    def test_ipc_bounded_by_width(self, instrs):
+        model = CostModel(fetch_width=6)
+        assert 0 < model.ipc(instrs, 0) <= 6.0
+
+
+class TestPredictorContracts:
+    @given(
+        st.sampled_from(["bimodal", "gshare", "gselect", "gag", "local",
+                         "perceptron"]),
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=500),
+                st.integers(min_value=0, max_value=2**20),
+                st.booleans(),
+            ),
+            max_size=100,
+        ),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_predict_is_pure_and_update_total(self, name, events):
+        predictor = make_predictor(name, entries=64)
+        for pc, history, taken in events:
+            first = predictor.predict(pc, history)
+            second = predictor.predict(pc, history)
+            assert first == second  # predict has no side effects
+            predictor.update(pc, history, taken)
+        assert predictor.storage_bits >= 0
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=100),
+                st.booleans(),
+            ),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_bimodal_converges_to_majority_per_pc(self, events):
+        predictor = make_predictor("bimodal", entries=256)
+        # Train three times over the same stream: per-PC constant outcomes
+        # must be predicted correctly afterwards.
+        constant = {}
+        for pc, taken in events:
+            if pc in constant and constant[pc] != taken:
+                constant[pc] = None
+            elif pc not in constant:
+                constant[pc] = taken
+        for _ in range(3):
+            for pc, taken in events:
+                predictor.update(pc, 0, taken)
+        for pc, taken in constant.items():
+            if taken is not None:
+                assert predictor.predict(pc, 0) == taken
+
+
+class TestExpressionSemantics:
+    """Differential property: reference evaluator vs Python semantics."""
+
+    @given(words, words)
+    @settings(max_examples=50, deadline=None)
+    def test_division_matches_c_semantics(self, a, b):
+        source = f"func main() {{ return ({a}) / ({b}); }}"
+        expected = 0
+        if b != 0:
+            q = abs(a) // abs(b)
+            expected = wrap(-q if (a < 0) != (b < 0) else q)
+        assert evaluate(source) == expected
+
+    @given(words, words)
+    @settings(max_examples=50, deadline=None)
+    def test_div_mod_identity(self, a, b):
+        source = f"""
+        func main() {{
+            var a = {a};
+            var b = {b};
+            return (a / b) * b + (a % b) - a;
+        }}
+        """
+        if b != 0:
+            # (a/b)*b may wrap, but the full identity holds modulo 2^64.
+            assert evaluate(source) == 0
+
+    @given(words, st.integers(min_value=0, max_value=63))
+    @settings(max_examples=50, deadline=None)
+    def test_shift_roundtrip_arithmetic(self, a, s):
+        source = f"func main() {{ return (({a}) >> {s}); }}"
+        assert evaluate(source) == wrap(a >> s)

@@ -1,0 +1,52 @@
+"""Public-API sanity: every package imports cleanly and exports what its
+``__all__`` promises."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.isa",
+    "repro.lang",
+    "repro.compiler",
+    "repro.engine",
+    "repro.trace",
+    "repro.predictors",
+    "repro.pipeline",
+    "repro.sim",
+    "repro.workloads",
+    "repro.experiments",
+    "repro.cli",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_imports_cleanly(name):
+    module = importlib.import_module(name)
+    assert module is not None
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_all_exports_resolve(name):
+    module = importlib.import_module(name)
+    for symbol in getattr(module, "__all__", []):
+        assert hasattr(module, symbol), f"{name}.{symbol} missing"
+
+
+def test_experiment_helpers():
+    from repro.experiments.common import arithmetic_mean, geometric_mean
+
+    assert arithmetic_mean([1.0, 3.0]) == 2.0
+    assert arithmetic_mean([]) == 0.0
+    assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+    assert geometric_mean([]) == 0.0
+    # zeros are floored, not fatal
+    assert geometric_mean([0.0, 1.0]) > 0.0
+
+
+def test_version_is_a_string():
+    import repro
+
+    assert isinstance(repro.__version__, str)
+    assert repro.__version__.count(".") == 2

@@ -1,0 +1,78 @@
+"""Prediction-rate regression goldens.
+
+Everything in this reproduction is deterministic, so exact counts can be
+pinned: (gshare-1024 mispredictions plain, mispredictions with both
+techniques, squashes, branches) per workload at tiny scale.  Any change
+to the compiler, scheduler, workloads or simulation semantics that
+shifts these numbers must be deliberate — regenerate with::
+
+    python - <<'PY'
+    from repro.workloads import all_workloads
+    from repro.sim import simulate, SimOptions
+    from repro.predictors import make_predictor, SFPConfig, PGUConfig
+    for w in all_workloads():
+        t = w.trace("tiny", hyperblocks=True)
+        b = simulate(t, make_predictor("gshare", entries=1024),
+                     SimOptions())
+        x = simulate(t, make_predictor("gshare", entries=1024),
+                     SimOptions(sfp=SFPConfig(), pgu=PGUConfig()))
+        print(f'    "{w.name}": ({b.mispredictions}, '
+              f'{x.mispredictions}, {x.squashed}, {t.num_branches}),')
+    PY
+
+(and update CODEGEN_REVISION if the compiler's output changed).
+"""
+
+import pytest
+
+from repro.predictors import PGUConfig, SFPConfig, make_predictor
+from repro.sim import SimOptions, simulate
+from repro.workloads import get_workload, workload_names
+
+#: (plain mispredictions, both-technique mispredictions, squashes,
+#:  dynamic branches) — gshare-1024, D=4, tiny scale, hyperblock compile.
+GOLDEN = {
+    "qsort": (1018, 743, 192, 4171),
+    "compress": (917, 249, 0, 8332),
+    "grep": (407, 50, 4253, 10395),
+    "life": (59, 19, 864, 2031),
+    "dijkstra": (201, 172, 36, 7407),
+    "expr": (374, 269, 980, 11557),
+    "crc": (302, 336, 2400, 5702),
+    "huffman": (3, 3, 1500, 6488),
+    "hashlookup": (956, 628, 3541, 11587),
+    "lexer": (2633, 1747, 278, 21413),
+    "nbody": (95, 63, 540, 1455),
+    "mtf": (2634, 2491, 600, 49479),
+    "parser": (991, 620, 380, 6442),
+    "maze": (12, 12, 0, 1034),
+    "bitmix": (43, 43, 260, 619),
+}
+
+
+def test_goldens_cover_whole_suite():
+    assert set(GOLDEN) == set(workload_names())
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+def test_rates_match_golden(name):
+    trace = get_workload(name).trace("tiny", hyperblocks=True)
+    plain = simulate(
+        trace, make_predictor("gshare", entries=1024), SimOptions()
+    )
+    both = simulate(
+        trace,
+        make_predictor("gshare", entries=1024),
+        SimOptions(sfp=SFPConfig(), pgu=PGUConfig()),
+    )
+    expected = GOLDEN[name]
+    actual = (
+        plain.mispredictions,
+        both.mispredictions,
+        both.squashed,
+        trace.num_branches,
+    )
+    assert actual == expected, (
+        f"{name}: measured {actual}, golden {expected} — if this change "
+        "is intentional, regenerate the table (see module docstring)"
+    )

@@ -1,0 +1,329 @@
+"""Unit tests for the simulation driver: SFP squashing, PGU history
+injection, per-class statistics, and option handling."""
+
+import numpy as np
+import pytest
+
+from repro.isa.opcodes import BranchKind
+from repro.predictors import (
+    PGUConfig,
+    SFPConfig,
+    make_predictor,
+)
+from repro.predictors.base import BranchPredictor
+from repro.sim import SimOptions, simulate
+from repro.trace.container import BranchClass, Trace, TraceMeta
+
+
+def make_trace(branches, pdefs=(), instructions=1000, workload="synthetic"):
+    """Build a trace from tuples.
+
+    branches: (pc, dyn_idx, taken, guard, guard_def_idx, kind, region)
+    pdefs: (pc, dyn_idx, value, pred)
+    """
+    return Trace.from_lists(
+        b_pc=[b[0] for b in branches],
+        b_idx=[b[1] for b in branches],
+        b_taken=[b[2] for b in branches],
+        b_guard=[b[3] for b in branches],
+        b_guard_def=[b[4] for b in branches],
+        b_kind=[int(b[5]) for b in branches],
+        b_region=[b[6] for b in branches],
+        b_target=[0 for _ in branches],
+        d_pc=[d[0] for d in pdefs],
+        d_idx=[d[1] for d in pdefs],
+        d_value=[d[2] for d in pdefs],
+        d_pred=[d[3] for d in pdefs],
+        meta=TraceMeta(workload=workload, instructions=instructions),
+    )
+
+
+class CountingPredictor(BranchPredictor):
+    """Records every call; predicts a fixed direction."""
+
+    name = "counting"
+
+    def __init__(self, direction=False):
+        self.direction = direction
+        self.predicts = []
+        self.updates = []
+
+    def predict(self, pc, history):
+        self.predicts.append((pc, history))
+        return self.direction
+
+    def update(self, pc, history, taken):
+        self.updates.append((pc, history, taken))
+
+
+class TestBasicAccounting:
+    def test_counts_and_rate(self):
+        trace = make_trace(
+            [
+                (1, 10, True, 1, 0, BranchKind.COND, False),
+                (1, 20, False, 1, 11, BranchKind.COND, False),
+                (2, 30, True, 2, 21, BranchKind.LOOP, False),
+            ]
+        )
+        predictor = CountingPredictor(direction=False)
+        result = simulate(trace, predictor, SimOptions())
+        assert result.branches == 3
+        assert result.mispredictions == 2  # the two taken branches
+        assert result.misprediction_rate == pytest.approx(2 / 3)
+        assert result.mpki == pytest.approx(2000 / 1000)
+        assert len(predictor.updates) == 3
+
+    def test_per_class_split(self):
+        trace = make_trace(
+            [
+                (1, 10, True, 1, 0, BranchKind.COND, False),
+                (2, 20, True, 2, 11, BranchKind.EXIT, True),
+                (3, 30, True, 3, 21, BranchKind.LOOP, False),
+            ]
+        )
+        result = simulate(trace, CountingPredictor(False), SimOptions())
+        assert result.class_stats(BranchClass.NORMAL).branches == 1
+        assert result.class_stats(BranchClass.REGION).branches == 1
+        assert result.class_stats(BranchClass.LOOP).branches == 1
+        assert result.class_stats(BranchClass.REGION).mispredictions == 1
+
+
+class TestSFP:
+    def trace_with_squashable(self):
+        # Branch 1: guard defined long ago, not taken -> squashable.
+        # Branch 2: guard defined 1 instr ago -> not squashable at D=4.
+        # Branch 3: taken (guard true) -> never squashable.
+        return make_trace(
+            [
+                (1, 100, False, 3, 10, BranchKind.EXIT, True),
+                (2, 110, False, 4, 109, BranchKind.EXIT, True),
+                (3, 120, True, 5, 30, BranchKind.EXIT, True),
+            ]
+        )
+
+    def test_squash_only_when_known_false(self):
+        trace = self.trace_with_squashable()
+        predictor = CountingPredictor(direction=True)  # always wrong on NT
+        result = simulate(
+            trace, predictor, SimOptions(distance=4, sfp=SFPConfig())
+        )
+        assert result.squashed == 1
+        # Squashed branch bypasses the predictor entirely.
+        assert len(predictor.predicts) == 2
+        # Branch 2 mispredicted (predicted T, was NT); branch 3 correct.
+        assert result.mispredictions == 1
+
+    def test_squash_is_never_wrong(self):
+        trace = self.trace_with_squashable()
+        result = simulate(
+            trace,
+            make_predictor("gshare", entries=64),
+            SimOptions(distance=4, sfp=SFPConfig()),
+        )
+        # A squashed branch can never be a misprediction: outcome is NT.
+        assert result.squashed == 1
+        assert result.class_stats(BranchClass.REGION).squashed == 1
+
+    def test_p0_guard_never_squashes(self):
+        trace = make_trace(
+            [(1, 100, False, 0, -1, BranchKind.COND, False)]
+        )
+        result = simulate(
+            trace,
+            make_predictor("gshare", entries=64),
+            SimOptions(sfp=SFPConfig()),
+        )
+        assert result.squashed == 0
+
+    def test_update_pht_policy(self):
+        trace = self.trace_with_squashable()
+        predictor = CountingPredictor(direction=True)
+        simulate(
+            trace, predictor,
+            SimOptions(distance=4, sfp=SFPConfig(update_pht=True)),
+        )
+        assert len(predictor.updates) == 3  # squashed one trains too
+
+    def test_update_history_policy(self):
+        # With update_history=False the squashed branch leaves no history
+        # bit; probe via the history value the next predict sees.
+        trace = make_trace(
+            [
+                (1, 100, False, 3, 10, BranchKind.EXIT, True),
+                (2, 200, True, 0, -1, BranchKind.COND, False),
+            ]
+        )
+        shift = CountingPredictor()
+        simulate(
+            trace, shift,
+            SimOptions(distance=4, sfp=SFPConfig(update_history=True)),
+        )
+        skip = CountingPredictor()
+        simulate(
+            trace, skip,
+            SimOptions(distance=4, sfp=SFPConfig(update_history=False)),
+        )
+        assert shift.predicts[0][1] == 0  # branch 2 saw the shifted 0...
+        assert shift.predicts == [(2, 0)]
+        assert skip.predicts == [(2, 0)]
+
+
+class TestPGU:
+    def test_pdefs_enter_history_in_order(self):
+        trace = make_trace(
+            [(9, 100, True, 0, -1, BranchKind.COND, False)],
+            pdefs=[(1, 10, True, 3), (2, 20, False, 4), (3, 30, True, 5)],
+        )
+        predictor = CountingPredictor()
+        simulate(
+            trace, predictor,
+            SimOptions(distance=4, pgu=PGUConfig()),
+        )
+        # History is (oldest..newest) 1,0,1 -> 0b101.
+        assert predictor.predicts == [(9, 0b101)]
+
+    def test_delay_hides_late_defines(self):
+        trace = make_trace(
+            [(9, 100, True, 0, -1, BranchKind.COND, False)],
+            pdefs=[(1, 10, True, 3), (2, 98, True, 4)],
+        )
+        predictor = CountingPredictor()
+        simulate(
+            trace, predictor,
+            SimOptions(distance=4, pgu=PGUConfig()),
+        )
+        # The define at 98 is only 2 instructions old: not visible.
+        assert predictor.predicts == [(9, 0b1)]
+
+    def test_delay_zero_sees_everything(self):
+        trace = make_trace(
+            [(9, 100, True, 0, -1, BranchKind.COND, False)],
+            pdefs=[(1, 10, True, 3), (2, 99, True, 4)],
+        )
+        predictor = CountingPredictor()
+        simulate(
+            trace, predictor,
+            SimOptions(distance=4, pgu=PGUConfig(delay=0)),
+        )
+        assert predictor.predicts == [(9, 0b11)]
+
+    def test_guards_only_filter(self):
+        trace = make_trace(
+            [(9, 100, True, 4, 20, BranchKind.EXIT, True)],
+            pdefs=[(1, 10, True, 3), (2, 20, True, 4)],
+        )
+        predictor = CountingPredictor()
+        simulate(
+            trace, predictor,
+            SimOptions(
+                distance=4, pgu=PGUConfig(which="guards_only")
+            ),
+        )
+        # Only p4 ever guards a branch; p3's define is filtered out.
+        assert predictor.predicts == [(9, 0b1)]
+
+    def test_branch_outcomes_still_shift(self):
+        trace = make_trace(
+            [
+                (1, 10, True, 0, -1, BranchKind.COND, False),
+                (2, 20, False, 0, -1, BranchKind.COND, False),
+                (3, 30, True, 0, -1, BranchKind.COND, False),
+            ]
+        )
+        predictor = CountingPredictor()
+        simulate(trace, predictor, SimOptions(pgu=PGUConfig()))
+        assert predictor.predicts == [(1, 0b0), (2, 0b1), (3, 0b10)]
+
+
+class TestExtensions:
+    def test_squash_known_true_covers_taken_branches(self):
+        trace = make_trace(
+            [
+                (1, 100, True, 3, 10, BranchKind.EXIT, True),   # known T
+                (2, 110, False, 4, 20, BranchKind.EXIT, True),  # known F
+            ]
+        )
+        predictor = CountingPredictor(direction=False)
+        result = simulate(
+            trace, predictor,
+            SimOptions(distance=4,
+                       sfp=SFPConfig(squash_known_true=True)),
+        )
+        assert result.squashed == 2
+        assert result.mispredictions == 0
+        assert predictor.predicts == []
+
+    def test_known_true_not_squashed_by_default(self):
+        trace = make_trace(
+            [(1, 100, True, 3, 10, BranchKind.EXIT, True)]
+        )
+        result = simulate(
+            trace, CountingPredictor(direction=True),
+            SimOptions(distance=4, sfp=SFPConfig()),
+        )
+        assert result.squashed == 0
+
+    def test_delayed_update_defers_training(self):
+        # Two visits to the same pc 2 instructions apart: with delayed
+        # updates (distance 10) the second predict sees untrained tables.
+        trace = make_trace(
+            [
+                (7, 100, True, 0, -1, BranchKind.COND, False),
+                (7, 102, True, 0, -1, BranchKind.COND, False),
+                (7, 200, True, 0, -1, BranchKind.COND, False),
+            ]
+        )
+        immediate = simulate(
+            trace, make_predictor("bimodal", entries=16),
+            SimOptions(distance=10),
+        )
+        delayed = simulate(
+            trace, make_predictor("bimodal", entries=16),
+            SimOptions(distance=10, delayed_update=True),
+        )
+        # Immediate: branch 2 benefits from branch 1's update.
+        # Delayed: branch 2 does not (update lands at idx 110).
+        assert immediate.mispredictions <= delayed.mispredictions
+
+
+class TestHistoryLength:
+    def test_history_wraps_at_configured_bits(self):
+        branches = [
+            (1, 10 * (k + 1), True, 0, -1, BranchKind.COND, False)
+            for k in range(6)
+        ]
+        trace = make_trace(branches)
+        predictor = CountingPredictor()
+        simulate(trace, predictor, SimOptions(history_bits=3))
+        final_history = predictor.predicts[-1][1]
+        assert final_history <= 0b111
+
+
+class TestPerfectAndStatic:
+    def test_perfect_never_mispredicts(self):
+        trace = make_trace(
+            [
+                (1, 10, True, 0, -1, BranchKind.COND, False),
+                (2, 20, False, 0, -1, BranchKind.COND, False),
+            ]
+        )
+        result = simulate(trace, make_predictor("perfect"), SimOptions())
+        assert result.mispredictions == 0
+
+    def test_static_btfn_uses_targets(self):
+        trace = Trace.from_lists(
+            b_pc=[100, 100],
+            b_idx=[10, 20],
+            b_taken=[True, False],
+            b_guard=[0, 0],
+            b_guard_def=[-1, -1],
+            b_kind=[int(BranchKind.LOOP), int(BranchKind.COND)],
+            b_region=[False, False],
+            b_target=[50, 200],  # backward (taken) and forward (NT)
+            d_pc=[], d_idx=[], d_value=[], d_pred=[],
+            meta=TraceMeta(instructions=100),
+        )
+        result = simulate(
+            trace, make_predictor("static", policy="btfn"), SimOptions()
+        )
+        assert result.mispredictions == 0

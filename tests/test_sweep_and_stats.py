@@ -1,0 +1,75 @@
+"""Tests for the sweep helper, result-table formatting and workload base."""
+
+import pytest
+
+from repro.compiler.config import BASELINE, HYPERBLOCK
+from repro.predictors import make_predictor
+from repro.sim import SimOptions, format_result_table, sweep
+from repro.workloads import get_workload
+from repro.workloads.base import Workload
+
+
+class TestSweep:
+    def test_grid_shape_and_freshness(self):
+        trace = get_workload("crc").trace(scale="tiny")
+        traces = {"crc": trace}
+        factories = {
+            "gshare256": lambda: make_predictor("gshare", entries=256),
+            "bimodal256": lambda: make_predictor("bimodal", entries=256),
+        }
+        grid = [SimOptions(), SimOptions(distance=8)]
+        results = sweep(traces, factories, grid)
+        assert len(results) == 4
+        labels = {(r.workload, r.predictor) for r in results}
+        assert labels == {("crc", "gshare256"), ("crc", "bimodal256")}
+        # Same predictor label with the same options must give identical
+        # numbers (fresh instance per point -> no state leakage).
+        again = sweep(traces, factories, grid)
+        assert [r.mispredictions for r in again] == [
+            r.mispredictions for r in results
+        ]
+
+
+class TestFormatTable:
+    def test_alignment_and_floats(self):
+        rows = [
+            {"name": "a", "value": 0.123456},
+            {"name": "longer", "value": 2},
+        ]
+        text = format_result_table(rows, ["name", "value"], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "0.1235" in text
+        assert "longer" in text
+        # all data lines have equal width
+        assert len(set(len(line) for line in lines[1:])) <= 2
+
+    def test_missing_cells_blank(self):
+        text = format_result_table([{"a": 1}], ["a", "b"])
+        assert "b" in text
+
+
+class TestWorkloadBase:
+    def test_cache_key_varies_with_config_and_scale(self):
+        workload = get_workload("crc")
+        key_base = workload._cache_key("tiny", BASELINE)
+        key_hyper = workload._cache_key("tiny", HYPERBLOCK)
+        key_small = workload._cache_key("small", BASELINE)
+        assert len({key_base, key_hyper, key_small}) == 3
+
+    def test_template_substitution_failure(self):
+        broken = Workload(
+            name="broken",
+            description="",
+            template="func main() { return $missing; }",
+            scales={"tiny": {"present": 1}},
+        )
+        with pytest.raises(KeyError):
+            broken.source("tiny")
+
+    def test_run_defaults_to_baseline(self):
+        workload = get_workload("crc")
+        assert (
+            workload.run("tiny").return_value
+            == workload.run("tiny", BASELINE).return_value
+        )

@@ -1,0 +1,112 @@
+"""Unit tests for trace containers, masks, and the disk cache."""
+
+import numpy as np
+import pytest
+
+from repro.isa.opcodes import BranchKind
+from repro.trace import Trace, TraceCache, TraceMeta, TraceRecorder
+from repro.trace.container import BranchClass
+
+
+def sample_trace():
+    recorder = TraceRecorder()
+    recorder.record_branch(10, 100, True, 1, 90, int(BranchKind.COND),
+                           False, 50)
+    recorder.record_branch(20, 200, False, 2, 150, int(BranchKind.EXIT),
+                           True, 60)
+    recorder.record_branch(30, 300, True, 0, -1, int(BranchKind.LOOP),
+                           False, 5)
+    recorder.record_pdef(5, 90, True, 1)
+    recorder.record_pdef(6, 150, False, 2)
+    return recorder.finish(
+        TraceMeta(workload="demo", scale="tiny", instructions=400,
+                  return_value=7)
+    )
+
+
+class TestContainer:
+    def test_counts(self):
+        trace = sample_trace()
+        assert trace.num_branches == 3
+        assert trace.num_pdefs == 2
+        assert trace.taken_rate() == pytest.approx(2 / 3)
+
+    def test_branch_classes(self):
+        classes = sample_trace().branch_classes()
+        assert list(classes) == [
+            BranchClass.NORMAL, BranchClass.REGION, BranchClass.LOOP
+        ]
+
+    def test_guard_known_false_requires_all_conditions(self):
+        trace = sample_trace()
+        mask = trace.guard_known_false(10)
+        # Branch 0: taken -> no. Branch 1: NT, guard!=p0, distance 50 -> yes.
+        # Branch 2: guard p0 -> no.
+        assert list(mask) == [False, True, False]
+
+    def test_distance_threshold(self):
+        trace = sample_trace()
+        assert list(trace.guard_known(10)) == [True, True, False]
+        assert list(trace.guard_known(51)) == [False, False, False]
+
+    def test_summary_fields(self):
+        summary = sample_trace().summary()
+        assert summary["branches"] == 3
+        assert summary["region_fraction"] == pytest.approx(1 / 3)
+        assert summary["pdefs_per_100_instrs"] == pytest.approx(0.5)
+
+    def test_empty_trace(self):
+        trace = TraceRecorder().finish(TraceMeta())
+        assert trace.num_branches == 0
+        assert trace.taken_rate() == 0.0
+        assert trace.summary()["region_fraction"] == 0.0
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        trace = sample_trace()
+        path = tmp_path / "t.npz"
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert loaded.meta.workload == "demo"
+        assert loaded.meta.instructions == 400
+        assert loaded.meta.return_value == 7
+        np.testing.assert_array_equal(loaded.b_pc, trace.b_pc)
+        np.testing.assert_array_equal(loaded.b_taken, trace.b_taken)
+        np.testing.assert_array_equal(loaded.d_idx, trace.d_idx)
+
+
+class TestCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = TraceCache(tmp_path)
+        assert cache.get("key1") is None
+        built = []
+
+        def builder():
+            built.append(1)
+            return sample_trace()
+
+        first = cache.get_or_build("key1", builder)
+        second = cache.get_or_build("key1", builder)
+        assert built == [1]  # second call hit the cache
+        assert second.num_branches == first.num_branches
+
+    def test_keys_are_isolated(self, tmp_path):
+        cache = TraceCache(tmp_path)
+        cache.put("a", sample_trace())
+        assert cache.get("b") is None
+
+    def test_corrupt_file_is_a_miss(self, tmp_path):
+        cache = TraceCache(tmp_path)
+        path = cache.key_path("bad")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"not an npz")
+        assert cache.get("bad") is None
+        assert not path.exists()  # cleaned up
+
+    def test_clear(self, tmp_path):
+        cache = TraceCache(tmp_path)
+        cache.put("a", sample_trace())
+        cache.put("b", sample_trace())
+        assert cache.clear() == 2
+        assert cache.get("a") is None

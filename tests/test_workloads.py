@@ -1,0 +1,161 @@
+"""Workload suite tests: registry, scales, determinism, tracing."""
+
+import pytest
+
+from repro.compiler.config import BASELINE, HYPERBLOCK
+from repro.trace import TraceCache
+from repro.workloads import (
+    all_workloads,
+    get_workload,
+    workload_names,
+)
+from repro.workloads.expected import EXPECTED
+
+
+class TestRegistry:
+    def test_suite_size(self):
+        assert len(workload_names()) >= 10
+
+    def test_lookup(self):
+        workload = get_workload("qsort")
+        assert workload.name == "qsort"
+        with pytest.raises(KeyError):
+            get_workload("spec2000")
+
+    def test_all_have_three_scales(self):
+        for workload in all_workloads():
+            assert set(workload.scales) == {"tiny", "small", "ref"}
+
+    def test_all_have_expected_values(self):
+        for workload in all_workloads():
+            assert workload.name in EXPECTED
+            assert "tiny" in workload.expected
+
+    def test_source_substitution(self):
+        source = get_workload("qsort").source("tiny")
+        assert "$" not in source  # all parameters substituted
+        assert "func main()" in source
+
+    def test_unknown_scale(self):
+        with pytest.raises(KeyError):
+            get_workload("qsort").source("huge")
+
+
+class TestExecution:
+    @pytest.mark.parametrize("name", workload_names())
+    def test_baseline_matches_golden(self, name):
+        workload = get_workload(name)
+        result = workload.run("tiny", BASELINE)
+        assert result.return_value == EXPECTED[name]["tiny"]
+        assert result.instructions > 1000
+
+    @pytest.mark.parametrize("name", workload_names())
+    def test_hyperblock_matches_golden(self, name):
+        workload = get_workload(name)
+        result = workload.run("tiny", HYPERBLOCK)
+        assert result.return_value == EXPECTED[name]["tiny"]
+
+    def test_golden_mismatch_raises(self):
+        workload = get_workload("crc")
+        original = workload.expected["tiny"]
+        workload.expected["tiny"] = original + 1
+        try:
+            with pytest.raises(AssertionError):
+                workload.run("tiny", BASELINE)
+        finally:
+            workload.expected["tiny"] = original
+
+
+class TestTracing:
+    def test_trace_has_branch_population(self, tmp_path):
+        cache = TraceCache(tmp_path)
+        trace = get_workload("grep").trace(
+            scale="tiny", hyperblocks=True, cache=cache
+        )
+        assert trace.num_branches > 100
+        assert trace.num_pdefs > 100
+        assert trace.b_region.any(), "expected region-based branches"
+        assert trace.meta.workload == "grep"
+        assert trace.meta.instructions > 0
+
+    def test_trace_caching_roundtrip(self, tmp_path):
+        cache = TraceCache(tmp_path)
+        workload = get_workload("crc")
+        first = workload.trace(scale="tiny", cache=cache)
+        second = workload.trace(scale="tiny", cache=cache)
+        assert first.num_branches == second.num_branches
+        assert (first.b_taken == second.b_taken).all()
+
+    def test_baseline_and_hyper_traces_differ(self, tmp_path):
+        cache = TraceCache(tmp_path)
+        workload = get_workload("crc")
+        base = workload.trace(scale="tiny", hyperblocks=False, cache=cache)
+        hyper = workload.trace(scale="tiny", hyperblocks=True, cache=cache)
+        assert base.num_branches > hyper.num_branches
+        assert not base.b_region.any()
+        assert base.meta.return_value == hyper.meta.return_value
+
+    def test_traces_are_deterministic(self, tmp_path):
+        workload = get_workload("expr")
+        a = workload.trace(scale="tiny", use_cache=False)
+        b = workload.trace(scale="tiny", use_cache=False)
+        assert (a.b_pc == b.b_pc).all()
+        assert (a.b_taken == b.b_taken).all()
+        assert (a.d_idx == b.d_idx).all()
+
+
+class TestSyntheticGenerator:
+    def test_knob_validation(self):
+        from repro.workloads.synthetic import make_synthetic
+
+        with pytest.raises(ValueError):
+            make_synthetic(bias=101)
+        with pytest.raises(ValueError):
+            make_synthetic(noise=51)
+        with pytest.raises(ValueError):
+            make_synthetic(spacing=10)
+
+    def test_equivalence_across_compiles(self):
+        from repro.compiler.config import BASELINE, HYPERBLOCK
+        from repro.workloads.synthetic import make_synthetic
+
+        workload = make_synthetic(bias=30, noise=10, spacing=5)
+        base = workload.run("tiny", BASELINE)
+        hyper = workload.run("tiny", HYPERBLOCK)
+        assert base.return_value == hyper.return_value
+
+    def test_spacing_controls_guard_distance(self):
+        from repro.workloads.synthetic import make_synthetic
+
+        near = make_synthetic(spacing=0).trace("tiny", use_cache=False)
+        far = make_synthetic(spacing=9).trace("tiny", use_cache=False)
+        import numpy as np
+
+        def median_region_distance(trace):
+            mask = trace.b_region & (trace.b_guard_def >= 0)
+            return np.median(
+                (trace.b_idx - trace.b_guard_def)[mask]
+            )
+
+        assert median_region_distance(far) > median_region_distance(near)
+
+    def test_noise_controls_correlation(self):
+        from repro.predictors import PGUConfig, make_predictor
+        from repro.sim import SimOptions, simulate
+        from repro.workloads.synthetic import make_synthetic
+
+        def pgu_benefit(noise):
+            trace = make_synthetic(noise=noise).trace(
+                "tiny", use_cache=False
+            )
+            base = simulate(
+                trace, make_predictor("gshare", entries=1024), SimOptions()
+            )
+            pgu = simulate(
+                trace,
+                make_predictor("gshare", entries=1024),
+                SimOptions(pgu=PGUConfig()),
+            )
+            return base.misprediction_rate - pgu.misprediction_rate
+
+        assert pgu_benefit(0) > pgu_benefit(50) + 0.02

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Regenerate the golden tables after an intentional codegen change.
+
+Prints replacements for:
+
+* ``src/repro/workloads/expected.py`` — per-workload return values;
+* ``tests/test_regression_rates.py`` — per-workload prediction counts.
+
+Remember to bump ``CODEGEN_REVISION`` in ``repro/compiler/config.py``
+whenever generated code changes, so cached traces regenerate.
+"""
+
+from repro.compiler.config import BASELINE
+from repro.predictors import PGUConfig, SFPConfig, make_predictor
+from repro.sim import SimOptions, simulate
+from repro.workloads import all_workloads
+
+
+def main() -> None:
+    print("# --- workloads/expected.py ---")
+    print("EXPECTED = {")
+    for workload in all_workloads():
+        values = {
+            scale: workload.run(scale, BASELINE).return_value
+            for scale in ("tiny", "small")
+        }
+        print(f'    "{workload.name}": {values},')
+    print("}")
+
+    print()
+    print("# --- tests/test_regression_rates.py ---")
+    print("GOLDEN = {")
+    for workload in all_workloads():
+        trace = workload.trace("tiny", hyperblocks=True)
+        plain = simulate(
+            trace, make_predictor("gshare", entries=1024), SimOptions()
+        )
+        both = simulate(
+            trace,
+            make_predictor("gshare", entries=1024),
+            SimOptions(sfp=SFPConfig(), pgu=PGUConfig()),
+        )
+        print(
+            f'    "{workload.name}": ({plain.mispredictions}, '
+            f"{both.mispredictions}, {both.squashed}, "
+            f"{trace.num_branches}),"
+        )
+    print("}")
+
+
+if __name__ == "__main__":
+    main()

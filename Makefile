@@ -2,7 +2,8 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench experiments fuzz clean-cache lines
+.PHONY: install test bench experiments experiments-parallel fuzz \
+	clean-cache lines
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -15,6 +16,9 @@ bench:
 
 experiments:
 	$(PYTHON) -m repro.cli run-all --scale small
+
+experiments-parallel:
+	$(PYTHON) -m repro.cli run-all --scale small --workers 0
 
 fuzz:
 	$(PYTHON) -m pytest tests/test_differential.py -q

@@ -1,0 +1,112 @@
+"""Benchmarks for the parallel sweep engine.
+
+Run with::
+
+    pytest benchmarks/test_bench_sweep.py --benchmark-only -s
+
+``bench_parallel_sweep_speedup`` is the acceptance check for the
+parallel executor: a 32-point grid must run measurably faster with 4
+workers than serially, while returning bit-identical results.
+"""
+
+import os
+import time
+
+import pytest
+
+from benchmarks.conftest import BENCH_SUBSET, run_once
+from repro.predictors import PGUConfig, SFPConfig, make_predictor
+from repro.sim import SimOptions, sweep
+from repro.workloads import get_workload
+
+#: The sweep benchmark uses the bigger scale: per-point work must dwarf
+#: the pool startup cost for the speedup measurement to mean anything.
+SWEEP_SCALE = "small"
+
+GRID_OPTIONS = [
+    SimOptions(),
+    SimOptions(distance=8),
+    SimOptions(distance=16),
+    SimOptions(sfp=SFPConfig()),
+    SimOptions(pgu=PGUConfig()),
+    SimOptions(sfp=SFPConfig(), pgu=PGUConfig()),
+    SimOptions(sfp=SFPConfig(), pgu=PGUConfig(), distance=8),
+    SimOptions(delayed_update=True),
+]
+
+
+def _grid():
+    traces = {
+        name: get_workload(name).trace(scale=SWEEP_SCALE)
+        for name in BENCH_SUBSET
+    }
+    factories = {
+        "gshare4k": lambda: make_predictor("gshare", entries=4096),
+    }
+    return traces, factories, GRID_OPTIONS
+
+
+def bench_sweep_serial(benchmark):
+    traces, factories, grid = _grid()
+    results = run_once(benchmark, sweep, traces, factories, grid)
+    assert len(results) == len(traces) * len(grid)
+
+
+def bench_sweep_parallel_4workers(benchmark):
+    traces, factories, grid = _grid()
+    results = run_once(
+        benchmark, sweep, traces, factories, grid, workers=4
+    )
+    assert len(results) == len(traces) * len(grid)
+
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def bench_parallel_sweep_speedup(benchmark):
+    """Serial vs 4 workers on one grid: assert a real wall-clock win.
+
+    On a single-CPU machine a process pool cannot beat serial execution
+    (there is nothing to run in parallel *on*), so the speedup assertion
+    only applies when at least two CPUs are usable; determinism is
+    asserted regardless.
+    """
+    traces, factories, grid = _grid()
+    measured = {}
+
+    def compare():
+        start = time.perf_counter()
+        serial = sweep(traces, factories, grid)
+        measured["serial"] = time.perf_counter() - start
+        start = time.perf_counter()
+        parallel = sweep(traces, factories, grid, workers=4)
+        measured["parallel"] = time.perf_counter() - start
+        measured["identical"] = [
+            (r.workload, r.predictor, r.options, r.mispredictions,
+             r.squashed, r.branches)
+            for r in serial
+        ] == [
+            (r.workload, r.predictor, r.options, r.mispredictions,
+             r.squashed, r.branches)
+            for r in parallel
+        ]
+
+    run_once(benchmark, compare)
+    speedup = measured["serial"] / measured["parallel"]
+    print(
+        f"\nserial {measured['serial']:.2f}s, "
+        f"4 workers {measured['parallel']:.2f}s, "
+        f"speedup {speedup:.2f}x over {len(BENCH_SUBSET) * len(GRID_OPTIONS)}"
+        f" points on {_usable_cpus()} CPU(s)"
+    )
+    assert measured["identical"], "parallel results diverged from serial"
+    if _usable_cpus() < 2:
+        pytest.skip("speedup needs >= 2 CPUs; determinism verified")
+    assert measured["parallel"] < measured["serial"], (
+        "4-worker sweep was not faster than serial: "
+        f"{measured['parallel']:.2f}s vs {measured['serial']:.2f}s"
+    )

@@ -4,7 +4,7 @@
 
     repro list                         # workloads, predictors, experiments
     repro run-experiment E6 [--scale small] [--fast] [--format csv]
-    repro run-all [--scale tiny] [--output results/]
+    repro run-all [--scale tiny] [--output results/] [--workers 4]
     repro simulate qsort --predictor gshare --entries 4096 --sfp --pgu
     repro characterise grep [--scale small]
     repro analyze grep --regions       # static region statistics
@@ -51,8 +51,12 @@ def _run_one(exp_id: str, args) -> None:
     if args.workloads:
         kwargs["workloads"] = args.workloads.split(",")
     run = module.run
-    if "fast" in run.__code__.co_varnames[: run.__code__.co_argcount]:
+    params = run.__code__.co_varnames[: run.__code__.co_argcount]
+    if "fast" in params:
         kwargs["fast"] = args.fast
+    workers = getattr(args, "workers", None)
+    if workers is not None and "workers" in params:
+        kwargs["workers"] = workers
     result = run(**kwargs)
     fmt = getattr(args, "format", "table") or "table"
     output = getattr(args, "output", None)
@@ -198,6 +202,9 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=("tiny", "small", "ref"))
     p.add_argument("--fast", action="store_true")
     p.add_argument("--workloads", help="comma-separated subset")
+    p.add_argument("--workers", type=int, default=None,
+                   help="sweep worker processes (0 = all CPUs; default "
+                        "$REPRO_SWEEP_WORKERS or serial)")
     p.add_argument("--format", default="table",
                    choices=("table", "csv", "json"))
     p.add_argument("--output", help="also write the export to this dir")
@@ -207,6 +214,9 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=("tiny", "small", "ref"))
     p.add_argument("--fast", action="store_true")
     p.add_argument("--workloads", help="comma-separated subset")
+    p.add_argument("--workers", type=int, default=None,
+                   help="sweep worker processes (0 = all CPUs; default "
+                        "$REPRO_SWEEP_WORKERS or serial)")
     p.add_argument("--format", default="table",
                    choices=("table", "csv", "json"))
     p.add_argument("--output", help="also write each export to this dir")

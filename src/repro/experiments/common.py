@@ -1,9 +1,11 @@
 """Shared experiment infrastructure."""
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional
 
+from repro.sim.driver import SimOptions, SimResult
 from repro.sim.stats import format_result_table
+from repro.sim.sweep import ProgressCallback, sweep
 from repro.trace.container import Trace
 from repro.workloads import all_workloads, get_workload
 
@@ -58,6 +60,79 @@ def suite_traces(
         w.name: w.trace(scale=scale, hyperblocks=hyperblocks, config=config)
         for w in suite_workloads(workloads)
     }
+
+
+def run_sweep(
+    traces: Dict[str, Trace],
+    predictor_factories: Dict[str, Callable],
+    options_grid: Iterable[SimOptions],
+    workers: Optional[int] = None,
+    progress: Optional[ProgressCallback] = None,
+) -> List[SimResult]:
+    """Run a sweep grid for an experiment (parallel when ``workers``>1).
+
+    Thin façade over :func:`repro.sim.sweep.sweep` so experiments share
+    one entry point for worker-count and progress plumbing.
+    """
+    return sweep(
+        traces,
+        predictor_factories,
+        options_grid,
+        workers=workers,
+        progress=progress,
+    )
+
+
+@dataclass
+class SuiteAggregate:
+    """Suite-total counters accumulated across one option's results."""
+
+    mispredictions: int = 0
+    branches: int = 0
+    squashed: int = 0
+
+    def add(self, result: SimResult) -> None:
+        self.mispredictions += result.mispredictions
+        self.branches += result.branches
+        self.squashed += result.squashed
+
+    @property
+    def rate(self) -> float:
+        return self.mispredictions / self.branches if self.branches else 0.0
+
+    @property
+    def squash_coverage(self) -> float:
+        return self.squashed / self.branches if self.branches else 0.0
+
+
+def suite_option_aggregates(
+    traces: Dict[str, Trace],
+    labeled_options: Dict[str, SimOptions],
+    factory: Callable,
+    workers: Optional[int] = None,
+    progress: Optional[ProgressCallback] = None,
+) -> Dict[str, SuiteAggregate]:
+    """Suite-total stats per labeled option, via one (parallel) sweep.
+
+    Runs ``factory`` (a fresh predictor per point) over every trace for
+    every option in ``labeled_options`` and folds the per-trace results
+    into one :class:`SuiteAggregate` per label.
+    """
+    labels = list(labeled_options)
+    options_list = [labeled_options[label] for label in labels]
+    results = run_sweep(
+        traces,
+        {"p": factory},
+        options_list,
+        workers=workers,
+        progress=progress,
+    )
+    aggregates = {label: SuiteAggregate() for label in labels}
+    # Results come back trace-major with one factory, so the option
+    # (and hence label) cycles with period len(options_list).
+    for i, result in enumerate(results):
+        aggregates[labels[i % len(options_list)]].add(result)
+    return aggregates
 
 
 def geometric_mean(values: List[float]) -> float:

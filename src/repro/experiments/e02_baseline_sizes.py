@@ -8,10 +8,11 @@ from repro.experiments.common import (
     ExperimentResult,
     ExperimentSpec,
     arithmetic_mean,
+    run_sweep,
     suite_traces,
 )
 from repro.predictors import make_predictor
-from repro.sim import SimOptions, simulate
+from repro.sim import SimOptions
 
 SPEC = ExperimentSpec(
     id="E2",
@@ -25,16 +26,21 @@ FAST_SIZES = (256, 1024)
 
 
 def run(scale: str = "small", workloads=None, fast: bool = False,
-        sizes=None) -> ExperimentResult:
+        sizes=None, workers=None) -> ExperimentResult:
     sizes = sizes or (FAST_SIZES if fast else DEFAULT_SIZES)
     traces = suite_traces(scale=scale, workloads=workloads)
+    factories = {
+        f"gshare_{size}": (
+            lambda size=size: make_predictor("gshare", entries=size)
+        )
+        for size in sizes
+    }
+    results = run_sweep(traces, factories, [SimOptions()], workers=workers)
     rows = []
-    for name, trace in traces.items():
+    for i, name in enumerate(traces):
         row = {"workload": name}
-        for size in sizes:
-            result = simulate(
-                trace, make_predictor("gshare", entries=size), SimOptions()
-            )
+        for j, size in enumerate(sizes):
+            result = results[i * len(sizes) + j]
             row[f"gshare_{size}"] = result.misprediction_rate
         rows.append(row)
     mean_row = {"workload": "MEAN"}

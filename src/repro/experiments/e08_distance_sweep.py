@@ -8,10 +8,11 @@ arrive too late to help the nearest branches.
 from repro.experiments.common import (
     ExperimentResult,
     ExperimentSpec,
+    suite_option_aggregates,
     suite_traces,
 )
 from repro.predictors import PGUConfig, SFPConfig, make_predictor
-from repro.sim import SimOptions, simulate
+from repro.sim import SimOptions
 
 SPEC = ExperimentSpec(
     id="E8",
@@ -24,38 +25,43 @@ DISTANCES = (0, 2, 4, 6, 8, 12, 16, 24, 32)
 FAST_DISTANCES = (0, 4, 16)
 
 
+VARIANTS = ("base", "sfp", "pgu", "both")
+
+
+def _variant_options(distance: int):
+    return {
+        "base": SimOptions(distance=distance),
+        "sfp": SimOptions(distance=distance, sfp=SFPConfig()),
+        "pgu": SimOptions(distance=distance, pgu=PGUConfig()),
+        "both": SimOptions(
+            distance=distance, sfp=SFPConfig(), pgu=PGUConfig()
+        ),
+    }
+
+
 def run(scale: str = "small", workloads=None, fast: bool = False,
-        entries: int = 1024, distances=None) -> ExperimentResult:
+        entries: int = 1024, distances=None,
+        workers=None) -> ExperimentResult:
     distances = distances or (FAST_DISTANCES if fast else DISTANCES)
     traces = suite_traces(scale=scale, workloads=workloads)
+    labeled = {}
+    for distance in distances:
+        for label, options in _variant_options(distance).items():
+            labeled[f"{distance}/{label}"] = options
+    aggregates = suite_option_aggregates(
+        traces,
+        labeled,
+        lambda: make_predictor("gshare", entries=entries),
+        workers=workers,
+    )
     rows = []
     for distance in distances:
-        counts = {"base": [0, 0], "sfp": [0, 0], "pgu": [0, 0],
-                  "both": [0, 0]}
-        squashed = 0
-        total = 0
-        for trace in traces.values():
-            options = {
-                "base": SimOptions(distance=distance),
-                "sfp": SimOptions(distance=distance, sfp=SFPConfig()),
-                "pgu": SimOptions(distance=distance, pgu=PGUConfig()),
-                "both": SimOptions(
-                    distance=distance, sfp=SFPConfig(), pgu=PGUConfig()
-                ),
-            }
-            for label, opts in options.items():
-                result = simulate(
-                    trace, make_predictor("gshare", entries=entries), opts
-                )
-                counts[label][0] += result.mispredictions
-                counts[label][1] += result.branches
-                if label == "sfp":
-                    squashed += result.squashed
-                    total += result.branches
         row = {"distance": distance}
-        for label, (misp, branches) in counts.items():
-            row[label] = misp / branches if branches else 0.0
-        row["squash_coverage"] = squashed / total if total else 0.0
+        for label in VARIANTS:
+            row[label] = aggregates[f"{distance}/{label}"].rate
+        row["squash_coverage"] = aggregates[
+            f"{distance}/sfp"
+        ].squash_coverage
         rows.append(row)
     return ExperimentResult(
         spec=SPEC,

@@ -17,11 +17,12 @@ from dataclasses import replace
 from repro.experiments.common import (
     ExperimentResult,
     ExperimentSpec,
+    suite_option_aggregates,
     suite_traces,
     suite_workloads,
 )
 from repro.predictors import PGUConfig, SFPConfig, make_predictor
-from repro.sim import SimOptions, simulate
+from repro.sim import SimOptions
 
 SPEC = ExperimentSpec(
     id="E10",
@@ -38,59 +39,43 @@ SPEC = ExperimentSpec(
 SCHED_WORKLOADS = ("compress", "grep", "nbody")
 
 
-def _suite_rate(traces, entries, options):
-    mispredictions = branches = 0
-    for trace in traces.values():
-        result = simulate(
-            trace, make_predictor("gshare", entries=entries), options
-        )
-        mispredictions += result.mispredictions
-        branches += result.branches
-    return mispredictions / branches if branches else 0.0
-
-
 def run(scale: str = "small", workloads=None, fast: bool = False,
-        entries: int = 1024) -> ExperimentResult:
+        entries: int = 1024, workers=None) -> ExperimentResult:
     traces = suite_traces(scale=scale, workloads=workloads)
-    rows = []
+    factory = lambda: make_predictor("gshare", entries=entries)  # noqa: E731
 
-    def add(config, options):
-        rows.append(
-            {"config": config,
-             "misprediction": _suite_rate(traces, entries, options)}
-        )
-
-    add("none", SimOptions())
-    # SFP policy space.
-    add("sfp/filter+shift", SimOptions(sfp=SFPConfig()))
-    add("sfp/train-pht", SimOptions(sfp=SFPConfig(update_pht=True)))
-    add(
-        "sfp/skip-history",
-        SimOptions(sfp=SFPConfig(update_history=False)),
-    )
-    # Extension: squash both directions once the guard is resolved.
-    add(
-        "sfp/both-dirs",
-        SimOptions(sfp=SFPConfig(squash_known_true=True)),
-    )
-    # Trainer latency: tables update at resolve, not at predict.
-    add("train/delayed", SimOptions(delayed_update=True))
-    add(
-        "train/delayed+both",
-        SimOptions(delayed_update=True, sfp=SFPConfig(), pgu=PGUConfig()),
-    )
-    # PGU insertion policy.
-    add("pgu/delay=D", SimOptions(pgu=PGUConfig()))
-    add("pgu/delay=0", SimOptions(pgu=PGUConfig(delay=0)))
-    add("pgu/delay=2D", SimOptions(pgu=PGUConfig(delay=8)))
-    add("pgu/guards-only", SimOptions(pgu=PGUConfig(which="guards_only")))
+    labeled = {
+        "none": SimOptions(),
+        # SFP policy space.
+        "sfp/filter+shift": SimOptions(sfp=SFPConfig()),
+        "sfp/train-pht": SimOptions(sfp=SFPConfig(update_pht=True)),
+        "sfp/skip-history": SimOptions(sfp=SFPConfig(update_history=False)),
+        # Extension: squash both directions once the guard is resolved.
+        "sfp/both-dirs": SimOptions(sfp=SFPConfig(squash_known_true=True)),
+        # Trainer latency: tables update at resolve, not at predict.
+        "train/delayed": SimOptions(delayed_update=True),
+        "train/delayed+both": SimOptions(
+            delayed_update=True, sfp=SFPConfig(), pgu=PGUConfig()
+        ),
+        # PGU insertion policy.
+        "pgu/delay=D": SimOptions(pgu=PGUConfig()),
+        "pgu/delay=0": SimOptions(pgu=PGUConfig(delay=0)),
+        "pgu/delay=2D": SimOptions(pgu=PGUConfig(delay=8)),
+        "pgu/guards-only": SimOptions(pgu=PGUConfig(which="guards_only")),
+    }
     # History length with/without predicate bits.
     for bits in (8, 16, 32):
-        add(f"hist{bits}/plain", SimOptions(history_bits=bits))
-        add(
-            f"hist{bits}/pgu",
-            SimOptions(history_bits=bits, pgu=PGUConfig()),
+        labeled[f"hist{bits}/plain"] = SimOptions(history_bits=bits)
+        labeled[f"hist{bits}/pgu"] = SimOptions(
+            history_bits=bits, pgu=PGUConfig()
         )
+    aggregates = suite_option_aggregates(
+        traces, labeled, factory, workers=workers
+    )
+    rows = [
+        {"config": config, "misprediction": aggregates[config].rate}
+        for config in labeled
+    ]
     if not fast:
         # Compiler scheduling ablation: recompile a subset without the
         # passes that create predicate lead time.
@@ -107,18 +92,26 @@ def run(scale: str = "small", workloads=None, fast: bool = False,
             scale=scale, workloads=subset, config=no_sched
         )
         both = SimOptions(sfp=SFPConfig(), pgu=PGUConfig())
+        sched_on = suite_option_aggregates(
+            sched_traces, {"both": both}, factory, workers=workers
+        )
+        sched_off = suite_option_aggregates(
+            flat_traces,
+            {"both": both, "none": SimOptions()},
+            factory,
+            workers=workers,
+        )
         rows.append(
             {"config": "sched/on+both",
-             "misprediction": _suite_rate(sched_traces, entries, both)}
+             "misprediction": sched_on["both"].rate}
         )
         rows.append(
             {"config": "sched/off+both",
-             "misprediction": _suite_rate(flat_traces, entries, both)}
+             "misprediction": sched_off["both"].rate}
         )
         rows.append(
             {"config": "sched/off+none",
-             "misprediction": _suite_rate(flat_traces, entries,
-                                          SimOptions())}
+             "misprediction": sched_off["none"].rate}
         )
     return ExperimentResult(
         spec=SPEC,

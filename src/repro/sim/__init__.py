@@ -4,15 +4,27 @@ from repro.sim.driver import BranchFlags, SimOptions, SimResult, simulate
 from repro.sim.stats import ClassStats, format_result_table
 from repro.sim.confidence import simulate_with_confidence
 from repro.sim.hotspots import SiteStats, per_site_stats, top_hotspots
-from repro.sim.sweep import sweep
+from repro.sim.sweep import (
+    ParallelSweepRunner,
+    SweepError,
+    SweepPoint,
+    SweepProgress,
+    resolve_workers,
+    sweep,
+)
 
 __all__ = [
     "BranchFlags",
     "ClassStats",
+    "ParallelSweepRunner",
     "SimOptions",
     "SimResult",
     "SiteStats",
+    "SweepError",
+    "SweepPoint",
+    "SweepProgress",
     "per_site_stats",
+    "resolve_workers",
     "simulate_with_confidence",
     "top_hotspots",
     "format_result_table",

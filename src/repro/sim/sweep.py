@@ -1,30 +1,268 @@
-"""Parameter sweeps: run a grid of (trace, predictor, options) points."""
+"""Parameter sweeps: run a grid of (trace, predictor, options) points.
 
-from typing import Callable, Dict, Iterable, List
+Grid points are fully independent, so the sweep can fan them out over a
+:class:`concurrent.futures.ProcessPoolExecutor`.  The parallel path is
+bit-identical to the serial one: predictors are constructed in the parent
+(one fresh instance per point, exactly as the serial loop does), shipped
+to workers by pickle, and results are reassembled into the canonical
+(trace, predictor, options) nesting order regardless of completion order.
+
+Worker count resolution, in priority order:
+
+1. an explicit ``workers=`` argument,
+2. the ``REPRO_SWEEP_WORKERS`` environment variable,
+3. ``1`` (serial, in-process — the historical behaviour).
+
+``workers=0`` (or ``REPRO_SWEEP_WORKERS=0``) means "all CPUs".
+"""
+
+import os
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.sim.driver import SimOptions, SimResult, simulate
 from repro.trace.container import Trace
+
+#: Environment variable overriding the default worker count.
+WORKERS_ENV = "REPRO_SWEEP_WORKERS"
+
+
+class SweepError(RuntimeError):
+    """A sweep grid point failed (worker exception or crashed worker)."""
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """Identity of one grid point, in canonical nesting order."""
+
+    index: int  #: position in the (trace, predictor, options) ordering
+    total: int  #: number of points in the whole grid
+    workload: str
+    predictor: str
+    options: SimOptions
+
+
+@dataclass(frozen=True)
+class SweepProgress:
+    """One per-point progress report, delivered as points *complete*."""
+
+    point: SweepPoint
+    seconds: float  #: wall-clock simulation time of this point
+    completed: int  #: points finished so far (including this one)
+
+
+#: Signature of the pluggable progress callback.
+ProgressCallback = Callable[[SweepProgress], None]
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Resolve a worker count: argument > ``$REPRO_SWEEP_WORKERS`` > 1."""
+    if workers is None:
+        env = os.environ.get(WORKERS_ENV, "").strip()
+        if not env:
+            return 1
+        try:
+            workers = int(env)
+        except ValueError:
+            raise ValueError(
+                f"{WORKERS_ENV} must be an integer, got {env!r}"
+            ) from None
+    if workers == 0:
+        return os.cpu_count() or 1
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    return workers
+
+
+# -- worker side --------------------------------------------------------------
+
+#: Per-worker trace table, installed once by the pool initializer so each
+#: trace crosses the process boundary once per worker, not once per point.
+_WORKER_TRACES: Optional[Dict[str, Trace]] = None
+
+
+def _init_worker(traces_blob: bytes) -> None:
+    global _WORKER_TRACES
+    _WORKER_TRACES = pickle.loads(traces_blob)
+
+
+def _run_point(index, trace_name, label, predictor, options):
+    """Simulate one grid point inside a worker process."""
+    start = time.perf_counter()
+    result = simulate(_WORKER_TRACES[trace_name], predictor, options)
+    result.workload = trace_name
+    result.predictor = label
+    return index, result, time.perf_counter() - start
+
+
+# -- parent side --------------------------------------------------------------
+
+
+class ParallelSweepRunner:
+    """Executes a sweep grid, serially or over a process pool.
+
+    Results always come back in (trace, predictor, options) nesting
+    order and are bit-identical to the serial path: each point gets a
+    fresh predictor built in the parent by its factory, and
+    :func:`~repro.sim.driver.simulate` is deterministic given (trace,
+    predictor initial state, options).
+
+    ``progress`` is called once per point, in *completion* order, with a
+    :class:`SweepProgress` carrying identity, timing and running count.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        progress: Optional[ProgressCallback] = None,
+        mp_context=None,
+    ):
+        self.workers = resolve_workers(workers)
+        self.progress = progress
+        self.mp_context = mp_context
+
+    def run(
+        self,
+        traces: Dict[str, Trace],
+        predictor_factories: Dict[str, Callable[[], "BranchPredictor"]],
+        options_grid: Iterable[SimOptions],
+    ) -> List[SimResult]:
+        points = self._enumerate(traces, predictor_factories, options_grid)
+        if self.workers <= 1 or len(points) <= 1:
+            return self._run_serial(traces, points)
+        return self._run_parallel(traces, points)
+
+    def _enumerate(self, traces, predictor_factories, options_grid):
+        """Materialise the grid in canonical nesting order.
+
+        Each entry is ``(point, predictor)`` — the predictor is built
+        here, in the parent, so construction order (and hence any
+        factory-side state) matches the serial path exactly.
+        """
+        options_list = list(options_grid)
+        total = (
+            len(traces) * len(predictor_factories) * len(options_list)
+        )
+        points = []
+        for trace_name in traces:
+            for label, factory in predictor_factories.items():
+                for options in options_list:
+                    point = SweepPoint(
+                        index=len(points),
+                        total=total,
+                        workload=trace_name,
+                        predictor=label,
+                        options=options,
+                    )
+                    points.append((point, factory()))
+        return points
+
+    def _report(self, point, seconds, completed):
+        if self.progress is not None:
+            self.progress(
+                SweepProgress(
+                    point=point, seconds=seconds, completed=completed
+                )
+            )
+
+    def _run_serial(self, traces, points):
+        results = []
+        for point, predictor in points:
+            start = time.perf_counter()
+            try:
+                result = simulate(
+                    traces[point.workload], predictor, point.options
+                )
+            except Exception as exc:
+                raise SweepError(self._describe_failure(point, exc)) from exc
+            result.workload = point.workload
+            result.predictor = point.predictor
+            results.append(result)
+            self._report(point, time.perf_counter() - start, len(results))
+        return results
+
+    def _run_parallel(self, traces, points):
+        traces_blob = pickle.dumps(traces, protocol=pickle.HIGHEST_PROTOCOL)
+        slots: List[Optional[SimResult]] = [None] * len(points)
+        completed = 0
+        max_workers = min(self.workers, len(points))
+        with ProcessPoolExecutor(
+            max_workers=max_workers,
+            mp_context=self.mp_context,
+            initializer=_init_worker,
+            initargs=(traces_blob,),
+        ) as pool:
+            futures = {
+                pool.submit(
+                    _run_point,
+                    point.index,
+                    point.workload,
+                    point.predictor,
+                    predictor,
+                    point.options,
+                ): point
+                for point, predictor in points
+            }
+            for future in as_completed(futures):
+                point = futures[future]
+                try:
+                    index, result, seconds = future.result()
+                except BrokenProcessPool as exc:
+                    raise SweepError(
+                        "sweep worker process died unexpectedly (while "
+                        f"running {len(futures)} points with "
+                        f"{max_workers} workers); first affected point: "
+                        f"{self._describe_point(point)}"
+                    ) from exc
+                except Exception as exc:
+                    # Fail fast: drop queued points so the error isn't
+                    # stuck behind the rest of the grid.
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    raise SweepError(
+                        self._describe_failure(point, exc)
+                    ) from exc
+                slots[index] = result
+                completed += 1
+                self._report(point, seconds, completed)
+        return slots
+
+    @staticmethod
+    def _describe_point(point: SweepPoint) -> str:
+        return (
+            f"point {point.index + 1}/{point.total} "
+            f"(workload={point.workload!r}, predictor={point.predictor!r}, "
+            f"options={point.options.describe()})"
+        )
+
+    def _describe_failure(self, point: SweepPoint, exc: Exception) -> str:
+        return (
+            f"sweep {self._describe_point(point)} failed: "
+            f"{type(exc).__name__}: {exc}"
+        )
 
 
 def sweep(
     traces: Dict[str, Trace],
     predictor_factories: Dict[str, Callable[[], "BranchPredictor"]],
     options_grid: Iterable[SimOptions],
+    workers: Optional[int] = None,
+    progress: Optional[ProgressCallback] = None,
 ) -> List[SimResult]:
     """Simulate every combination, with a *fresh* predictor per point.
 
     ``predictor_factories`` maps a label to a zero-argument constructor —
     predictors are stateful, so each grid point gets its own instance.
-    Results come back in (trace, predictor, options) nesting order.
+    Results come back in (trace, predictor, options) nesting order,
+    identically for the serial and parallel paths.
+
+    ``workers`` > 1 fans points out over a process pool (``0`` = all
+    CPUs, default serial; ``$REPRO_SWEEP_WORKERS`` overrides when the
+    argument is omitted).  ``progress`` receives one
+    :class:`SweepProgress` per completed point.
     """
-    results: List[SimResult] = []
-    options_list = list(options_grid)
-    for trace_name, trace in traces.items():
-        for label, factory in predictor_factories.items():
-            for options in options_list:
-                predictor = factory()
-                result = simulate(trace, predictor, options)
-                result.workload = trace_name
-                result.predictor = label
-                results.append(result)
-    return results
+    runner = ParallelSweepRunner(workers=workers, progress=progress)
+    return runner.run(traces, predictor_factories, options_grid)

@@ -4,14 +4,31 @@ Generating a trace means interpreting millions of instructions, so traces
 are cached under a key derived from the workload name, input scale, and
 compile configuration.  Workloads are deterministic, hence a cache hit is
 bit-identical to a regeneration.
+
+The cache is safe under concurrent builders (e.g. parallel sweep
+workers all warming the same suite):
+
+* writes land in a per-call unique temp file and are published with an
+  atomic :func:`os.replace`, so readers only ever see complete files;
+* :meth:`TraceCache.get_or_build` takes a per-key advisory file lock
+  around the miss path, so N processes racing on one key perform
+  exactly one build — the rest block briefly, then load the winner's
+  file.
 """
 
 import hashlib
 import os
+import uuid
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Callable, Optional
 
 from repro.trace.container import Trace
+
+try:  # POSIX advisory locks; absent on some platforms.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
 
 #: Environment variable overriding the default cache directory.
 CACHE_ENV = "REPRO_TRACE_CACHE"
@@ -35,6 +52,23 @@ class TraceCache:
         digest = hashlib.sha256(key.encode()).hexdigest()[:24]
         return self.directory / f"{digest}.npz"
 
+    def _lock_path(self, key: str) -> Path:
+        return self.key_path(key).with_suffix(".lock")
+
+    @contextmanager
+    def _key_lock(self, key: str):
+        """Exclusive per-key advisory lock (no-op where unsupported)."""
+        if fcntl is None:  # pragma: no cover - non-POSIX fallback
+            yield
+            return
+        self.directory.mkdir(parents=True, exist_ok=True)
+        with open(self._lock_path(key), "w") as handle:
+            fcntl.flock(handle, fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle, fcntl.LOCK_UN)
+
     def get(self, key: str) -> Optional[Trace]:
         """Return the cached trace for ``key``, or ``None``."""
         path = self.key_path(key)
@@ -48,19 +82,40 @@ class TraceCache:
             return None
 
     def put(self, key: str, trace: Trace) -> None:
-        """Store ``trace`` under ``key``."""
+        """Store ``trace`` under ``key``.
+
+        The write goes to a per-call unique temp name, then an atomic
+        rename publishes it — concurrent writers of the same key cannot
+        truncate each other mid-write, and the loser's rename simply
+        (atomically) re-publishes identical bytes.
+        """
         self.directory.mkdir(parents=True, exist_ok=True)
         path = self.key_path(key)
-        tmp = path.with_suffix(".tmp.npz")
-        trace.save(tmp)
-        tmp.replace(path)
+        tmp = path.with_suffix(
+            f".tmp-{os.getpid()}-{uuid.uuid4().hex[:8]}.npz"
+        )
+        try:
+            trace.save(tmp)
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
 
     def get_or_build(self, key: str, builder: Callable[[], Trace]) -> Trace:
-        """Fetch ``key`` from the cache, building and storing on a miss."""
+        """Fetch ``key`` from the cache, building and storing on a miss.
+
+        The miss path holds a per-key file lock across the re-check,
+        build and store, giving exactly-one-build semantics across
+        concurrent processes.
+        """
         trace = self.get(key)
-        if trace is None:
-            trace = builder()
-            self.put(key, trace)
+        if trace is not None:
+            return trace
+        with self._key_lock(key):
+            # Another process may have built while we waited on the lock.
+            trace = self.get(key)
+            if trace is None:
+                trace = builder()
+                self.put(key, trace)
         return trace
 
     def clear(self) -> int:
@@ -71,4 +126,6 @@ class TraceCache:
         for path in self.directory.glob("*.npz"):
             path.unlink()
             removed += 1
+        for path in self.directory.glob("*.lock"):
+            path.unlink(missing_ok=True)
         return removed

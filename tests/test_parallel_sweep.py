@@ -1,0 +1,223 @@
+"""Determinism and failure-mode tests for the parallel sweep engine.
+
+The contract under test: ``sweep(..., workers=K)`` for any K returns
+results bit-identical to — and ordered identically with — the serial
+path, and a dead or raising worker surfaces as a clear
+:class:`~repro.sim.sweep.SweepError` instead of a hang or a silent hole
+in the results.
+"""
+
+import os
+import random
+
+import numpy as np
+import pytest
+
+from repro.predictors import PGUConfig, SFPConfig, make_predictor
+from repro.predictors.base import BranchPredictor
+from repro.sim import (
+    ParallelSweepRunner,
+    SimOptions,
+    SweepError,
+    resolve_workers,
+    sweep,
+)
+from repro.sim.sweep import WORKERS_ENV
+from repro.workloads import get_workload
+
+
+def _traces(names=("crc", "qsort")):
+    return {name: get_workload(name).trace(scale="tiny") for name in names}
+
+
+def _signature(result):
+    """Every externally observable stat of one SimResult."""
+    flags = None
+    if result.flags is not None:
+        flags = (
+            result.flags.correct.tobytes(),
+            result.flags.squashed.tobytes(),
+            result.flags.misfetch.tobytes(),
+        )
+    return (
+        result.workload,
+        result.predictor,
+        result.options,
+        result.instructions,
+        result.branches,
+        result.mispredictions,
+        result.squashed,
+        result.misfetches,
+        tuple(
+            (int(cls), s.branches, s.mispredictions, s.squashed)
+            for cls, s in sorted(result.per_class.items())
+        ),
+        flags,
+    )
+
+
+#: Pool of cheap predictor factories the randomized grid draws from.
+FACTORY_POOL = {
+    "gshare256": lambda: make_predictor("gshare", entries=256),
+    "bimodal256": lambda: make_predictor("bimodal", entries=256),
+    "local256": lambda: make_predictor("local", entries=256,
+                                       local_entries=64),
+    "tournament": lambda: make_predictor("tournament", entries=256),
+    "perceptron": lambda: make_predictor("perceptron", entries=64),
+}
+
+#: Pool of option points the randomized grid draws from.
+OPTIONS_POOL = [
+    SimOptions(),
+    SimOptions(distance=8),
+    SimOptions(sfp=SFPConfig()),
+    SimOptions(pgu=PGUConfig()),
+    SimOptions(sfp=SFPConfig(), pgu=PGUConfig(), delayed_update=True),
+    SimOptions(record_flags=True),
+]
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_parallel_bit_identical_to_serial(self, seed):
+        rng = random.Random(seed)
+        traces = _traces()
+        labels = rng.sample(sorted(FACTORY_POOL),
+                            k=rng.randint(1, len(FACTORY_POOL)))
+        factories = {label: FACTORY_POOL[label] for label in labels}
+        grid = rng.sample(OPTIONS_POOL, k=rng.randint(1, 3))
+        workers = rng.choice([2, 3, 4])
+
+        serial = sweep(traces, factories, grid)
+        parallel = sweep(traces, factories, grid, workers=workers)
+
+        assert len(serial) == len(traces) * len(factories) * len(grid)
+        assert [_signature(r) for r in serial] == [
+            _signature(r) for r in parallel
+        ]
+
+    def test_ordering_is_trace_predictor_options_nested(self):
+        traces = _traces()
+        factories = {
+            "gshare256": FACTORY_POOL["gshare256"],
+            "bimodal256": FACTORY_POOL["bimodal256"],
+        }
+        grid = [SimOptions(), SimOptions(distance=8)]
+        results = sweep(traces, factories, grid, workers=2)
+        expected = [
+            (trace_name, label, options)
+            for trace_name in traces
+            for label in factories
+            for options in grid
+        ]
+        assert [
+            (r.workload, r.predictor, r.options) for r in results
+        ] == expected
+
+    def test_record_flags_survive_transport(self):
+        traces = _traces(("crc",))
+        factories = {"gshare256": FACTORY_POOL["gshare256"]}
+        grid = [SimOptions(record_flags=True)]
+        (serial,) = sweep(traces, factories, grid)
+        (parallel,) = sweep(traces, factories, grid + [], workers=2)
+        # workers=2 with one point falls back to serial; force the pool
+        # with two points instead.
+        two = sweep(traces, factories,
+                    [SimOptions(record_flags=True), SimOptions()],
+                    workers=2)
+        assert parallel.flags is not None
+        assert np.array_equal(serial.flags.correct, two[0].flags.correct)
+        assert np.array_equal(serial.flags.squashed, two[0].flags.squashed)
+
+
+class _RaisingPredictor(BranchPredictor):
+    """Raises on the first prediction — exercises the error path."""
+
+    name = "raising"
+
+    def predict(self, pc, history):
+        raise ValueError("deliberate test failure")
+
+    def update(self, pc, history, taken):
+        pass
+
+
+class _CrashingPredictor(BranchPredictor):
+    """Kills the worker process outright — exercises pool breakage."""
+
+    name = "crashing"
+
+    def predict(self, pc, history):
+        os._exit(13)
+
+    def update(self, pc, history, taken):
+        pass
+
+
+class TestFailureModes:
+    def test_worker_exception_is_a_clear_error(self):
+        traces = _traces(("crc",))
+        factories = {
+            "ok": FACTORY_POOL["gshare256"],
+            "boom": _RaisingPredictor,
+        }
+        with pytest.raises(SweepError, match="boom"):
+            sweep(traces, factories, [SimOptions()], workers=2)
+        # The serial path reports the same class of error.
+        with pytest.raises(SweepError, match="deliberate test failure"):
+            sweep(traces, factories, [SimOptions()])
+
+    def test_worker_crash_raises_instead_of_hanging(self):
+        traces = _traces(("crc",))
+        factories = {
+            "ok": FACTORY_POOL["gshare256"],
+            "crash": _CrashingPredictor,
+        }
+        with pytest.raises(SweepError):
+            sweep(traces, factories, [SimOptions()], workers=2)
+
+
+class TestWorkerResolution:
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "7")
+        assert resolve_workers(3) == 3
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "5")
+        assert resolve_workers(None) == 5
+
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        assert resolve_workers(None) == 1
+
+    def test_zero_means_all_cpus(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        assert resolve_workers(0) == (os.cpu_count() or 1)
+
+    def test_invalid_values_rejected(self, monkeypatch):
+        with pytest.raises(ValueError):
+            resolve_workers(-2)
+        monkeypatch.setenv(WORKERS_ENV, "many")
+        with pytest.raises(ValueError):
+            resolve_workers(None)
+
+
+class TestProgress:
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_one_event_per_point(self, workers):
+        traces = _traces(("crc",))
+        factories = {
+            "gshare256": FACTORY_POOL["gshare256"],
+            "bimodal256": FACTORY_POOL["bimodal256"],
+        }
+        grid = [SimOptions(), SimOptions(distance=8)]
+        events = []
+        runner = ParallelSweepRunner(
+            workers=workers, progress=events.append
+        )
+        results = runner.run(traces, factories, grid)
+        assert len(events) == len(results) == 4
+        assert [e.completed for e in events] == [1, 2, 3, 4]
+        assert {e.point.index for e in events} == {0, 1, 2, 3}
+        assert all(e.point.total == 4 for e in events)
+        assert all(e.seconds >= 0.0 for e in events)

@@ -1,0 +1,139 @@
+"""Pickle-roundtrip coverage for every executor-transported payload.
+
+The parallel sweep ships predictors, options and traces across process
+boundaries and returns :class:`~repro.sim.driver.SimResult` objects
+back.  Any unpicklable attribute (a lambda, a file handle, a local
+class) would break the executor at runtime — this module catches such
+breakage at the unit level, for every predictor in the registry.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.pipeline.btb import BTBConfig
+from repro.predictors import PGUConfig, SFPConfig, make_predictor
+from repro.predictors.registry import available_predictors
+from repro.sim import SimOptions, simulate
+from repro.trace import Trace, TraceMeta
+from repro.workloads import get_workload
+
+
+def _roundtrip(obj):
+    return pickle.loads(pickle.dumps(obj, pickle.HIGHEST_PROTOCOL))
+
+
+#: A deterministic little (pc, history, taken) stimulus stream.
+_STIMULUS = [
+    ((17 * i) & 0xFFFF, (31 * i) & 0xFFFFFFFF, (i * i) % 3 == 1)
+    for i in range(200)
+]
+
+
+@pytest.mark.parametrize("name", available_predictors())
+class TestPredictorRoundtrip:
+    def test_fresh_instance_roundtrips(self, name):
+        predictor = make_predictor(name)
+        clone = _roundtrip(predictor)
+        assert clone.name == predictor.name
+        assert clone.storage_bits == predictor.storage_bits
+
+    def test_clone_behaves_identically(self, name):
+        predictor = make_predictor(name)
+        # Train a little first so the roundtrip carries real state.
+        for pc, history, taken in _STIMULUS[:100]:
+            predictor.predict(pc, history)
+            predictor.update(pc, history, taken)
+        clone = _roundtrip(predictor)
+        original_predictions = []
+        clone_predictions = []
+        for pc, history, taken in _STIMULUS[100:]:
+            original_predictions.append(predictor.predict(pc, history))
+            predictor.update(pc, history, taken)
+            clone_predictions.append(clone.predict(pc, history))
+            clone.update(pc, history, taken)
+        assert original_predictions == clone_predictions
+
+
+class TestOptionsRoundtrip:
+    @pytest.mark.parametrize(
+        "options",
+        [
+            SimOptions(),
+            SimOptions(distance=16, history_bits=8),
+            SimOptions(sfp=SFPConfig(update_pht=True)),
+            SimOptions(pgu=PGUConfig(which="guards_only", delay=2)),
+            SimOptions(
+                sfp=SFPConfig(squash_known_true=True),
+                pgu=PGUConfig(),
+                btb=BTBConfig(),
+                delayed_update=True,
+                record_flags=True,
+            ),
+        ],
+    )
+    def test_options_roundtrip(self, options):
+        clone = _roundtrip(options)
+        assert clone == options
+        assert clone.describe() == options.describe()
+
+
+class TestTraceRoundtrip:
+    def test_synthetic_trace(self):
+        trace = Trace.from_lists(
+            b_pc=[1, 2],
+            b_idx=[3, 9],
+            b_taken=[True, False],
+            b_guard=[0, 2],
+            b_guard_def=[-1, 4],
+            b_kind=[0, 1],
+            b_region=[False, True],
+            b_target=[5, -1],
+            d_pc=[0],
+            d_idx=[4],
+            d_value=[False],
+            d_pred=[2],
+            meta=TraceMeta(workload="w", scale="tiny", instructions=12),
+        )
+        clone = _roundtrip(trace)
+        for attr in ("b_pc", "b_idx", "b_taken", "b_guard", "b_guard_def",
+                     "b_kind", "b_region", "b_target", "d_pc", "d_idx",
+                     "d_value", "d_pred"):
+            original = getattr(trace, attr)
+            copied = getattr(clone, attr)
+            assert original.dtype == copied.dtype
+            assert np.array_equal(original, copied)
+        assert clone.meta == trace.meta
+
+    def test_real_trace_simulates_identically(self):
+        trace = get_workload("crc").trace(scale="tiny")
+        clone = _roundtrip(trace)
+        before = simulate(trace, make_predictor("gshare", entries=256))
+        after = simulate(clone, make_predictor("gshare", entries=256))
+        assert before.mispredictions == after.mispredictions
+        assert before.branches == after.branches
+
+
+class TestResultRoundtrip:
+    def test_result_with_flags(self):
+        trace = get_workload("crc").trace(scale="tiny")
+        result = simulate(
+            trace,
+            make_predictor("gshare", entries=256),
+            SimOptions(sfp=SFPConfig(), record_flags=True),
+        )
+        clone = _roundtrip(result)
+        assert clone.mispredictions == result.mispredictions
+        assert clone.squashed == result.squashed
+        assert clone.misprediction_rate == result.misprediction_rate
+        assert clone.per_class.keys() == result.per_class.keys()
+        for cls, stats in result.per_class.items():
+            assert clone.per_class[cls].branches == stats.branches
+            assert (
+                clone.per_class[cls].mispredictions
+                == stats.mispredictions
+            )
+        assert np.array_equal(clone.flags.correct, result.flags.correct)
+        assert np.array_equal(clone.flags.squashed, result.flags.squashed)
+        assert np.array_equal(clone.flags.misfetch, result.flags.misfetch)

@@ -1,0 +1,127 @@
+"""Concurrency tests for the on-disk trace cache.
+
+N processes hammering ``get_or_build`` on one key must perform exactly
+one build (the per-key file lock serialises the miss path) and every
+process must load bit-identical bytes.  A truncated cache file must be
+treated as a miss, not a crash.
+"""
+
+import multiprocessing
+import os
+import time
+
+import numpy as np
+
+from repro.trace import Trace, TraceCache, TraceMeta
+
+
+def _tiny_trace(salt: int = 0) -> Trace:
+    return Trace.from_lists(
+        b_pc=[1, 2, 3 + salt],
+        b_idx=[10, 20, 30],
+        b_taken=[True, False, True],
+        b_guard=[0, 1, 2],
+        b_guard_def=[-1, 5, 15],
+        b_kind=[0, 0, 1],
+        b_region=[False, True, False],
+        b_target=[4, 8, -1],
+        d_pc=[0, 2],
+        d_idx=[5, 15],
+        d_value=[True, False],
+        d_pred=[1, 2],
+        meta=TraceMeta(workload="tiny", scale="t", instructions=40 + salt),
+    )
+
+
+def _race_build(args):
+    """One contender: build-on-miss with a build log for counting."""
+    cache_dir, key, log_path = args
+    cache = TraceCache(cache_dir)
+
+    def builder():
+        # Widen the race window: without locking, several processes
+        # would reach here together.
+        time.sleep(0.2)
+        with open(log_path, "a") as log:
+            log.write(f"{os.getpid()}\n")
+        return _tiny_trace()
+
+    trace = cache.get_or_build(key, builder)
+    return trace.b_pc.tobytes(), trace.meta.instructions
+
+
+def _put_tiny(cache_dir, key):
+    TraceCache(cache_dir).put(key, _tiny_trace())
+
+
+class TestConcurrentBuild:
+    def test_exactly_one_build_across_processes(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        log_path = tmp_path / "builds.log"
+        key = "race-key"
+        n = 4
+        ctx = multiprocessing.get_context()
+        with ctx.Pool(n) as pool:
+            loads = pool.map(
+                _race_build, [(cache_dir, key, log_path)] * n
+            )
+        builds = log_path.read_text().splitlines()
+        assert len(builds) == 1, f"expected one build, saw {builds}"
+        reference = _tiny_trace()
+        for b_pc_bytes, instructions in loads:
+            assert b_pc_bytes == reference.b_pc.tobytes()
+            assert instructions == reference.meta.instructions
+
+    def test_concurrent_puts_never_corrupt(self, tmp_path):
+        """Unique temp names: racing writers still publish a whole file."""
+        cache = TraceCache(tmp_path / "cache")
+        key = "clobber"
+        procs = [
+            multiprocessing.Process(
+                target=_put_tiny, args=(cache.directory, key)
+            )
+            for _ in range(4)
+        ]
+        for proc in procs:
+            proc.start()
+        cache.put(key, _tiny_trace())
+        for proc in procs:
+            proc.join()
+        loaded = cache.get(key)
+        assert loaded is not None
+        assert np.array_equal(loaded.b_pc, _tiny_trace().b_pc)
+        # No temp droppings left behind.
+        leftovers = [
+            p for p in (tmp_path / "cache").iterdir()
+            if ".tmp-" in p.name
+        ]
+        assert leftovers == []
+
+
+class TestCorruptionHandling:
+    def test_truncated_file_is_a_miss(self, tmp_path):
+        cache = TraceCache(tmp_path / "cache")
+        key = "truncated"
+        cache.put(key, _tiny_trace())
+        path = cache.key_path(key)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        assert cache.get(key) is None
+        # ... and the miss path rebuilds cleanly.
+        rebuilt = cache.get_or_build(key, _tiny_trace)
+        assert np.array_equal(rebuilt.b_pc, _tiny_trace().b_pc)
+        assert cache.get(key) is not None
+
+    def test_garbage_file_is_a_miss(self, tmp_path):
+        cache = TraceCache(tmp_path / "cache")
+        key = "garbage"
+        cache.directory.mkdir(parents=True, exist_ok=True)
+        cache.key_path(key).write_bytes(b"not an npz at all")
+        assert cache.get(key) is None
+
+    def test_clear_removes_locks_too(self, tmp_path):
+        cache = TraceCache(tmp_path / "cache")
+        cache.get_or_build("a", _tiny_trace)
+        cache.get_or_build("b", _tiny_trace)
+        assert cache.clear() == 2
+        assert list(cache.directory.iterdir()) == []

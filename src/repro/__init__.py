@@ -13,6 +13,8 @@ The package provides, bottom-up:
   global-update mechanisms.
 * :mod:`repro.pipeline` — the front-end availability and cycle models.
 * :mod:`repro.sim` — the trace-driven simulation driver and statistics.
+* :mod:`repro.telemetry` — metrics, span tracing and sinks (see
+  ``docs/observability.md``).
 * :mod:`repro.workloads` — the deterministic benchmark suite.
 * :mod:`repro.experiments` — one module per reproduced table/figure.
 

@@ -3,19 +3,27 @@
 ::
 
     repro list                         # workloads, predictors, experiments
-    repro run-experiment E6 [--scale small] [--fast] [--format csv]
+    repro run E6 [--scale small] [--fast] [--format csv] [--workers 4]
+    repro run-experiment E6            # long-form alias of `run`
     repro run-all [--scale tiny] [--output results/] [--workers 4]
     repro simulate qsort --predictor gshare --entries 4096 --sfp --pgu
     repro characterise grep [--scale small]
     repro analyze grep --regions       # static region statistics
     repro hotspots lexer --sfp --pgu   # worst-mispredicting sites
     repro disasm crc [--function main] [--baseline]
+    repro telemetry-report run.jsonl   # summarise a --metrics file
     repro clear-cache
+
+``run``, ``run-all`` and ``simulate`` accept ``--metrics out.jsonl``:
+phase spans and a final merged-counter snapshot are appended as JSONL
+(see ``docs/observability.md``), summarisable with ``telemetry-report``.
 """
 
 import argparse
 import sys
+from contextlib import contextmanager
 
+from repro import telemetry
 from repro.compiler import config as config_mod
 from repro.experiments import experiment_ids, get_experiment
 from repro.predictors import (
@@ -27,6 +35,29 @@ from repro.predictors import (
 from repro.sim import SimOptions, simulate
 from repro.trace import TraceCache
 from repro.workloads import get_workload, workload_names
+
+
+@contextmanager
+def _metrics_scope(args):
+    """Telemetry for one CLI invocation.
+
+    A fresh registry is installed either way (so repeated in-process
+    invocations don't bleed counters into each other); with
+    ``--metrics PATH`` a JSONL sink additionally captures span events
+    and, last, a ``metrics`` snapshot of the merged registry.
+    """
+    path = getattr(args, "metrics", None)
+    registry = telemetry.MetricsRegistry()
+    with telemetry.use_registry(registry):
+        if not path:
+            yield
+            return
+        with telemetry.JsonlSink(path) as sink, telemetry.use_sink(sink):
+            try:
+                yield
+            finally:
+                sink.emit({"event": "metrics", **registry.snapshot()})
+        print(f"metrics written to {path}", file=sys.stderr)
 
 
 def _cmd_list(args) -> int:
@@ -68,26 +99,31 @@ def _run_one(exp_id: str, args) -> None:
 
 
 def _cmd_run_experiment(args) -> int:
-    _run_one(args.id, args)
+    with _metrics_scope(args):
+        _run_one(args.id, args)
     return 0
 
 
 def _cmd_run_all(args) -> int:
-    for exp_id in experiment_ids():
-        _run_one(exp_id, args)
+    with _metrics_scope(args):
+        for exp_id in experiment_ids():
+            _run_one(exp_id, args)
     return 0
 
 
 def _cmd_simulate(args) -> int:
-    workload = get_workload(args.workload)
-    trace = workload.trace(scale=args.scale, hyperblocks=not args.baseline)
-    predictor = make_predictor(args.predictor, entries=args.entries)
-    options = SimOptions(
-        distance=args.distance,
-        sfp=SFPConfig() if args.sfp else None,
-        pgu=PGUConfig() if args.pgu else None,
-    )
-    result = simulate(trace, predictor, options)
+    with _metrics_scope(args):
+        workload = get_workload(args.workload)
+        trace = workload.trace(
+            scale=args.scale, hyperblocks=not args.baseline
+        )
+        predictor = make_predictor(args.predictor, entries=args.entries)
+        options = SimOptions(
+            distance=args.distance,
+            sfp=SFPConfig() if args.sfp else None,
+            pgu=PGUConfig() if args.pgu else None,
+        )
+        result = simulate(trace, predictor, options)
     print(f"workload    : {result.workload} ({args.scale})")
     print(f"predictor   : {predictor.describe()}")
     print(f"front end   : {options.describe()}")
@@ -178,6 +214,19 @@ def _cmd_disasm(args) -> int:
     return 0
 
 
+def _cmd_telemetry_report(args) -> int:
+    try:
+        report = telemetry.render_report(args.path)
+    except FileNotFoundError:
+        print(f"no such metrics file: {args.path}", file=sys.stderr)
+        return 1
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    print(report)
+    return 0
+
+
 def _cmd_clear_cache(args) -> int:
     removed = TraceCache().clear()
     print(f"removed {removed} cached trace(s)")
@@ -196,18 +245,24 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list workloads/predictors/experiments")
 
-    p = sub.add_parser("run-experiment", help="run one experiment")
-    p.add_argument("id", help="experiment id, e.g. E6")
-    p.add_argument("--scale", default="small",
-                   choices=("tiny", "small", "ref"))
-    p.add_argument("--fast", action="store_true")
-    p.add_argument("--workloads", help="comma-separated subset")
-    p.add_argument("--workers", type=int, default=None,
-                   help="sweep worker processes (0 = all CPUs; default "
-                        "$REPRO_SWEEP_WORKERS or serial)")
-    p.add_argument("--format", default="table",
-                   choices=("table", "csv", "json"))
-    p.add_argument("--output", help="also write the export to this dir")
+    for name, help_text in (
+        ("run", "run one experiment"),
+        ("run-experiment", "run one experiment (alias of `run`)"),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("id", help="experiment id, e.g. E6")
+        p.add_argument("--scale", default="small",
+                       choices=("tiny", "small", "ref"))
+        p.add_argument("--fast", action="store_true")
+        p.add_argument("--workloads", help="comma-separated subset")
+        p.add_argument("--workers", type=int, default=None,
+                       help="sweep worker processes (0 = all CPUs; default "
+                            "$REPRO_SWEEP_WORKERS or serial)")
+        p.add_argument("--format", default="table",
+                       choices=("table", "csv", "json"))
+        p.add_argument("--output", help="also write the export to this dir")
+        p.add_argument("--metrics", metavar="PATH",
+                       help="append telemetry events (JSONL) to PATH")
 
     p = sub.add_parser("run-all", help="run every experiment")
     p.add_argument("--scale", default="small",
@@ -220,6 +275,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--format", default="table",
                    choices=("table", "csv", "json"))
     p.add_argument("--output", help="also write each export to this dir")
+    p.add_argument("--metrics", metavar="PATH",
+                   help="append telemetry events (JSONL) to PATH")
 
     p = sub.add_parser("simulate", help="one (workload, predictor) run")
     p.add_argument("workload", choices=workload_names())
@@ -233,6 +290,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--pgu", action="store_true")
     p.add_argument("--baseline", action="store_true",
                    help="use the non-predicated compile")
+    p.add_argument("--metrics", metavar="PATH",
+                   help="append telemetry events (JSONL) to PATH")
 
     p = sub.add_parser("characterise", help="trace summary of a workload")
     p.add_argument("workload", choices=workload_names())
@@ -267,12 +326,17 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=("tiny", "small", "ref"))
     p.add_argument("--baseline", action="store_true")
 
+    p = sub.add_parser("telemetry-report",
+                       help="summarise a --metrics JSONL file")
+    p.add_argument("path", help="JSONL file written by --metrics")
+
     sub.add_parser("clear-cache", help="delete cached traces")
     return parser
 
 
 _HANDLERS = {
     "list": _cmd_list,
+    "run": _cmd_run_experiment,
     "run-experiment": _cmd_run_experiment,
     "run-all": _cmd_run_all,
     "simulate": _cmd_simulate,
@@ -280,6 +344,7 @@ _HANDLERS = {
     "hotspots": _cmd_hotspots,
     "analyze": _cmd_analyze,
     "disasm": _cmd_disasm,
+    "telemetry-report": _cmd_telemetry_report,
     "clear-cache": _cmd_clear_cache,
 }
 

@@ -54,9 +54,19 @@ def experiment_ids() -> List[str]:
 
 
 def get_experiment(exp_id: str):
-    """Look an experiment module up by id (e.g. ``"E6"``)."""
+    """Look an experiment module up by id.
+
+    Ids are case-insensitive and tolerate zero padding: ``"E6"``,
+    ``"e6"`` and ``"e06"`` all name the same module (the module file is
+    ``e06_combined.py``, so the padded spelling is natural to type).
+    """
+    normalized = exp_id.upper()
+    if normalized not in EXPERIMENTS and normalized.startswith("E"):
+        digits = normalized[1:]
+        if digits.isdigit():
+            normalized = f"E{int(digits)}"
     try:
-        return EXPERIMENTS[exp_id.upper()]
+        return EXPERIMENTS[normalized]
     except KeyError:
         raise KeyError(
             f"unknown experiment {exp_id!r}; available: "

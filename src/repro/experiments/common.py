@@ -6,6 +6,7 @@ from typing import Callable, Dict, Iterable, List, Optional
 from repro.sim.driver import SimOptions, SimResult
 from repro.sim.stats import format_result_table
 from repro.sim.sweep import ProgressCallback, sweep
+from repro.telemetry import span
 from repro.trace.container import Trace
 from repro.workloads import all_workloads, get_workload
 
@@ -56,10 +57,13 @@ def suite_traces(
     config=None,
 ) -> Dict[str, Trace]:
     """Traces for the suite, via the on-disk cache."""
-    return {
-        w.name: w.trace(scale=scale, hyperblocks=hyperblocks, config=config)
-        for w in suite_workloads(workloads)
-    }
+    with span("traces", scale=scale):
+        return {
+            w.name: w.trace(
+                scale=scale, hyperblocks=hyperblocks, config=config
+            )
+            for w in suite_workloads(workloads)
+        }
 
 
 def run_sweep(
@@ -127,11 +131,12 @@ def suite_option_aggregates(
         workers=workers,
         progress=progress,
     )
-    aggregates = {label: SuiteAggregate() for label in labels}
-    # Results come back trace-major with one factory, so the option
-    # (and hence label) cycles with period len(options_list).
-    for i, result in enumerate(results):
-        aggregates[labels[i % len(options_list)]].add(result)
+    with span("aggregate"):
+        aggregates = {label: SuiteAggregate() for label in labels}
+        # Results come back trace-major with one factory, so the option
+        # (and hence label) cycles with period len(options_list).
+        for i, result in enumerate(results):
+            aggregates[labels[i % len(options_list)]].add(result)
     return aggregates
 
 

@@ -9,10 +9,11 @@ from repro.experiments.common import (
     ExperimentResult,
     ExperimentSpec,
     arithmetic_mean,
+    run_sweep,
     suite_traces,
 )
 from repro.predictors import PGUConfig, make_predictor
-from repro.sim import SimOptions, simulate
+from repro.sim import SimOptions
 
 SPEC = ExperimentSpec(
     id="E5",
@@ -26,23 +27,25 @@ FAST_SIZES = (1024,)
 
 
 def run(scale: str = "small", workloads=None, fast: bool = False,
-        sizes=None) -> ExperimentResult:
+        sizes=None, workers=None) -> ExperimentResult:
     sizes = sizes or (FAST_SIZES if fast else DEFAULT_SIZES)
     traces = suite_traces(scale=scale, workloads=workloads)
+    factories = {
+        f"gshare_{size}": (
+            lambda size=size: make_predictor("gshare", entries=size)
+        )
+        for size in sizes
+    }
+    grid = [SimOptions(), SimOptions(pgu=PGUConfig())]
+    results = run_sweep(traces, factories, grid, workers=workers)
     rows = []
-    for name, trace in traces.items():
+    # Results nest (trace, size, option): base and pgu alternate.
+    for i, name in enumerate(traces):
         row = {"workload": name}
-        for size in sizes:
-            base = simulate(
-                trace, make_predictor("gshare", entries=size), SimOptions()
-            )
-            pgu = simulate(
-                trace,
-                make_predictor("gshare", entries=size),
-                SimOptions(pgu=PGUConfig()),
-            )
-            row[f"base_{size}"] = base.misprediction_rate
-            row[f"pgu_{size}"] = pgu.misprediction_rate
+        for j, size in enumerate(sizes):
+            base_index = (i * len(sizes) + j) * len(grid)
+            row[f"base_{size}"] = results[base_index].misprediction_rate
+            row[f"pgu_{size}"] = results[base_index + 1].misprediction_rate
         rows.append(row)
     mean_row = {"workload": "MEAN"}
     for size in sizes:

@@ -4,10 +4,11 @@ from repro.experiments.common import (
     ExperimentResult,
     ExperimentSpec,
     arithmetic_mean,
+    run_sweep,
     suite_traces,
 )
 from repro.predictors import PGUConfig, SFPConfig, make_predictor
-from repro.sim import SimOptions, simulate
+from repro.sim import SimOptions
 
 SPEC = ExperimentSpec(
     id="E6",
@@ -24,23 +25,28 @@ CONFIGS = {
 }
 
 
-def run(scale: str = "small", workloads=None,
-        entries: int = 1024) -> ExperimentResult:
+def run(scale: str = "small", workloads=None, entries: int = 1024,
+        workers=None) -> ExperimentResult:
     traces = suite_traces(scale=scale, workloads=workloads)
+    labels = list(CONFIGS)
+    factories = {
+        "gshare": lambda: make_predictor("gshare", entries=entries)
+    }
+    results = run_sweep(
+        traces, factories, list(CONFIGS.values()), workers=workers
+    )
     rows = []
-    for name, trace in traces.items():
+    # One factory: results nest (trace, option), period len(CONFIGS).
+    for i, name in enumerate(traces):
         row = {"workload": name}
-        for label, options in CONFIGS.items():
-            result = simulate(
-                trace, make_predictor("gshare", entries=entries), options
-            )
-            row[label] = result.misprediction_rate
+        for k, label in enumerate(labels):
+            row[label] = results[i * len(labels) + k].misprediction_rate
         row["improvement"] = (
             (row["base"] - row["both"]) / row["base"] if row["base"] else 0.0
         )
         rows.append(row)
     mean = {"workload": "MEAN"}
-    for label in CONFIGS:
+    for label in labels:
         mean[label] = arithmetic_mean([r[label] for r in rows])
     mean["improvement"] = (
         (mean["base"] - mean["both"]) / mean["base"] if mean["base"] else 0.0

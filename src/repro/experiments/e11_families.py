@@ -9,10 +9,11 @@ benefit from SFP's certain squashes.
 from repro.experiments.common import (
     ExperimentResult,
     ExperimentSpec,
+    run_sweep,
     suite_traces,
 )
 from repro.predictors import PGUConfig, SFPConfig, make_predictor
-from repro.sim import SimOptions, simulate
+from repro.sim import SimOptions
 
 SPEC = ExperimentSpec(
     id="E11",
@@ -42,19 +43,25 @@ FAST_FAMILIES = ("bimodal", "gshare", "local")
 
 
 def run(scale: str = "small", workloads=None, fast: bool = False,
-        entries: int = 1024) -> ExperimentResult:
+        entries: int = 1024, workers=None) -> ExperimentResult:
     traces = suite_traces(scale=scale, workloads=workloads)
     names = FAST_FAMILIES if fast else tuple(FAMILIES)
-    both = SimOptions(sfp=SFPConfig(), pgu=PGUConfig())
+    factories = {
+        family: (lambda family=family: FAMILIES[family](entries))
+        for family in names
+    }
+    grid = [SimOptions(), SimOptions(sfp=SFPConfig(), pgu=PGUConfig())]
+    results = run_sweep(traces, factories, grid, workers=workers)
     rows = []
-    for family in names:
-        factory = FAMILIES[family]
-        plain = treated = [0, 0]
+    # Results nest (trace, family, option); fold the trace axis into
+    # suite totals per family.
+    for j, family in enumerate(names):
         plain = [0, 0]
         treated = [0, 0]
-        for trace in traces.values():
-            p = simulate(trace, factory(entries), SimOptions())
-            t = simulate(trace, factory(entries), both)
+        for i in range(len(traces)):
+            base_index = (i * len(names) + j) * len(grid)
+            p = results[base_index]
+            t = results[base_index + 1]
             plain[0] += p.mispredictions
             plain[1] += p.branches
             treated[0] += t.mispredictions

@@ -18,6 +18,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro import telemetry
 from repro.isa.opcodes import BranchKind
 from repro.pipeline.availability import DEFAULT_DISTANCE, AvailabilityModel
 from repro.pipeline.btb import BTBConfig, BranchTargetBuffer
@@ -261,6 +262,30 @@ def simulate(
             f_correct.append(predicted == taken)
             f_squashed.append(False)
             f_misfetch.append(missed_target)
+
+    branches = len(b_pc)
+    if telemetry.enabled():
+        # Coarse end-of-run counters only: the per-branch loop above is
+        # the hot path and stays uninstrumented.
+        registry = telemetry.get_registry()
+        registry.counter("sim.runs").inc()
+        registry.counter("sim.instructions").inc(trace.meta.instructions)
+        registry.counter("sim.branches").inc(branches)
+        registry.counter("sim.predicts").inc(branches - squashed)
+        updates = pptr if delayed else branches - squashed
+        if sfp is not None and sfp.update_pht:
+            updates += squashed
+        registry.counter("sim.updates").inc(updates)
+        registry.counter("sim.mispredictions").inc(mispredictions)
+        registry.counter("sim.squashed").inc(squashed)
+        registry.counter("sim.misfetches").inc(misfetches)
+        for branch_class, stats in per_class.items():
+            prefix = f"sim.class.{branch_class.name.lower()}"
+            registry.counter(f"{prefix}.branches").inc(stats.branches)
+            registry.counter(f"{prefix}.mispredictions").inc(
+                stats.mispredictions
+            )
+            registry.counter(f"{prefix}.squashed").inc(stats.squashed)
 
     return SimResult(
         predictor=predictor.name,

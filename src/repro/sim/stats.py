@@ -34,26 +34,53 @@ def format_result_table(rows: List[dict], columns: List[str],
 
     Floats are shown with 4 significant decimals; this is what the
     benchmark harness prints for each reproduced table/figure.
+
+    Alignment is consistent per column: a column whose values are all
+    numbers (ignoring blanks) is right-aligned *including its header*;
+    any other column is left-aligned.  An empty ``rows`` list renders
+    just the header and rule.
     """
     def fmt(value):
+        if isinstance(value, bool):
+            return str(value)
         if isinstance(value, float):
             return f"{value:.4f}"
         return str(value)
 
+    def is_number(value):
+        return isinstance(value, (int, float)) and not isinstance(
+            value, bool
+        )
+
     table = [[fmt(row.get(col, "")) for col in columns] for row in rows]
+    numeric = [
+        any(is_number(row.get(col)) for row in rows)
+        and all(
+            is_number(row.get(col)) or row.get(col, "") in ("", None)
+            for row in rows
+        )
+        for col in columns
+    ]
     widths = [
         max(len(col), *(len(line[i]) for line in table)) if table
         else len(col)
         for i, col in enumerate(columns)
     ]
+
+    def align(text, i):
+        if numeric[i]:
+            return text.rjust(widths[i])
+        return text.ljust(widths[i])
+
     lines = []
     if title:
         lines.append(title)
-    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
-    lines.append(header)
+    lines.append(
+        "  ".join(align(col, i) for i, col in enumerate(columns)).rstrip()
+    )
     lines.append("  ".join("-" * w for w in widths))
     for line in table:
         lines.append(
-            "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(line))
+            "  ".join(align(cell, i) for i, cell in enumerate(line)).rstrip()
         )
     return "\n".join(lines)

@@ -14,6 +14,14 @@ Worker count resolution, in priority order:
 3. ``1`` (serial, in-process — the historical behaviour).
 
 ``workers=0`` (or ``REPRO_SWEEP_WORKERS=0``) means "all CPUs".
+
+Telemetry: each grid point is simulated under a *fresh*
+:class:`~repro.telemetry.MetricsRegistry` (in the worker process for the
+parallel path), which travels back with the result and is merged into
+the parent's current registry in canonical point order — so merged
+counters are bit-identical between the serial and parallel paths.  The
+runner itself records ``sweep.*`` counters, per-point wall-time and
+queue-wait histograms, and a worker-utilisation gauge.
 """
 
 import os
@@ -24,7 +32,9 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional
 
+from repro import telemetry
 from repro.sim.driver import SimOptions, SimResult, simulate
+from repro.telemetry import MetricsRegistry, span, use_registry
 from repro.trace.container import Trace
 
 #: Environment variable overriding the default worker count.
@@ -91,12 +101,19 @@ def _init_worker(traces_blob: bytes) -> None:
 
 
 def _run_point(index, trace_name, label, predictor, options):
-    """Simulate one grid point inside a worker process."""
+    """Simulate one grid point inside a worker process.
+
+    The point runs under a fresh registry so its counters can be merged
+    deterministically in the parent; ``started_at`` (wall clock) lets
+    the parent estimate how long the point sat in the pool's queue.
+    """
+    started_at = time.time()
     start = time.perf_counter()
-    result = simulate(_WORKER_TRACES[trace_name], predictor, options)
+    with use_registry(MetricsRegistry()) as registry:
+        result = simulate(_WORKER_TRACES[trace_name], predictor, options)
     result.workload = trace_name
     result.predictor = label
-    return index, result, time.perf_counter() - start
+    return index, result, time.perf_counter() - start, registry, started_at
 
 
 # -- parent side --------------------------------------------------------------
@@ -124,6 +141,7 @@ class ParallelSweepRunner:
         self.workers = resolve_workers(workers)
         self.progress = progress
         self.mp_context = mp_context
+        self._busy = 0.0  #: summed per-point seconds of the current run
 
     def run(
         self,
@@ -132,9 +150,27 @@ class ParallelSweepRunner:
         options_grid: Iterable[SimOptions],
     ) -> List[SimResult]:
         points = self._enumerate(traces, predictor_factories, options_grid)
-        if self.workers <= 1 or len(points) <= 1:
-            return self._run_serial(traces, points)
-        return self._run_parallel(traces, points)
+        serial = self.workers <= 1 or len(points) <= 1
+        effective = 1 if serial else min(self.workers, len(points))
+        if telemetry.enabled():
+            registry = telemetry.get_registry()
+            registry.counter("sweep.runs").inc()
+            registry.counter("sweep.points_total").inc(len(points))
+            registry.gauge("sweep.workers").set(effective)
+        self._busy = 0.0
+        start = time.perf_counter()
+        with span("sweep", points=len(points), workers=effective):
+            if serial:
+                results = self._run_serial(traces, points)
+            else:
+                results = self._run_parallel(traces, points)
+        wall = time.perf_counter() - start
+        if telemetry.enabled() and wall > 0.0:
+            # Busy-time over capacity: 1.0 means no worker ever idled.
+            telemetry.get_registry().gauge("sweep.worker_utilisation").set(
+                min(1.0, self._busy / (wall * effective))
+            )
+        return results
 
     def _enumerate(self, traces, predictor_factories, options_grid):
         """Materialise the grid in canonical nesting order.
@@ -162,6 +198,11 @@ class ParallelSweepRunner:
         return points
 
     def _report(self, point, seconds, completed):
+        self._busy += seconds
+        if telemetry.enabled():
+            registry = telemetry.get_registry()
+            registry.counter("sweep.points_completed").inc()
+            registry.histogram("sweep.point_seconds").observe(seconds)
         if self.progress is not None:
             self.progress(
                 SweepProgress(
@@ -170,15 +211,20 @@ class ParallelSweepRunner:
             )
 
     def _run_serial(self, traces, points):
+        parent_registry = telemetry.get_registry()
         results = []
         for point, predictor in points:
             start = time.perf_counter()
             try:
-                result = simulate(
-                    traces[point.workload], predictor, point.options
-                )
+                # Same shape as the parallel path: the point runs under
+                # its own registry, merged back in canonical order.
+                with use_registry(MetricsRegistry()) as registry:
+                    result = simulate(
+                        traces[point.workload], predictor, point.options
+                    )
             except Exception as exc:
                 raise SweepError(self._describe_failure(point, exc)) from exc
+            parent_registry.merge(registry)
             result.workload = point.workload
             result.predictor = point.predictor
             results.append(result)
@@ -188,6 +234,8 @@ class ParallelSweepRunner:
     def _run_parallel(self, traces, points):
         traces_blob = pickle.dumps(traces, protocol=pickle.HIGHEST_PROTOCOL)
         slots: List[Optional[SimResult]] = [None] * len(points)
+        registries: List[Optional[MetricsRegistry]] = [None] * len(points)
+        queue_waits: List[float] = [0.0] * len(points)
         completed = 0
         max_workers = min(self.workers, len(points))
         with ProcessPoolExecutor(
@@ -196,21 +244,26 @@ class ParallelSweepRunner:
             initializer=_init_worker,
             initargs=(traces_blob,),
         ) as pool:
-            futures = {
-                pool.submit(
-                    _run_point,
-                    point.index,
-                    point.workload,
-                    point.predictor,
-                    predictor,
-                    point.options,
-                ): point
-                for point, predictor in points
-            }
+            futures = {}
+            submitted_at = {}
+            for point, predictor in points:
+                futures[
+                    pool.submit(
+                        _run_point,
+                        point.index,
+                        point.workload,
+                        point.predictor,
+                        predictor,
+                        point.options,
+                    )
+                ] = point
+                submitted_at[point.index] = time.time()
             for future in as_completed(futures):
                 point = futures[future]
                 try:
-                    index, result, seconds = future.result()
+                    index, result, seconds, registry, started_at = (
+                        future.result()
+                    )
                 except BrokenProcessPool as exc:
                     raise SweepError(
                         "sweep worker process died unexpectedly (while "
@@ -226,8 +279,25 @@ class ParallelSweepRunner:
                         self._describe_failure(point, exc)
                     ) from exc
                 slots[index] = result
+                registries[index] = registry
+                queue_waits[index] = max(
+                    0.0, started_at - submitted_at[index]
+                )
                 completed += 1
                 self._report(point, seconds, completed)
+        # Merge the worker registries in canonical point order — the
+        # same order the serial path merges in, so the merged counters
+        # are identical however the points were scheduled.
+        if telemetry.enabled():
+            parent_registry = telemetry.get_registry()
+            for registry in registries:
+                if registry is not None:
+                    parent_registry.merge(registry)
+            queue_wait = parent_registry.histogram(
+                "sweep.queue_wait_seconds"
+            )
+            for wait in queue_waits:
+                queue_wait.observe(wait)
         return slots
 
     @staticmethod

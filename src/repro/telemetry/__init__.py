@@ -1,0 +1,82 @@
+"""Telemetry: metrics, span tracing and cross-process aggregation.
+
+Three small pieces, composable and individually optional:
+
+* :mod:`repro.telemetry.registry` — a process-local
+  :class:`MetricsRegistry` of counters, gauges and fixed-bucket
+  histograms, with deterministic :meth:`~MetricsRegistry.merge` so sweep
+  workers can ship their numbers back to the parent as pickled
+  registries.
+* :mod:`repro.telemetry.spans` — nestable :func:`span` timers for
+  phase-level tracing (trace build → cache publish → sweep → sim →
+  aggregate).
+* :mod:`repro.telemetry.sinks` — pluggable event sinks.  The default is
+  a :class:`NullSink`, so instrumented hot paths cost nothing until a
+  real sink (:class:`MemorySink`, :class:`JsonlSink`) is installed.
+
+Typical use (what ``repro run E2 --metrics run.jsonl`` does)::
+
+    from repro import telemetry
+
+    registry = telemetry.MetricsRegistry()
+    with telemetry.use_registry(registry), \\
+            telemetry.JsonlSink("run.jsonl") as sink, \\
+            telemetry.use_sink(sink):
+        ...  # instrumented work
+        sink.emit({"event": "metrics", **registry.snapshot()})
+
+See ``docs/observability.md`` for metric names, the span hierarchy and
+the JSONL schema.
+"""
+
+from repro.telemetry.registry import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    disabled,
+    enabled,
+    get_registry,
+    set_enabled,
+    set_registry,
+    use_registry,
+)
+from repro.telemetry.report import render_report, summarize_events
+from repro.telemetry.sinks import (
+    JsonlSink,
+    MemorySink,
+    NullSink,
+    Sink,
+    get_sink,
+    read_events,
+    set_sink,
+    use_sink,
+)
+from repro.telemetry.spans import current_path, span
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "MemorySink",
+    "MetricsRegistry",
+    "NullSink",
+    "Sink",
+    "current_path",
+    "disabled",
+    "enabled",
+    "get_registry",
+    "get_sink",
+    "read_events",
+    "render_report",
+    "set_enabled",
+    "set_registry",
+    "set_sink",
+    "span",
+    "summarize_events",
+    "use_registry",
+    "use_sink",
+]

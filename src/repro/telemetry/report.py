@@ -1,0 +1,102 @@
+"""Human-readable summaries of a telemetry JSONL event stream.
+
+``repro telemetry-report run.jsonl`` renders three tables from a file
+written by the ``--metrics`` flag: the final merged counters and gauges
+(from the last ``"metrics"`` snapshot event), histogram summaries, and
+per-path span aggregates.  Tables go through the same
+``format_result_table`` renderer the experiment harness uses.
+"""
+
+from typing import List
+
+from repro.telemetry.sinks import read_events
+
+
+def _format_table(rows, columns, title):
+    # Imported lazily: repro.sim imports repro.telemetry for
+    # instrumentation, so a top-level import here would be circular.
+    from repro.sim.stats import format_result_table
+
+    return format_result_table(rows, columns, title=title)
+
+
+def summarize_events(events: List[dict]) -> str:
+    """Render counters/gauges/histograms/spans tables from ``events``."""
+    sections = []
+
+    metrics = [e for e in events if e.get("event") == "metrics"]
+    snapshot = metrics[-1] if metrics else {}
+
+    counters = snapshot.get("counters", {})
+    if counters:
+        rows = [
+            {"counter": name, "value": value}
+            for name, value in sorted(counters.items())
+            if not name.startswith("span.")
+        ]
+        if rows:
+            sections.append(_format_table(
+                rows, ["counter", "value"], title="counters"
+            ))
+
+    gauges = snapshot.get("gauges", {})
+    if gauges:
+        rows = [
+            {"gauge": name, "value": value}
+            for name, value in sorted(gauges.items())
+        ]
+        sections.append(_format_table(
+            rows, ["gauge", "value"], title="gauges"
+        ))
+
+    histograms = snapshot.get("histograms", {})
+    if histograms:
+        rows = []
+        for name, data in sorted(histograms.items()):
+            count = data.get("count", 0)
+            total = data.get("total", 0.0)
+            rows.append({
+                "histogram": name,
+                "count": count,
+                "total": total,
+                "mean": total / count if count else 0.0,
+            })
+        sections.append(_format_table(
+            rows, ["histogram", "count", "total", "mean"],
+            title="histograms",
+        ))
+
+    spans = {}
+    for event in events:
+        if event.get("event") != "span":
+            continue
+        stats = spans.setdefault(
+            event["path"], {"calls": 0, "total": 0.0, "max": 0.0}
+        )
+        stats["calls"] += 1
+        stats["total"] += event["seconds"]
+        stats["max"] = max(stats["max"], event["seconds"])
+    if spans:
+        rows = [
+            {
+                "span": path,
+                "calls": stats["calls"],
+                "total_s": stats["total"],
+                "mean_s": stats["total"] / stats["calls"],
+                "max_s": stats["max"],
+            }
+            for path, stats in sorted(spans.items())
+        ]
+        sections.append(_format_table(
+            rows, ["span", "calls", "total_s", "mean_s", "max_s"],
+            title="spans",
+        ))
+
+    if not sections:
+        return "(no telemetry events)"
+    return "\n\n".join(sections)
+
+
+def render_report(path) -> str:
+    """Summarise the JSONL event file at ``path``."""
+    return summarize_events(read_events(path))

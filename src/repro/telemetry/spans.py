@@ -1,0 +1,66 @@
+"""Nestable span timers for phase-level tracing.
+
+A span times one phase of work (trace build, cache publish, sweep,
+aggregate, ...).  Spans nest: each carries a ``/``-joined path built
+from the enclosing spans on the same thread, so an event stream can be
+reassembled into a tree.  On exit a span
+
+* observes its duration into the current registry's
+  ``span.<path>.seconds`` histogram and bumps ``span.<path>.calls``, and
+* emits a ``{"event": "span", ...}`` record to the current sink.
+
+With telemetry disabled the context manager skips the clock reads
+entirely; with the default :class:`~repro.telemetry.sinks.NullSink` the
+emit is a no-op.  Spans are phase-grained — never wrap per-branch work
+in one.
+"""
+
+import threading
+import time
+from contextlib import contextmanager
+
+from repro.telemetry.registry import enabled, get_registry
+from repro.telemetry.sinks import get_sink
+
+_stack = threading.local()
+
+
+def current_path() -> str:
+    """The ``/``-joined path of open spans on this thread ('' if none)."""
+    return "/".join(getattr(_stack, "names", []))
+
+
+@contextmanager
+def span(name: str, **attrs):
+    """Time a phase: ``with span("sweep", points=32): ...``.
+
+    ``attrs`` are attached verbatim to the emitted event (they must be
+    JSON-serialisable).  Yields the full span path.
+    """
+    if not enabled():
+        yield name
+        return
+    names = getattr(_stack, "names", None)
+    if names is None:
+        names = _stack.names = []
+    names.append(name)
+    path = "/".join(names)
+    start = time.perf_counter()
+    try:
+        yield path
+    finally:
+        seconds = time.perf_counter() - start
+        names.pop()
+        registry = get_registry()
+        registry.histogram(f"span.{path}.seconds").observe(seconds)
+        registry.counter(f"span.{path}.calls").inc()
+        event = {
+            "event": "span",
+            "name": name,
+            "path": path,
+            "depth": path.count("/"),
+            "seconds": seconds,
+        }
+        if attrs:
+            event["attrs"] = attrs
+        get_sink().emit(event)

@@ -14,15 +14,23 @@ workers all warming the same suite):
   around the miss path, so N processes racing on one key perform
   exactly one build — the rest block briefly, then load the winner's
   file.
+
+Every instance counts its own traffic (:attr:`TraceCache.hits`,
+:attr:`TraceCache.misses`, :attr:`TraceCache.builds`) and mirrors the
+counts — plus lock-wait and build-time histograms — into the current
+:mod:`repro.telemetry` registry under ``trace_cache.*``.
 """
 
 import hashlib
 import os
+import time
 import uuid
 from contextlib import contextmanager
 from pathlib import Path
-from typing import Callable, Optional
+from typing import Callable, Dict, Optional
 
+from repro import telemetry
+from repro.telemetry import span
 from repro.trace.container import Trace
 
 try:  # POSIX advisory locks; absent on some platforms.
@@ -47,6 +55,20 @@ class TraceCache:
 
     def __init__(self, directory: Optional[Path] = None):
         self.directory = Path(directory) if directory else default_cache_dir()
+        #: completed :meth:`get` calls that found a loadable file
+        self.hits = 0
+        #: completed :meth:`get` calls that found nothing usable
+        self.misses = 0
+        #: builder invocations performed by :meth:`get_or_build`
+        self.builds = 0
+
+    def stats(self) -> Dict[str, int]:
+        """This instance's counters as a plain dict."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "builds": self.builds,
+        }
 
     def key_path(self, key: str) -> Path:
         digest = hashlib.sha256(key.encode()).hexdigest()[:24]
@@ -63,14 +85,19 @@ class TraceCache:
             return
         self.directory.mkdir(parents=True, exist_ok=True)
         with open(self._lock_path(key), "w") as handle:
+            start = time.perf_counter()
             fcntl.flock(handle, fcntl.LOCK_EX)
+            if telemetry.enabled():
+                telemetry.get_registry().histogram(
+                    "trace_cache.lock_wait_seconds"
+                ).observe(time.perf_counter() - start)
             try:
                 yield
             finally:
                 fcntl.flock(handle, fcntl.LOCK_UN)
 
-    def get(self, key: str) -> Optional[Trace]:
-        """Return the cached trace for ``key``, or ``None``."""
+    def _load(self, key: str) -> Optional[Trace]:
+        """Load ``key`` without touching the hit/miss counters."""
         path = self.key_path(key)
         if not path.exists():
             return None
@@ -80,6 +107,17 @@ class TraceCache:
             # A truncated or stale file is treated as a miss.
             path.unlink(missing_ok=True)
             return None
+
+    def get(self, key: str) -> Optional[Trace]:
+        """Return the cached trace for ``key``, or ``None``."""
+        trace = self._load(key)
+        if trace is None:
+            self.misses += 1
+            self._count("trace_cache.misses")
+        else:
+            self.hits += 1
+            self._count("trace_cache.hits")
+        return trace
 
     def put(self, key: str, trace: Trace) -> None:
         """Store ``trace`` under ``key``.
@@ -95,8 +133,9 @@ class TraceCache:
             f".tmp-{os.getpid()}-{uuid.uuid4().hex[:8]}.npz"
         )
         try:
-            trace.save(tmp)
-            os.replace(tmp, path)
+            with span("cache-publish"):
+                trace.save(tmp)
+                os.replace(tmp, path)
         finally:
             tmp.unlink(missing_ok=True)
 
@@ -111,10 +150,18 @@ class TraceCache:
         if trace is not None:
             return trace
         with self._key_lock(key):
-            # Another process may have built while we waited on the lock.
-            trace = self.get(key)
+            # Another process may have built while we waited on the lock;
+            # that late load is not re-counted as a hit or miss.
+            trace = self._load(key)
             if trace is None:
+                start = time.perf_counter()
                 trace = builder()
+                self.builds += 1
+                self._count("trace_cache.builds")
+                if telemetry.enabled():
+                    telemetry.get_registry().histogram(
+                        "trace_cache.build_seconds"
+                    ).observe(time.perf_counter() - start)
                 self.put(key, trace)
         return trace
 
@@ -129,3 +176,8 @@ class TraceCache:
         for path in self.directory.glob("*.lock"):
             path.unlink(missing_ok=True)
         return removed
+
+    @staticmethod
+    def _count(name: str) -> None:
+        if telemetry.enabled():
+            telemetry.get_registry().counter(name).inc()

@@ -9,6 +9,7 @@ from repro import __version__
 from repro.compiler import CompileConfig, compile_source, compile_with_profile
 from repro.compiler import config as config_mod
 from repro.engine import run as run_program
+from repro.telemetry import span
 from repro.trace import Trace, TraceCache, TraceMeta, TraceRecorder
 
 #: Canonical scale names, smallest first.
@@ -99,9 +100,10 @@ class Workload:
         return self._build_trace(scale, config)
 
     def _build_trace(self, scale: str, config: CompileConfig) -> Trace:
-        compiled = self.compile(scale, config)
-        recorder = TraceRecorder()
-        result = run_program(compiled.executable, recorder=recorder)
+        with span("trace-build", workload=self.name, scale=scale):
+            compiled = self.compile(scale, config)
+            recorder = TraceRecorder()
+            result = run_program(compiled.executable, recorder=recorder)
         self._check_expected(scale, result.return_value)
         meta = TraceMeta(
             workload=self.name,

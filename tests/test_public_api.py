@@ -15,6 +15,7 @@ PACKAGES = [
     "repro.predictors",
     "repro.pipeline",
     "repro.sim",
+    "repro.telemetry",
     "repro.workloads",
     "repro.experiments",
     "repro.cli",

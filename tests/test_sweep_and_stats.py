@@ -48,6 +48,33 @@ class TestFormatTable:
         text = format_result_table([{"a": 1}], ["a", "b"])
         assert "b" in text
 
+    def test_empty_rows_render_header_and_rule(self):
+        text = format_result_table([], ["alpha", "b"], title="T")
+        lines = text.splitlines()
+        assert lines == ["T", "alpha  b", "-----  -"]
+
+    def test_numeric_headers_right_aligned(self):
+        rows = [
+            {"name": "a", "rate": 0.25, "count": 10},
+            {"name": "blob", "rate": 1.5, "count": 12345678},
+        ]
+        text = format_result_table(rows, ["name", "rate", "count"])
+        header, rule, first, second = text.splitlines()
+        # Numeric columns right-align header and cells together; the
+        # string column is left-aligned throughout.
+        assert header == "name    rate     count"
+        assert rule == "----  ------  --------"
+        assert first == "a     0.2500        10"
+        assert second == "blob  1.5000  12345678"
+
+    def test_mixed_column_stays_left_aligned(self):
+        rows = [{"workload": "crc", "x": 1.0}, {"workload": "MEAN", "x": 2.0}]
+        text = format_result_table(rows, ["workload", "x"])
+        lines = text.splitlines()
+        assert lines[0].startswith("workload")
+        assert lines[2].startswith("crc")
+        assert lines[3].startswith("MEAN")
+
 
 class TestWorkloadBase:
     def test_cache_key_varies_with_config_and_scale(self):

@@ -47,7 +47,7 @@ def _race_build(args):
         return _tiny_trace()
 
     trace = cache.get_or_build(key, builder)
-    return trace.b_pc.tobytes(), trace.meta.instructions
+    return trace.b_pc.tobytes(), trace.meta.instructions, cache.stats()
 
 
 def _put_tiny(cache_dir, key):
@@ -67,8 +67,13 @@ class TestConcurrentBuild:
             )
         builds = log_path.read_text().splitlines()
         assert len(builds) == 1, f"expected one build, saw {builds}"
+        # The caches' own counters agree: across all contenders exactly
+        # one builder ran, and every process missed its first probe
+        # (the key did not exist when the race started).
+        assert sum(stats["builds"] for *_, stats in loads) == 1
+        assert all(stats["misses"] == 1 for *_, stats in loads)
         reference = _tiny_trace()
-        for b_pc_bytes, instructions in loads:
+        for b_pc_bytes, instructions, _ in loads:
             assert b_pc_bytes == reference.b_pc.tobytes()
             assert instructions == reference.meta.instructions
 
@@ -96,6 +101,33 @@ class TestConcurrentBuild:
             if ".tmp-" in p.name
         ]
         assert leftovers == []
+
+
+class TestInstanceCounters:
+    def test_miss_build_hit_sequence(self, tmp_path):
+        cache = TraceCache(tmp_path / "cache")
+        assert cache.stats() == {"hits": 0, "misses": 0, "builds": 0}
+        cache.get_or_build("k", _tiny_trace)
+        assert cache.stats() == {"hits": 0, "misses": 1, "builds": 1}
+        cache.get_or_build("k", _tiny_trace)
+        assert cache.stats() == {"hits": 1, "misses": 1, "builds": 1}
+        assert cache.get("nope") is None
+        assert cache.stats() == {"hits": 1, "misses": 2, "builds": 1}
+
+    def test_counters_mirrored_into_telemetry(self, tmp_path):
+        from repro import telemetry
+
+        registry = telemetry.MetricsRegistry()
+        with telemetry.use_registry(registry):
+            cache = TraceCache(tmp_path / "cache")
+            cache.get_or_build("k", _tiny_trace)
+            cache.get_or_build("k", _tiny_trace)
+        counters = registry.snapshot()["counters"]
+        assert counters["trace_cache.misses"] == 1
+        assert counters["trace_cache.builds"] == 1
+        assert counters["trace_cache.hits"] == 1
+        assert "trace_cache.build_seconds" in registry.histograms
+        assert "trace_cache.lock_wait_seconds" in registry.histograms
 
 
 class TestCorruptionHandling:

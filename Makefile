@@ -3,7 +3,7 @@
 PYTHON ?= python
 
 .PHONY: install test bench experiments experiments-parallel fuzz \
-	clean-cache lines
+	lint clean-cache lines
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -22,6 +22,10 @@ experiments-parallel:
 
 fuzz:
 	$(PYTHON) -m pytest tests/test_differential.py -q
+
+lint:
+	$(PYTHON) -m repro.cli lint --synthetic
+	-ruff check src tests
 
 clean-cache:
 	$(PYTHON) -m repro.cli clear-cache

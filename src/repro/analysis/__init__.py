@@ -1,0 +1,72 @@
+"""Predicate-aware static verification of linked ISA programs.
+
+The paper's two mechanisms (SFP and PGU) rest on invariants of
+predicated code — every region-based branch is guarded by a qualifying
+predicate defined inside its own region, predicate and GPR defines reach
+their uses, control never falls off a function — and a workload that
+silently violates them corrupts every downstream experiment.  This
+package pins those invariants down statically:
+
+* :mod:`repro.analysis.cfg` — per-function control-flow graphs over
+  linked :class:`~repro.isa.program.Executable`s (the compiler's own
+  :mod:`repro.compiler.cfg` works pre-link, on symbolic labels).
+* :mod:`repro.analysis.dataflow` — a small forward-dataflow framework
+  (optimistic worklist over reverse postorder).
+* :mod:`repro.analysis.diagnostics` — the rule catalogue (stable
+  ``RPA0xx`` ids with severities), diagnostics and the
+  :class:`LintReport`.
+* :mod:`repro.analysis.rules` — the checks themselves.
+* :mod:`repro.analysis.verifier` — the :func:`lint_executable` /
+  :func:`lint_program` drivers, telemetry-instrumented.
+
+Three ways in:
+
+* ``Program.link(verify=True)`` — raise :class:`StaticAnalysisError`
+  at link time on any error-severity diagnostic;
+* ``repro lint`` — the CLI command (text or ``--json``, non-zero exit
+  on errors);
+* call :func:`lint_executable` directly from tests or tools.
+
+The rule catalogue is documented in ``docs/static-analysis.md``.
+"""
+
+from repro.analysis.cfg import (
+    Block,
+    FunctionCFG,
+    FunctionSlice,
+    falls_through,
+    function_slices,
+)
+from repro.analysis.dataflow import (
+    ForwardProblem,
+    instruction_states,
+    solve_forward,
+)
+from repro.analysis.diagnostics import (
+    RULES,
+    Diagnostic,
+    LintReport,
+    Rule,
+    Severity,
+    StaticAnalysisError,
+)
+from repro.analysis.verifier import lint_executable, lint_program
+
+__all__ = [
+    "Block",
+    "Diagnostic",
+    "ForwardProblem",
+    "FunctionCFG",
+    "FunctionSlice",
+    "LintReport",
+    "RULES",
+    "Rule",
+    "Severity",
+    "StaticAnalysisError",
+    "falls_through",
+    "function_slices",
+    "instruction_states",
+    "lint_executable",
+    "lint_program",
+    "solve_forward",
+]

@@ -1,0 +1,208 @@
+"""Per-function control-flow graphs over linked executables.
+
+:mod:`repro.compiler.cfg` builds CFGs over *pre-link* functions with
+symbolic labels; the verifier instead works on the linked
+:class:`~repro.isa.program.Executable` — the form every simulation
+consumes — so it sees exactly the instruction stream the machine will,
+after every compiler pass and the link step have had their say.
+
+Functions are laid out contiguously by :meth:`Program.link`, so each is
+a half-open index range (:class:`FunctionSlice`).  Block leaders are the
+classic ones: the function entry, branch targets, and the instruction
+after any branch or (conditional) return.  Edges follow the machine
+semantics in :mod:`repro.engine.interpreter`:
+
+* ``BR`` under ``p0`` is always taken (no fall-through edge, whatever
+  its ``kind`` claims);
+* ``RET`` under ``p0`` leaves the function; a predicated ``RET`` may
+  fall through;
+* ``HALT`` stops the machine unconditionally — even under a false
+  qualifying predicate;
+* ``CALL`` returns to the next instruction, so it does not end a block.
+
+Branches whose (already resolved, integer) target lies outside the
+enclosing function are recorded in :attr:`FunctionCFG.escaping_branches`
+rather than given an edge; the verifier reports them as ``RPA010``.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.program import Executable
+from repro.isa.registers import P_TRUE
+
+
+@dataclass(frozen=True)
+class FunctionSlice:
+    """One function's contiguous ``[start, end)`` range of a linked
+    executable."""
+
+    name: str
+    start: int
+    end: int
+    nparams: int
+
+    def __len__(self) -> int:
+        return self.end - self.start
+
+    def contains(self, index: int) -> bool:
+        return self.start <= index < self.end
+
+
+def function_slices(executable: Executable) -> List[FunctionSlice]:
+    """Every function of ``executable`` as a slice, in layout order."""
+    entries = sorted(
+        executable.function_entries.items(), key=lambda item: item[1]
+    )
+    slices = []
+    for position, (name, start) in enumerate(entries):
+        end = (
+            entries[position + 1][1]
+            if position + 1 < len(entries)
+            else len(executable.code)
+        )
+        slices.append(
+            FunctionSlice(
+                name=name,
+                start=start,
+                end=end,
+                nparams=executable.function_nparams.get(name, 0),
+            )
+        )
+    return slices
+
+
+def falls_through(instr: Instruction) -> bool:
+    """Whether control can continue to the next instruction."""
+    if instr.op is Opcode.HALT:
+        return False  # HALT ignores its qualifying predicate
+    if instr.op in (Opcode.BR, Opcode.RET) and instr.qp == P_TRUE:
+        return False
+    return True
+
+
+@dataclass
+class Block:
+    """A maximal straight-line run of instructions (absolute indices)."""
+
+    index: int
+    start: int
+    end: int  #: one past the last instruction
+    successors: List[int] = field(default_factory=list)
+    predecessors: List[int] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return self.end - self.start
+
+
+class FunctionCFG:
+    """Control-flow graph of one function of a linked executable."""
+
+    def __init__(self, executable: Executable, slice_: FunctionSlice):
+        self.executable = executable
+        self.slice = slice_
+        self.blocks: List[Block] = []
+        #: absolute positions of branches targeting outside the function.
+        self.escaping_branches: List[int] = []
+        self._block_of: Dict[int, int] = {}
+        self._build()
+
+    def _build(self) -> None:
+        code = self.executable.code
+        start, end = self.slice.start, self.slice.end
+        if start >= end:
+            return
+        leaders: Set[int] = {start}
+        for pos in range(start, end):
+            instr = code[pos]
+            if instr.op is Opcode.BR:
+                target = instr.target
+                if isinstance(target, int) and self.slice.contains(target):
+                    leaders.add(target)
+                else:
+                    self.escaping_branches.append(pos)
+                if pos + 1 < end:
+                    leaders.add(pos + 1)
+            elif instr.op in (Opcode.RET, Opcode.HALT) and pos + 1 < end:
+                leaders.add(pos + 1)
+        starts = sorted(leaders)
+        for index, block_start in enumerate(starts):
+            block_end = starts[index + 1] if index + 1 < len(starts) else end
+            self.blocks.append(
+                Block(index=index, start=block_start, end=block_end)
+            )
+            for pos in range(block_start, block_end):
+                self._block_of[pos] = index
+        for block in self.blocks:
+            last = code[block.end - 1]
+            succs = []
+            if last.op is Opcode.BR:
+                target = last.target
+                if isinstance(target, int) and self.slice.contains(target):
+                    succs.append(self._block_of[target])
+            if falls_through(last) and block.end < end:
+                succs.append(self._block_of[block.end])
+            seen: Set[int] = set()
+            for succ in succs:
+                if succ not in seen:
+                    seen.add(succ)
+                    block.successors.append(succ)
+        for block in self.blocks:
+            for succ in block.successors:
+                self.blocks[succ].predecessors.append(block.index)
+
+    # -- queries -----------------------------------------------------------
+
+    def block_at(self, pos: int) -> Block:
+        """The block containing absolute instruction position ``pos``."""
+        return self.blocks[self._block_of[pos]]
+
+    def reachable(self) -> Set[int]:
+        """Block indices reachable from the function entry."""
+        if not self.blocks:
+            return set()
+        visited: Set[int] = set()
+        stack = [0]
+        while stack:
+            index = stack.pop()
+            if index in visited:
+                continue
+            visited.add(index)
+            stack.extend(self.blocks[index].successors)
+        return visited
+
+    def reverse_postorder(self) -> List[int]:
+        """Reachable block indices in reverse postorder (for dataflow)."""
+        if not self.blocks:
+            return []
+        order: List[int] = []
+        visited: Set[int] = set()
+        # Iterative postorder: (block, next-successor-to-visit) pairs.
+        stack = [(0, 0)]
+        visited.add(0)
+        while stack:
+            index, child = stack[-1]
+            succs = self.blocks[index].successors
+            if child < len(succs):
+                stack[-1] = (index, child + 1)
+                succ = succs[child]
+                if succ not in visited:
+                    visited.add(succ)
+                    stack.append((succ, 0))
+            else:
+                stack.pop()
+                order.append(index)
+        order.reverse()
+        return order
+
+    def fall_off_blocks(self) -> List[int]:
+        """Blocks whose terminator can run past the function end."""
+        code = self.executable.code
+        return [
+            block.index
+            for block in self.blocks
+            if block.end == self.slice.end
+            and falls_through(code[block.end - 1])
+        ]

@@ -1,0 +1,101 @@
+"""A small forward-dataflow framework over :class:`FunctionCFG`.
+
+A :class:`ForwardProblem` supplies the lattice (``top``, ``join``,
+``equals``), the state at the function entry (``boundary``) and a
+per-instruction ``transfer``.  :func:`solve_forward` runs the classic
+optimistic worklist algorithm in reverse postorder and returns the
+fixpoint state at the entry of every *reachable* block; states inside a
+block are then re-derived on demand with :func:`instruction_states`.
+
+States are treated as immutable values: ``transfer`` and ``join`` must
+return (possibly shared) values, never mutate their inputs.  That keeps
+the solver trivially correct and is plenty fast for this ISA — linked
+workload programs are a few thousand instructions at most.
+"""
+
+from typing import Any, Dict, Iterator, Tuple
+
+from repro.analysis.cfg import FunctionCFG
+from repro.isa.instructions import Instruction
+
+
+class ForwardProblem:
+    """Interface a forward-dataflow problem implements."""
+
+    def boundary(self) -> Any:
+        """State on entry to the function."""
+        raise NotImplementedError
+
+    def top(self) -> Any:
+        """Identity element of :meth:`join` (state of unvisited paths)."""
+        raise NotImplementedError
+
+    def join(self, a: Any, b: Any) -> Any:
+        """Combine states at a control-flow merge."""
+        raise NotImplementedError
+
+    def transfer(self, state: Any, pos: int, instr: Instruction) -> Any:
+        """State after executing ``instr`` at absolute position ``pos``."""
+        raise NotImplementedError
+
+    def equals(self, a: Any, b: Any) -> bool:
+        return a == b
+
+
+def solve_forward(
+    cfg: FunctionCFG, problem: ForwardProblem
+) -> Dict[int, Any]:
+    """Fixpoint in-states for every reachable block of ``cfg``."""
+    order = cfg.reverse_postorder()
+    if not order:
+        return {}
+    reachable = set(order)
+    code = cfg.executable.code
+
+    in_states: Dict[int, Any] = {index: problem.top() for index in order}
+    in_states[order[0]] = problem.boundary()
+    out_states: Dict[int, Any] = {}
+
+    # Worklist seeded in reverse postorder: near-linear on reducible CFGs.
+    pending = list(order)
+    queued = set(order)
+    while pending:
+        index = pending.pop(0)
+        queued.discard(index)
+        block = cfg.blocks[index]
+
+        # The function-entry path contributes ``boundary`` to the entry
+        # block; every block additionally joins its predecessors' outs
+        # (the entry block can have them too, via loop back edges).
+        state = problem.boundary() if index == order[0] else problem.top()
+        for pred in block.predecessors:
+            if pred in out_states:
+                state = problem.join(state, out_states[pred])
+        in_states[index] = state
+
+        for pos in range(block.start, block.end):
+            state = problem.transfer(state, pos, code[pos])
+
+        previous = out_states.get(index)
+        if previous is None or not problem.equals(previous, state):
+            out_states[index] = state
+            for succ in block.successors:
+                if succ in reachable and succ not in queued:
+                    queued.add(succ)
+                    pending.append(succ)
+    return in_states
+
+
+def instruction_states(
+    cfg: FunctionCFG, problem: ForwardProblem, in_states: Dict[int, Any]
+) -> Iterator[Tuple[int, Instruction, Any]]:
+    """Yield ``(pos, instr, state_before)`` for every reachable
+    instruction, in ascending position order."""
+    code = cfg.executable.code
+    for index in sorted(in_states):
+        block = cfg.blocks[index]
+        state = in_states[index]
+        for pos in range(block.start, block.end):
+            instr = code[pos]
+            yield pos, instr, state
+            state = problem.transfer(state, pos, instr)

@@ -1,0 +1,288 @@
+"""Diagnostics: rules, severities, locations and the lint report.
+
+Every check the static verifier performs is registered here as a
+:class:`Rule` with a stable id (``RPA0xx``), a severity and a short
+rationale.  Checks emit :class:`Diagnostic` records through a
+:class:`LintReport`; locations are ``program:function:index`` (the index
+is function-local, matching ``repro disasm`` output) and each diagnostic
+carries the offending instruction rendered via
+:func:`repro.isa.printer.format_instruction`.
+
+The rule catalogue is documented in ``docs/static-analysis.md``.
+"""
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.isa.instructions import Instruction
+from repro.isa.printer import format_instruction
+
+
+class Severity(enum.IntEnum):
+    """How bad a diagnostic is.  Only ``ERROR`` fails a lint run."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered check: stable id, default severity, rationale."""
+
+    id: str
+    severity: Severity
+    title: str
+    rationale: str
+
+
+#: The rule catalogue.  Ids are stable across releases: never renumber,
+#: only append.  Severities here are defaults; a rule always fires at its
+#: registered severity.
+RULES: Dict[str, Rule] = {
+    rule.id: rule
+    for rule in (
+        Rule(
+            "RPA001",
+            Severity.ERROR,
+            "use of undefined GPR",
+            "a general register is read on some path from the function "
+            "entry that contains no write to it; the machine reads 0, "
+            "which is almost always a builder or compiler bug",
+        ),
+        Rule(
+            "RPA002",
+            Severity.ERROR,
+            "use of undefined predicate",
+            "a qualifying predicate (or an AND/OR-type compare target) is "
+            "read without a reaching CMP that writes it; the predicate "
+            "file resets to false at activation, so the guarded code is "
+            "silently dead",
+        ),
+        Rule(
+            "RPA003",
+            Severity.ERROR,
+            "region-based branch without region id",
+            "region_based instructions must carry region >= 0; the "
+            "region id keys every per-region statistic the experiments "
+            "report",
+        ),
+        Rule(
+            "RPA004",
+            Severity.ERROR,
+            "region-based branch not guarded from its region",
+            "a region-based branch must be guarded by a non-p0 predicate "
+            "whose defining compare sits inside the same region — the "
+            "invariant both SFP and PGU feed on",
+        ),
+        Rule(
+            "RPA005",
+            Severity.INFO,
+            "region ids not contiguous within function",
+            "lowering numbers a function's regions consecutively, so a "
+            "gap means a later pass fused or deleted regions "
+            "(merge_regions does this by design); surfaced so per-region "
+            "breakdowns are read with that in mind",
+        ),
+        Rule(
+            "RPA006",
+            Severity.ERROR,
+            "malformed compare predicate pair",
+            "a CMP must write pd1 (optionally with a distinct complement "
+            "pd2) and may never target the hardwired p0",
+        ),
+        Rule(
+            "RPA007",
+            Severity.WARNING,
+            "unreachable code",
+            "instructions that no path from the function entry reaches "
+            "are dead weight and usually betray a mis-lowered branch; "
+            "the compiler's single trailing safety ``ret`` is exempt",
+        ),
+        Rule(
+            "RPA008",
+            Severity.ERROR,
+            "control may fall off the function end",
+            "a path reaches the last instruction of the function and "
+            "falls through into the next function (or off the program)",
+        ),
+        Rule(
+            "RPA009",
+            Severity.ERROR,
+            "call arity mismatch",
+            "a CALL stages a different number of arguments than the "
+            "callee declares; the surplus or missing registers read as "
+            "garbage/zero in the callee frame",
+        ),
+        Rule(
+            "RPA010",
+            Severity.ERROR,
+            "branch target outside the enclosing function",
+            "branches must stay intra-function (calls are the only "
+            "inter-function control transfer); Program.link cannot catch "
+            "this for pre-resolved integer targets",
+        ),
+        Rule(
+            "RPA011",
+            Severity.WARNING,
+            "predicated HALT executes unconditionally",
+            "the machine ignores the qualifying predicate on HALT, so a "
+            "guard on it is misleading dead syntax",
+        ),
+    )
+}
+
+
+@dataclass
+class Diagnostic:
+    """One finding: a rule violation at a specific instruction."""
+
+    rule_id: str
+    program: str
+    function: str
+    index: int  #: function-local instruction index
+    abs_index: int  #: absolute index in the linked executable
+    message: str
+    instruction: Optional[Instruction] = None
+
+    @property
+    def severity(self) -> Severity:
+        return RULES[self.rule_id].severity
+
+    @property
+    def location(self) -> str:
+        return f"{self.program}:{self.function}:{self.index}"
+
+    def render(self) -> str:
+        line = (
+            f"{self.location}: {self.severity.label} "
+            f"{self.rule_id}: {self.message}"
+        )
+        if self.instruction is not None:
+            line += (
+                f"\n    {self.index:5d}  "
+                f"{format_instruction(self.instruction)}"
+            )
+        return line
+
+    def to_dict(self) -> dict:
+        payload = {
+            "rule": self.rule_id,
+            "severity": self.severity.label,
+            "program": self.program,
+            "function": self.function,
+            "index": self.index,
+            "abs_index": self.abs_index,
+            "location": self.location,
+            "message": self.message,
+        }
+        if self.instruction is not None:
+            payload["instruction"] = format_instruction(self.instruction)
+        return payload
+
+
+class StaticAnalysisError(Exception):
+    """Raised by ``Program.link(verify=True)`` on error diagnostics."""
+
+    def __init__(self, report: "LintReport"):
+        self.report = report
+        errors = report.errors
+        summary = "; ".join(d.render().splitlines()[0] for d in errors[:5])
+        if len(errors) > 5:
+            summary += f"; ... ({len(errors) - 5} more)"
+        super().__init__(
+            f"static analysis found {len(errors)} error(s): {summary}"
+        )
+
+
+@dataclass
+class LintReport:
+    """All diagnostics from analysing one program."""
+
+    program: str
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    def add(
+        self,
+        rule_id: str,
+        function: str,
+        index: int,
+        abs_index: int,
+        message: str,
+        instruction: Optional[Instruction] = None,
+    ) -> Diagnostic:
+        if rule_id not in RULES:
+            raise KeyError(f"unregistered rule id {rule_id!r}")
+        diagnostic = Diagnostic(
+            rule_id=rule_id,
+            program=self.program,
+            function=function,
+            index=index,
+            abs_index=abs_index,
+            message=message,
+            instruction=instruction,
+        )
+        self.diagnostics.append(diagnostic)
+        return diagnostic
+
+    # -- queries -----------------------------------------------------------
+
+    def by_severity(self, severity: Severity) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is severity]
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return self.by_severity(Severity.ERROR)
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return self.by_severity(Severity.WARNING)
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.severity is Severity.ERROR for d in self.diagnostics)
+
+    def counts(self) -> Dict[str, int]:
+        """Diagnostic counts keyed by severity label."""
+        counts = {s.label: 0 for s in Severity}
+        for diagnostic in self.diagnostics:
+            counts[diagnostic.severity.label] += 1
+        return counts
+
+    def rule_ids(self) -> List[str]:
+        """Distinct rule ids that fired, sorted."""
+        return sorted({d.rule_id for d in self.diagnostics})
+
+    def sort(self) -> None:
+        """Order diagnostics by program position, then rule id."""
+        self.diagnostics.sort(key=lambda d: (d.abs_index, d.rule_id))
+
+    def raise_on_errors(self) -> None:
+        if self.has_errors:
+            raise StaticAnalysisError(self)
+
+    # -- rendering ---------------------------------------------------------
+
+    def render(self, min_severity: Severity = Severity.INFO) -> str:
+        shown = [
+            d for d in self.diagnostics if d.severity >= min_severity
+        ]
+        lines = [d.render() for d in shown]
+        counts = self.counts()
+        lines.append(
+            f"{self.program}: {counts['error']} error(s), "
+            f"{counts['warning']} warning(s), {counts['info']} info"
+        )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "program": self.program,
+            "counts": self.counts(),
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }

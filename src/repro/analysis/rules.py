@@ -1,0 +1,342 @@
+"""The predicate-aware checks (rule ids ``RPA001`` .. ``RPA011``).
+
+Two dataflow problems feed the checks:
+
+* :class:`InitProblem` — must-initialized register masks (GPRs and
+  predicate registers), intersection join.  Any static write counts as a
+  definition, predicated or not: if-conversion deliberately produces
+  guarded writes on the straight-line path, and def-before-use is about
+  *static* reachability, not dynamic guarantee.  A read of a register
+  that is not must-initialized means some path from the entry carries no
+  definition at all — on the machine it silently reads 0 (GPRs) or false
+  (predicates).
+* :class:`ReachingPredDefs` — which ``CMP`` instructions' predicate
+  writes reach each point (union join).  A compare kills earlier
+  definitions of its target only when it writes unconditionally
+  (``unc``, or ``normal`` under ``p0``); ``and``/``or``-type compares
+  and guarded normal compares are weak updates.
+
+Everything else is structural.  See ``docs/static-analysis.md`` for the
+catalogue with examples.
+"""
+
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.analysis.cfg import FunctionCFG, FunctionSlice
+from repro.analysis.dataflow import (
+    ForwardProblem,
+    instruction_states,
+    solve_forward,
+)
+from repro.analysis.diagnostics import LintReport
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import CmpType, Opcode
+from repro.isa.program import Executable
+from repro.isa.registers import ARG_BASE, NUM_GPR, NUM_PRED, P_TRUE, R_SP
+
+_ALL_GPRS = (1 << NUM_GPR) - 1
+_ALL_PREDS = (1 << NUM_PRED) - 1
+
+#: Instruction kinds that can carry ``region_based``.
+_BRANCH_OPS = (Opcode.BR, Opcode.CALL, Opcode.RET)
+
+
+class InitProblem(ForwardProblem):
+    """Must-initialized (GPR mask, predicate mask) bit-vector pairs."""
+
+    def __init__(self, slice_: FunctionSlice):
+        gprs = 1 | (1 << R_SP)  # r0 hardwired; sp set by the runtime
+        for param in range(slice_.nparams):
+            gprs |= 1 << (ARG_BASE + param)
+        self._boundary = (gprs, 1 << P_TRUE)
+
+    def boundary(self) -> Tuple[int, int]:
+        return self._boundary
+
+    def top(self) -> Tuple[int, int]:
+        return (_ALL_GPRS, _ALL_PREDS)
+
+    def join(self, a, b) -> Tuple[int, int]:
+        return (a[0] & b[0], a[1] & b[1])
+
+    def transfer(self, state, pos, instr) -> Tuple[int, int]:
+        gprs, preds = state
+        rd = instr.writes_reg()
+        if rd >= 0:
+            gprs |= 1 << rd
+        if instr.op is Opcode.CMP:
+            if instr.pd1 > 0:
+                preds |= 1 << instr.pd1
+            if instr.pd2 > 0:
+                preds |= 1 << instr.pd2
+        return (gprs, preds)
+
+
+#: Reaching-definition state: predicate register -> defining positions.
+PredDefs = Dict[int, FrozenSet[int]]
+
+
+class ReachingPredDefs(ForwardProblem):
+    """Which CMP positions' predicate writes reach each point."""
+
+    def boundary(self) -> PredDefs:
+        return {}
+
+    def top(self) -> PredDefs:
+        return {}
+
+    def join(self, a: PredDefs, b: PredDefs) -> PredDefs:
+        if not a:
+            return b
+        if not b:
+            return a
+        merged = dict(a)
+        for pred, defs in b.items():
+            mine = merged.get(pred)
+            merged[pred] = defs if mine is None else (mine | defs)
+        return merged
+
+    def transfer(self, state: PredDefs, pos, instr) -> PredDefs:
+        if instr.op is not Opcode.CMP:
+            return state
+        targets = [p for p in (instr.pd1, instr.pd2) if p > 0]
+        if not targets:
+            return state
+        strong = instr.ctype is CmpType.UNC or (
+            instr.ctype is CmpType.NORMAL and instr.qp == P_TRUE
+        )
+        new_state = dict(state)
+        here = frozenset((pos,))
+        for pred in targets:
+            if strong:
+                new_state[pred] = here
+            else:
+                new_state[pred] = new_state.get(pred, frozenset()) | here
+        return new_state
+
+
+def check_function(
+    executable: Executable, cfg: FunctionCFG, report: LintReport
+) -> None:
+    """Run every rule over one function, appending to ``report``."""
+    slice_ = cfg.slice
+    code = executable.code
+
+    def local(pos: int) -> int:
+        return pos - slice_.start
+
+    def add(rule_id: str, pos: int, message: str) -> None:
+        report.add(
+            rule_id,
+            slice_.name,
+            local(pos),
+            pos,
+            message,
+            instruction=code[pos],
+        )
+
+    if len(slice_) == 0:
+        report.add(
+            "RPA008",
+            slice_.name,
+            0,
+            slice_.start,
+            "function has no instructions; a call to it falls through "
+            "into the next function",
+        )
+        return
+
+    # -- structural checks over every instruction --------------------------
+    for pos in range(slice_.start, slice_.end):
+        instr = code[pos]
+        _check_structural(executable, instr, pos, add)
+
+    # -- CFG-shape checks --------------------------------------------------
+    reachable_blocks = cfg.reachable()
+    for pos in cfg.escaping_branches:
+        add(
+            "RPA010",
+            pos,
+            f"branch target {code[pos].target} is outside "
+            f"{slice_.name} [{slice_.start}, {slice_.end})",
+        )
+    for block in cfg.blocks:
+        if block.index not in reachable_blocks and not _is_safety_ret(
+            code, block, slice_
+        ):
+            add(
+                "RPA007",
+                block.start,
+                f"unreachable block of {len(block)} instruction(s)",
+            )
+    for index in cfg.fall_off_blocks():
+        if index in reachable_blocks:
+            block = cfg.blocks[index]
+            add(
+                "RPA008",
+                block.end - 1,
+                "control can fall through the last instruction of "
+                f"{slice_.name}",
+            )
+
+    # -- region-id contiguity ---------------------------------------------
+    region_ids = sorted(
+        {
+            code[pos].region
+            for pos in range(slice_.start, slice_.end)
+            if code[pos].region >= 0
+        }
+    )
+    if region_ids and region_ids[-1] - region_ids[0] + 1 != len(region_ids):
+        present = set(region_ids)
+        missing = [
+            r
+            for r in range(region_ids[0], region_ids[-1] + 1)
+            if r not in present
+        ]
+        report.add(
+            "RPA005",
+            slice_.name,
+            0,
+            slice_.start,
+            f"region ids {region_ids} are not contiguous "
+            f"(missing {missing})",
+        )
+
+    # -- dataflow checks (reachable code only) -----------------------------
+    init = InitProblem(slice_)
+    init_in = solve_forward(cfg, init)
+    for pos, instr, state in instruction_states(cfg, init, init_in):
+        _check_initialized(instr, pos, state, add)
+
+    reach = ReachingPredDefs()
+    reach_in = solve_forward(cfg, reach)
+    for pos, instr, state in instruction_states(cfg, reach, reach_in):
+        _check_region_guard(code, instr, pos, state, add)
+
+
+def _is_safety_ret(code, block, slice_: FunctionSlice) -> bool:
+    """The compiler ends every function with a belt-and-braces ``ret``;
+    when all paths return explicitly it is unreachable by design."""
+    return (
+        block.end == slice_.end
+        and len(block) == 1
+        and code[block.start].op is Opcode.RET
+        and code[block.start].qp == P_TRUE
+    )
+
+
+def _check_structural(
+    executable: Executable, instr: Instruction, pos: int, add
+) -> None:
+    if instr.region_based:
+        if instr.op in _BRANCH_OPS and instr.region < 0:
+            add(
+                "RPA003",
+                pos,
+                "region-based branch carries no region id",
+            )
+        if instr.qp == P_TRUE:
+            add(
+                "RPA004",
+                pos,
+                "region-based branch is unguarded (qp = p0)",
+            )
+
+    if instr.op is Opcode.CMP:
+        targets = [p for p in (instr.pd1, instr.pd2) if p != -1]
+        if not targets:
+            add("RPA006", pos, "compare writes no predicate register")
+        elif instr.pd1 == -1:
+            add(
+                "RPA006",
+                pos,
+                f"compare writes complement p{instr.pd2} without a "
+                "primary pd1",
+            )
+        elif instr.pd1 == instr.pd2:
+            add(
+                "RPA006",
+                pos,
+                f"compare writes p{instr.pd1} as both its own "
+                "complement (pd1 == pd2)",
+            )
+        if 0 in targets:
+            add(
+                "RPA006",
+                pos,
+                "compare targets the hardwired p0",
+            )
+
+    if instr.op is Opcode.CALL and isinstance(instr.target, int):
+        try:
+            callee = executable.entry_name(instr.target)
+        except KeyError:
+            return  # link-level breakage; verify_executable's territory
+        nparams = executable.function_nparams.get(callee, 0)
+        if instr.nargs != nparams:
+            add(
+                "RPA009",
+                pos,
+                f"call stages {instr.nargs} argument(s) but "
+                f"{callee} declares {nparams} parameter(s)",
+            )
+
+    if instr.op is Opcode.HALT and instr.qp != P_TRUE:
+        add(
+            "RPA011",
+            pos,
+            f"HALT ignores its qualifying predicate p{instr.qp} and "
+            "stops the machine unconditionally",
+        )
+
+
+def _check_initialized(
+    instr: Instruction, pos: int, state: Tuple[int, int], add
+) -> None:
+    gprs, preds = state
+    for reg in instr.reads_regs():
+        if reg != 0 and not (gprs >> reg) & 1:
+            add(
+                "RPA001",
+                pos,
+                f"r{reg} is read but not written on every path from "
+                "the function entry",
+            )
+    pred_reads: List[int] = []
+    if instr.qp != P_TRUE:
+        pred_reads.append(instr.qp)
+    if instr.op is Opcode.CMP and instr.ctype in (CmpType.AND, CmpType.OR):
+        # and/or-type compares read-modify-write their targets.
+        pred_reads.extend(
+            p for p in (instr.pd1, instr.pd2) if p > 0
+        )
+    for pred in pred_reads:
+        if not (preds >> pred) & 1:
+            add(
+                "RPA002",
+                pos,
+                f"p{pred} is read but no CMP defining it reaches here "
+                "on every path",
+            )
+
+
+def _check_region_guard(
+    code, instr: Instruction, pos: int, state: PredDefs, add
+) -> None:
+    if not instr.region_based or instr.op not in _BRANCH_OPS:
+        return
+    if instr.qp == P_TRUE or instr.region < 0:
+        return  # RPA004 (unguarded) / RPA003 already reported
+    defs = state.get(instr.qp, frozenset())
+    if not defs:
+        return  # no reaching define at all: RPA002 already reported
+    if not any(code[d].region == instr.region for d in defs):
+        regions = sorted({code[d].region for d in defs})
+        add(
+            "RPA004",
+            pos,
+            f"guard p{instr.qp} of this region-{instr.region} branch "
+            f"is only defined in region(s) {regions}, not inside its "
+            "own region",
+        )

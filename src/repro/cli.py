@@ -9,6 +9,7 @@
     repro simulate qsort --predictor gshare --entries 4096 --sfp --pgu
     repro characterise grep [--scale small]
     repro analyze grep --regions       # static region statistics
+    repro lint [crc grep] [--json]     # predicate-aware static verifier
     repro hotspots lexer --sfp --pgu   # worst-mispredicting sites
     repro disasm crc [--function main] [--baseline]
     repro telemetry-report run.jsonl   # summarise a --metrics file
@@ -195,6 +196,75 @@ def _cmd_analyze(args) -> int:
     return 0
 
 
+def _lint_targets(args):
+    """(name, workload) pairs selected by a ``repro lint`` invocation."""
+    names = args.workloads or list(workload_names())
+    targets = []
+    for name in names:
+        targets.append((name, get_workload(name)))
+    if args.synthetic:
+        from repro.workloads.synthetic import MAX_SPACING, make_synthetic
+
+        for bias, noise, spacing in (
+            (50, 0, 0),
+            (50, 20, 4),
+            (80, 10, MAX_SPACING),
+        ):
+            workload = make_synthetic(bias, noise, spacing)
+            targets.append((workload.name, workload))
+    return targets
+
+
+def _cmd_lint(args) -> int:
+    import json
+
+    from repro.analysis import Severity, lint_executable
+
+    try:
+        targets = _lint_targets(args)
+    except KeyError:
+        known = ", ".join(workload_names())
+        print(
+            f"unknown workload; choose from: {known}", file=sys.stderr
+        )
+        return 2
+    config = (
+        config_mod.BASELINE if args.baseline else config_mod.HYPERBLOCK
+    )
+    min_severity = Severity[args.min_severity.upper()]
+    reports = []
+    with _metrics_scope(args):
+        with telemetry.span("lint-run", programs=len(targets)):
+            for name, workload in targets:
+                compiled = workload.compile(args.scale, config)
+                reports.append(
+                    lint_executable(compiled.executable, name=name)
+                )
+    totals = {severity.label: 0 for severity in Severity}
+    for report in reports:
+        for severity, count in report.counts().items():
+            totals[severity] += count
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "programs": [r.to_dict() for r in reports],
+                    "totals": totals,
+                },
+                indent=2,
+            )
+        )
+    else:
+        for report in reports:
+            print(report.render(min_severity=min_severity))
+        print(
+            f"\nlinted {len(reports)} program(s): {totals['error']} "
+            f"error(s), {totals['warning']} warning(s), "
+            f"{totals['info']} info"
+        )
+    return 1 if totals["error"] else 0
+
+
 def _cmd_disasm(args) -> int:
     from repro.isa.printer import disassemble
 
@@ -319,6 +389,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--regions", action="store_true",
                    help="also list every region")
 
+    p = sub.add_parser(
+        "lint", help="predicate-aware static verification of workloads"
+    )
+    p.add_argument(
+        "workloads",
+        nargs="*",
+        metavar="workload",
+        help="workloads to lint (default: all bundled workloads)",
+    )
+    p.add_argument("--scale", default="tiny",
+                   choices=("tiny", "small", "ref"))
+    p.add_argument("--baseline", action="store_true",
+                   help="lint the non-predicated compile")
+    p.add_argument("--synthetic", action="store_true",
+                   help="also lint representative synthetic workloads")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable output")
+    p.add_argument("--min-severity", default="info",
+                   choices=("info", "warning", "error"),
+                   help="hide text diagnostics below this severity")
+    p.add_argument("--metrics", metavar="PATH",
+                   help="append telemetry events (JSONL) to PATH")
+
     p = sub.add_parser("disasm", help="disassemble a compiled workload")
     p.add_argument("workload", choices=workload_names())
     p.add_argument("--function", help="limit to one function")
@@ -343,6 +436,7 @@ _HANDLERS = {
     "characterise": _cmd_characterise,
     "hotspots": _cmd_hotspots,
     "analyze": _cmd_analyze,
+    "lint": _cmd_lint,
     "disasm": _cmd_disasm,
     "telemetry-report": _cmd_telemetry_report,
     "clear-cache": _cmd_clear_cache,

@@ -11,7 +11,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List
 
 from repro.isa.instructions import Instruction
-from repro.isa.opcodes import BranchKind, Opcode
+from repro.isa.opcodes import Opcode
 from repro.isa.program import Executable
 
 

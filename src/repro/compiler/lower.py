@@ -432,7 +432,7 @@ class FunctionLowerer:
             join = self.new_label("join")
             if stmt.else_body:
                 else_label = self.new_label("else")
-                exit_br = self.fb.br(
+                self.fb.br(
                     else_label,
                     qp=p_false,
                     kind=BranchKind.EXIT,

@@ -24,7 +24,7 @@ from repro.compiler.regalloc import (
     SCRATCH_WRITE,
 )
 from repro.isa.instructions import Instruction
-from repro.isa.opcodes import ALU_OPCODES, BranchKind, Opcode
+from repro.isa.opcodes import ALU_OPCODES, Opcode
 from repro.isa.program import Executable, Function
 from repro.isa.registers import ARG_BASE, MAX_ARGS, NUM_GPR, NUM_PRED, R_SP
 

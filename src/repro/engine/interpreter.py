@@ -10,10 +10,9 @@ rate rather than the instruction rate.
 """
 
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.engine.errors import EngineError, EngineLimitError
-from repro.isa.opcodes import BranchKind, CmpType, Opcode, Relation
+from repro.isa.opcodes import Opcode
 from repro.isa.program import Executable
 from repro.isa.registers import ARG_BASE, NUM_GPR, NUM_PRED, R_SP
 

@@ -1,6 +1,6 @@
 """Shared experiment infrastructure."""
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.sim.driver import SimOptions, SimResult

@@ -19,7 +19,6 @@ from repro.experiments.common import (
     ExperimentSpec,
     suite_option_aggregates,
     suite_traces,
-    suite_workloads,
 )
 from repro.predictors import PGUConfig, SFPConfig, make_predictor
 from repro.sim import SimOptions

@@ -9,7 +9,6 @@ import csv
 import io
 import json
 from pathlib import Path
-from typing import Optional
 
 from repro.experiments.common import ExperimentResult
 

@@ -175,7 +175,18 @@ class FunctionBuilder:
 
         ``kind`` defaults to ``UNCOND`` when ``qp`` is p0 and ``COND``
         otherwise.
+
+        Raises:
+            ValueError: if ``region_based`` is set without a region id —
+                caught here, at emit time, rather than letting the bad
+                branch corrupt per-region statistics during simulation.
         """
+        if region_based and region < 0:
+            raise ValueError(
+                f"region-based branch to {target!r} in "
+                f"{self.function.name!r} must carry region >= 0 "
+                f"(got {region})"
+            )
         if kind is None:
             kind = BranchKind.UNCOND if qp == P_TRUE else BranchKind.COND
         return self.emit(
@@ -244,6 +255,10 @@ class ProgramBuilder:
         """Declare a global word array."""
         return self.program.add_global(name, size)
 
-    def link(self, entry: str = "main"):
-        """Link into an :class:`~repro.isa.program.Executable`."""
-        return self.program.link(entry)
+    def link(self, entry: str = "main", verify: bool = False):
+        """Link into an :class:`~repro.isa.program.Executable`.
+
+        ``verify=True`` additionally runs the predicate-aware static
+        verifier (see :meth:`repro.isa.program.Program.link`).
+        """
+        return self.program.link(entry, verify=verify)

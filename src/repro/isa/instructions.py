@@ -6,7 +6,7 @@ layout keeps both that decoding and the compiler's rewriting passes simple.
 Unused slots hold ``-1`` (or ``None`` for :attr:`target`).
 """
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Union
 
 from repro.isa.opcodes import ALU_OPCODES, BranchKind, CmpType, Opcode, Relation

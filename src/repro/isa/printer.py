@@ -11,6 +11,7 @@ from typing import Iterable, List, Union
 from repro.isa.instructions import Instruction
 from repro.isa.opcodes import BranchKind, CmpType, Opcode, Relation
 from repro.isa.program import Executable, Function
+from repro.isa.registers import P_TRUE
 
 _REL_NAMES = {
     Relation.EQ: "eq",
@@ -56,9 +57,19 @@ def _src2(instr: Instruction) -> str:
     return f"r{instr.rb}" if instr.rb >= 0 else str(instr.imm)
 
 
+#: Width of the qualifying-predicate column: ``(p63)`` plus a space.
+_GUARD_WIDTH = 6
+
+
 def format_instruction(instr: Instruction) -> str:
-    """Render one instruction (without its address)."""
-    guard = f"(p{instr.qp})" if instr.qp else "     "
+    """Render one instruction (without its address).
+
+    The guard for ``qp == p0`` (always execute) is omitted — never
+    rendered as ``(p0)`` — and the guard column has a fixed width, so
+    instruction bodies align whether guarded or not and whatever the
+    predicate number's digit count.
+    """
+    guard = f"(p{instr.qp})" if instr.qp != P_TRUE else ""
     body = _format_body(instr)
     notes = []
     if instr.region >= 0:
@@ -67,7 +78,7 @@ def format_instruction(instr: Instruction) -> str:
         notes.append("region-based")
     if notes:
         body = f"{body}  ; {', '.join(notes)}"
-    return f"{guard} {body}"
+    return f"{guard:<{_GUARD_WIDTH}s}{body}"
 
 
 def _format_body(instr: Instruction) -> str:

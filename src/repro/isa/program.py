@@ -77,7 +77,7 @@ class Program:
         self.globals[name] = array
         return array
 
-    def link(self, entry: str = "main") -> "Executable":
+    def link(self, entry: str = "main", verify: bool = False) -> "Executable":
         """Resolve all symbolic references and lay out memory.
 
         Functions are concatenated in insertion order (entry first);
@@ -85,6 +85,11 @@ class Program:
         targets become entry indices.  Global arrays are packed from
         address 0; the spill stack sits above them, growing down from
         :attr:`Executable.memory_words`.
+
+        With ``verify=True`` the linked executable is additionally run
+        through the predicate-aware static verifier
+        (:mod:`repro.analysis`); any error-severity diagnostic raises
+        :class:`repro.analysis.StaticAnalysisError`.
         """
         if entry not in self.functions:
             raise LinkError(f"no entry function {entry!r}")
@@ -123,7 +128,7 @@ class Program:
             base_addr += array.size
         memory_words = base_addr + self.stack_words
 
-        return Executable(
+        executable = Executable(
             code=code,
             entry=entries[entry],
             function_entries=entries,
@@ -138,6 +143,12 @@ class Program:
             memory_words=memory_words,
             index_to_site=index_to_site,
         )
+        if verify:
+            # Imported lazily: repro.analysis depends on this module.
+            from repro.analysis import lint_executable
+
+            lint_executable(executable).raise_on_errors()
+        return executable
 
     @staticmethod
     def _resolve_label(function: Function, target) -> int:

@@ -24,7 +24,7 @@ Grammar (EBNF, ``//`` comments and whitespace skipped by the lexer)::
                | "(" expr ")"
 """
 
-from typing import List, Optional
+from typing import List
 
 from repro.lang import ast
 from repro.lang.lexer import Token, TokenType, tokenize
@@ -161,7 +161,6 @@ class Parser:
 
     def parse_stmt(self) -> List:
         """Parse one statement; var declarations may expand to several."""
-        token = self.peek()
         if self.check("var"):
             return self.parse_var_decls()
         if self.check("if"):

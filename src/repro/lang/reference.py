@@ -9,7 +9,7 @@ and require all three to agree — the strongest correctness check the
 reproduction has.
 """
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.isa.registers import wrap
 from repro.lang import ast

@@ -9,7 +9,7 @@ needs no BTB entry and — under the filter policy — does not insert one).
 """
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 
 @dataclass(frozen=True)

@@ -20,8 +20,6 @@ fragmentation is left out, which cancels in speedup ratios.
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.trace.container import Trace
 
 

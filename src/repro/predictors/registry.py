@@ -1,6 +1,6 @@
 """Factory for predictors by name — the CLI and experiments use this."""
 
-from typing import Dict, List
+from typing import List
 
 from repro.predictors.base import BranchPredictor
 from repro.predictors.bimodal import BimodalPredictor

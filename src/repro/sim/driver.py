@@ -19,7 +19,6 @@ from typing import Optional
 import numpy as np
 
 from repro import telemetry
-from repro.isa.opcodes import BranchKind
 from repro.pipeline.availability import DEFAULT_DISTANCE, AvailabilityModel
 from repro.pipeline.btb import BTBConfig, BranchTargetBuffer
 from repro.pipeline.frontend import GlobalHistory

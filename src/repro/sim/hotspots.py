@@ -8,9 +8,9 @@ the disassembled site.
 """
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
-from repro.pipeline.availability import DEFAULT_DISTANCE, AvailabilityModel
+from repro.pipeline.availability import AvailabilityModel
 from repro.pipeline.frontend import GlobalHistory
 from repro.predictors.base import BranchPredictor
 from repro.sim.driver import SimOptions

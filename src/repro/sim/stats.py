@@ -1,7 +1,7 @@
 """Per-class statistics containers and report formatting."""
 
-from dataclasses import dataclass, field
-from typing import Dict, List
+from dataclasses import dataclass
+from typing import List
 
 
 @dataclass

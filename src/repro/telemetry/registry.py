@@ -24,7 +24,7 @@ is current; with telemetry disabled (:func:`set_enabled` /
 import threading
 from bisect import bisect_left
 from contextlib import contextmanager
-from typing import Dict, Iterable, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 #: Default histogram bucket upper bounds, in seconds — spans and phase
 #: timings land here.  The last implicit bucket is +inf.

@@ -1,0 +1,491 @@
+"""Tests for the predicate-aware static verifier (``repro.analysis``).
+
+The heart of the file is :class:`TestSeededViolations`: one minimal
+program per rule id, each constructed to trigger *exactly* that rule —
+the contract the workload-lint CI job relies on.
+"""
+
+import pytest
+
+from repro.analysis import (
+    RULES,
+    FunctionCFG,
+    LintReport,
+    Severity,
+    StaticAnalysisError,
+    function_slices,
+    lint_executable,
+    lint_program,
+    solve_forward,
+)
+from repro.analysis.rules import InitProblem, ReachingPredDefs
+from repro.compiler.config import BASELINE, HYPERBLOCK
+from repro.isa import (
+    BranchKind,
+    CmpType,
+    Instruction,
+    Opcode,
+    ProgramBuilder,
+    Relation,
+)
+from repro.isa.registers import ARG_BASE, P_TRUE, R_SP
+from repro.workloads import get_workload, workload_names
+from repro.workloads.synthetic import make_synthetic
+
+
+def lint(pb: ProgramBuilder, name: str = "t") -> LintReport:
+    return lint_executable(pb.link(), name=name)
+
+
+def clean_program() -> ProgramBuilder:
+    """A small, fully well-formed predicated program."""
+    pb = ProgramBuilder()
+    f = pb.function("main")
+    f.movi(1, 3)
+    f.label("loop")
+    f.subi(1, 1, 1)
+    cmp = f.cmp(Relation.GT, 1, 2, ra=1, imm=0)
+    cmp.region = 1
+    exit_br = f.emit(
+        Instruction(
+            op=Opcode.BR,
+            qp=2,
+            target="done",
+            kind=BranchKind.EXIT,
+            region=1,
+            region_based=True,
+        )
+    )
+    assert exit_br.region_based
+    f.br("loop", qp=1)
+    f.label("done")
+    f.halt()
+    return pb
+
+
+class TestCFG:
+    def test_function_slices_cover_the_executable(self):
+        pb = ProgramBuilder()
+        f = pb.function("main")
+        f.call(1, "g", nargs=0)
+        f.halt()
+        g = pb.function("g")
+        g.ret(imm=7)
+        exe = pb.link()
+        slices = function_slices(exe)
+        assert [s.name for s in slices] == ["main", "g"]
+        assert slices[0].start == 0
+        assert slices[0].end == slices[1].start
+        assert slices[-1].end == len(exe.code)
+
+    def test_blocks_and_edges(self):
+        pb = ProgramBuilder()
+        f = pb.function("main")
+        f.movi(1, 5)                       # B0
+        f.label("loop")
+        f.subi(1, 1, 1)                    # B1
+        f.cmp(Relation.GT, 1, 2, ra=1, imm=0)
+        f.br("loop", qp=1)
+        f.halt()                           # B2
+        exe = pb.link()
+        cfg = FunctionCFG(exe, function_slices(exe)[0])
+        assert len(cfg.blocks) == 3
+        # B0 -> B1; B1 -> {B1 (taken), B2 (fall through)}; B2 exits.
+        assert cfg.blocks[0].successors == [1]
+        assert sorted(cfg.blocks[1].successors) == [1, 2]
+        assert cfg.blocks[2].successors == []
+        assert cfg.reachable() == {0, 1, 2}
+        assert cfg.fall_off_blocks() == []
+
+    def test_always_taken_branch_has_no_fallthrough_edge(self):
+        pb = ProgramBuilder()
+        f = pb.function("main")
+        f.jmp("end")
+        f.movi(1, 1)
+        f.label("end")
+        f.halt()
+        exe = pb.link()
+        cfg = FunctionCFG(exe, function_slices(exe)[0])
+        block = cfg.block_at(0)
+        assert [cfg.blocks[s].start for s in block.successors] == [2]
+
+    def test_reverse_postorder_starts_at_entry(self):
+        pb = clean_program()
+        exe = pb.link()
+        cfg = FunctionCFG(exe, function_slices(exe)[0])
+        order = cfg.reverse_postorder()
+        assert order[0] == 0
+        assert set(order) == cfg.reachable()
+
+
+class TestDataflow:
+    def _cfg(self, pb):
+        exe = pb.link()
+        return exe, FunctionCFG(exe, function_slices(exe)[0])
+
+    def test_boundary_includes_params_sp_and_zero(self):
+        pb = ProgramBuilder()
+        pb.function("main").halt()
+        g = pb.function("g", nparams=2)
+        g.ret(imm=0)
+        exe = pb.link()
+        slice_g = function_slices(exe)[1]
+        gprs, preds = InitProblem(slice_g).boundary()
+        assert (gprs >> 0) & 1
+        assert (gprs >> R_SP) & 1
+        assert (gprs >> ARG_BASE) & 1
+        assert (gprs >> (ARG_BASE + 1)) & 1
+        assert not (gprs >> (ARG_BASE + 2)) & 1
+        assert (preds >> P_TRUE) & 1
+
+    def test_defs_in_both_arms_reach_the_join(self):
+        pb = ProgramBuilder()
+        f = pb.function("main")
+        f.cmp(Relation.EQ, 1, 2, ra=0, imm=0)
+        f.movi(5, 1, qp=1)   # then-arm define of r5
+        f.movi(5, 2, qp=2)   # else-arm define of r5
+        f.addi(6, 5, 0)      # read r5: initialized on the single path
+        f.halt()
+        report = lint(pb)
+        assert "RPA001" not in report.rule_ids()
+
+    def test_loop_carried_def_does_not_cover_the_zero_trip_path(self):
+        # r9 is only written inside the loop body; the path that never
+        # enters the loop reaches the read with r9 undefined.
+        pb = ProgramBuilder()
+        f = pb.function("main")
+        f.movi(1, 0)
+        f.label("head")
+        f.cmp(Relation.LT, 1, 2, ra=1, imm=3)
+        f.br("done", qp=2)
+        f.movi(9, 42)
+        f.addi(1, 1, 1)
+        f.br("head")
+        f.label("done")
+        f.addi(3, 9, 0)      # read of r9
+        f.halt()
+        report = lint(pb)
+        assert [d.rule_id for d in report.errors] == ["RPA001"]
+        assert "r9" in report.errors[0].message
+
+    def test_reaching_defs_strong_vs_weak_update(self):
+        pb = ProgramBuilder()
+        f = pb.function("main")
+        f.cmp(Relation.EQ, 1, 2, ra=0, imm=0)                 # pos 0
+        f.cmp(Relation.NE, 1, -1, ra=0, imm=0,
+              ctype=CmpType.AND, qp=2)                        # pos 1: weak
+        f.cmp(Relation.EQ, 1, -1, ra=0, imm=0,
+              ctype=CmpType.UNC, qp=2)                        # pos 2: strong
+        f.halt()
+        exe, cfg = self._cfg(pb)
+        problem = ReachingPredDefs()
+        in_states = solve_forward(cfg, problem)
+        state = in_states[0]
+        code = exe.code
+        for pos in range(0, 2):
+            state = problem.transfer(state, pos, code[pos])
+        # After the weak and/or-type compare both defines reach.
+        assert state[1] == frozenset({0, 1})
+        state = problem.transfer(state, 2, code[2])
+        # The unc compare writes unconditionally: old defines are killed.
+        assert state[1] == frozenset({2})
+
+
+def _single_rule(pb, rule_id, severity):
+    report = lint(pb)
+    assert report.rule_ids() == [rule_id], report.render()
+    fired = report.by_severity(severity)
+    assert fired and all(d.rule_id == rule_id for d in fired)
+    return report
+
+
+class TestSeededViolations:
+    """One minimal fixture per rule id, firing exactly that rule."""
+
+    def test_rpa001_undefined_gpr(self):
+        pb = ProgramBuilder()
+        f = pb.function("main")
+        f.addi(1, 2, 1)       # r2 never written
+        f.halt()
+        report = _single_rule(pb, "RPA001", Severity.ERROR)
+        assert "r2" in report.errors[0].message
+
+    def test_rpa002_undefined_predicate_guard(self):
+        pb = ProgramBuilder()
+        f = pb.function("main")
+        f.movi(1, 5, qp=3)    # p3 has no defining compare
+        f.halt()
+        report = _single_rule(pb, "RPA002", Severity.ERROR)
+        assert "p3" in report.errors[0].message
+
+    def test_rpa002_and_type_compare_reads_its_target(self):
+        pb = ProgramBuilder()
+        f = pb.function("main")
+        f.cmp(Relation.NE, 1, -1, ra=0, imm=0, ctype=CmpType.AND)
+        f.halt()
+        _single_rule(pb, "RPA002", Severity.ERROR)
+
+    def test_rpa003_region_based_branch_without_region(self):
+        pb = ProgramBuilder()
+        f = pb.function("main")
+        f.cmp(Relation.LT, 1, 2, ra=0, imm=0)
+        f.emit(
+            Instruction(
+                op=Opcode.BR,
+                qp=1,
+                target="out",
+                kind=BranchKind.EXIT,
+                region=-1,
+                region_based=True,
+            )
+        )
+        f.label("out")
+        f.halt()
+        _single_rule(pb, "RPA003", Severity.ERROR)
+
+    def test_rpa004_unguarded_region_branch(self):
+        pb = ProgramBuilder()
+        f = pb.function("main")
+        f.emit(
+            Instruction(
+                op=Opcode.BR,
+                qp=P_TRUE,
+                target="out",
+                kind=BranchKind.EXIT,
+                region=1,
+                region_based=True,
+            )
+        )
+        f.label("out")
+        f.halt()
+        _single_rule(pb, "RPA004", Severity.ERROR)
+
+    def test_rpa004_guard_defined_outside_region(self):
+        pb = ProgramBuilder()
+        f = pb.function("main")
+        f.cmp(Relation.LT, 1, 2, ra=0, imm=0)  # region -1
+        f.emit(
+            Instruction(
+                op=Opcode.BR,
+                qp=1,
+                target="out",
+                kind=BranchKind.EXIT,
+                region=1,
+                region_based=True,
+            )
+        )
+        f.label("out")
+        f.halt()
+        report = _single_rule(pb, "RPA004", Severity.ERROR)
+        assert "not inside its own region" in report.errors[0].message
+
+    def test_rpa005_non_contiguous_region_ids(self):
+        pb = ProgramBuilder()
+        f = pb.function("main")
+        f.cmp(Relation.EQ, 1, 2, ra=0, imm=0).region = 1
+        f.cmp(Relation.EQ, 3, 4, ra=0, imm=0).region = 3
+        f.halt()
+        report = _single_rule(pb, "RPA005", Severity.INFO)
+        assert "missing [2]" in report.diagnostics[0].message
+
+    def test_rpa006_pd1_equals_pd2(self):
+        pb = ProgramBuilder()
+        f = pb.function("main")
+        f.cmp(Relation.EQ, 3, 3, ra=0, imm=0)
+        f.halt()
+        _single_rule(pb, "RPA006", Severity.ERROR)
+
+    def test_rpa006_compare_targets_p0(self):
+        pb = ProgramBuilder()
+        f = pb.function("main")
+        f.cmp(Relation.EQ, 0, -1, ra=0, imm=0)
+        f.halt()
+        report = _single_rule(pb, "RPA006", Severity.ERROR)
+        assert "p0" in report.errors[0].message
+
+    def test_rpa006_complement_without_primary(self):
+        pb = ProgramBuilder()
+        f = pb.function("main")
+        f.emit(
+            Instruction(op=Opcode.CMP, ra=0, imm=0, pd1=-1, pd2=3)
+        )
+        f.halt()
+        _single_rule(pb, "RPA006", Severity.ERROR)
+
+    def test_rpa006_compare_writes_nothing(self):
+        pb = ProgramBuilder()
+        f = pb.function("main")
+        f.emit(
+            Instruction(op=Opcode.CMP, ra=0, imm=0, pd1=-1, pd2=-1)
+        )
+        f.halt()
+        _single_rule(pb, "RPA006", Severity.ERROR)
+
+    def test_rpa007_unreachable_code(self):
+        pb = ProgramBuilder()
+        f = pb.function("main")
+        f.jmp("end")
+        f.movi(1, 1)          # unreachable
+        f.label("end")
+        f.halt()
+        _single_rule(pb, "RPA007", Severity.WARNING)
+
+    def test_rpa007_trailing_safety_ret_is_exempt(self):
+        pb = ProgramBuilder()
+        pb.function("main").halt()
+        g = pb.function("g")
+        g.ret(imm=1)
+        g.ret(imm=0)          # the compiler's unreachable safety net
+        report = lint(pb)
+        assert "RPA007" not in report.rule_ids()
+
+    def test_rpa008_fall_off_function_end(self):
+        pb = ProgramBuilder()
+        f = pb.function("main")
+        f.movi(1, 1)          # no halt/ret
+        report = _single_rule(pb, "RPA008", Severity.ERROR)
+        assert "fall" in report.errors[0].message
+
+    def test_rpa008_empty_function(self):
+        pb = ProgramBuilder()
+        pb.function("main").halt()
+        pb.function("empty")
+        report = lint(pb)
+        assert report.rule_ids() == ["RPA008"]
+
+    def test_rpa009_call_arity_mismatch(self):
+        pb = ProgramBuilder()
+        f = pb.function("main")
+        f.call(1, "g", nargs=0)
+        f.halt()
+        g = pb.function("g", nparams=1)
+        g.ret(imm=0)
+        report = _single_rule(pb, "RPA009", Severity.ERROR)
+        assert "1 parameter" in report.errors[0].message
+
+    def test_rpa010_branch_escapes_function(self):
+        pb = ProgramBuilder()
+        f = pb.function("main")
+        f.cmp(Relation.EQ, 1, 2, ra=0, imm=0)
+        f.emit(
+            Instruction(
+                op=Opcode.BR, qp=1, target=5, kind=BranchKind.COND
+            )
+        )
+        f.halt()              # main is [0, 3); target 5 lands inside g
+        g = pb.function("g")
+        g.nop()
+        g.nop()
+        g.nop()
+        g.ret(imm=0)
+        _single_rule(pb, "RPA010", Severity.ERROR)
+
+    def test_rpa011_predicated_halt(self):
+        pb = ProgramBuilder()
+        f = pb.function("main")
+        f.cmp(Relation.EQ, 1, 2, ra=0, imm=0)
+        f.emit(Instruction(op=Opcode.HALT, qp=1))
+        _single_rule(pb, "RPA011", Severity.WARNING)
+
+
+class TestReportAndVerifyHook:
+    def test_clean_program_is_clean(self):
+        report = lint(clean_program())
+        assert report.diagnostics == []
+        assert not report.has_errors
+        assert report.counts() == {"info": 0, "warning": 0, "error": 0}
+
+    def test_link_verify_raises_on_errors(self):
+        pb = ProgramBuilder()
+        f = pb.function("main")
+        f.addi(1, 2, 1)
+        f.halt()
+        with pytest.raises(StaticAnalysisError) as excinfo:
+            pb.link(verify=True)
+        assert "RPA001" in str(excinfo.value)
+        assert excinfo.value.report.has_errors
+
+    def test_link_verify_passes_clean_program(self):
+        exe = clean_program().link(verify=True)
+        assert len(exe.code) > 0
+
+    def test_lint_program_convenience(self):
+        report = lint_program(clean_program().program, name="clean")
+        assert report.program == "clean"
+        assert not report.has_errors
+
+    def test_diagnostic_rendering_has_location_and_instruction(self):
+        pb = ProgramBuilder()
+        f = pb.function("main")
+        f.movi(1, 5, qp=3)
+        f.halt()
+        report = lint(pb, name="prog")
+        text = report.errors[0].render()
+        assert text.startswith("prog:main:0: error RPA002")
+        assert "mov r1 = 5" in text
+
+    def test_report_json_shape(self):
+        pb = ProgramBuilder()
+        f = pb.function("main")
+        f.movi(1, 5, qp=3)
+        f.halt()
+        payload = lint(pb, name="prog").to_dict()
+        assert payload["program"] == "prog"
+        assert payload["counts"]["error"] == 1
+        entry = payload["diagnostics"][0]
+        assert entry["rule"] == "RPA002"
+        assert entry["location"] == "prog:main:0"
+        assert "instruction" in entry
+
+    def test_unregistered_rule_id_rejected(self):
+        report = LintReport(program="x")
+        with pytest.raises(KeyError):
+            report.add("RPA999", "main", 0, 0, "nope")
+
+    def test_rule_catalogue_is_stable(self):
+        assert sorted(RULES) == [f"RPA{i:03d}" for i in range(1, 12)]
+        for rule in RULES.values():
+            assert rule.title and rule.rationale
+
+
+class TestWorkloadSweep:
+    """Every bundled workload and synthetic program lints clean.
+
+    This is the acceptance criterion for the analyzer: the compiler must
+    never emit code that trips an error-severity rule.
+    """
+
+    @pytest.mark.parametrize("name", workload_names())
+    @pytest.mark.parametrize(
+        "config", [BASELINE, HYPERBLOCK], ids=["baseline", "hyper"]
+    )
+    def test_bundled_workloads_have_no_errors(self, name, config):
+        compiled = get_workload(name).compile("tiny", config)
+        report = lint_executable(compiled.executable, name=name)
+        assert not report.has_errors, report.render(Severity.ERROR)
+        assert not report.warnings, report.render(Severity.WARNING)
+
+    @pytest.mark.parametrize(
+        "bias,noise,spacing", [(50, 0, 0), (50, 20, 4), (80, 10, 9)]
+    )
+    def test_synthetic_programs_have_no_errors(self, bias, noise, spacing):
+        workload = make_synthetic(bias=bias, noise=noise, spacing=spacing)
+        compiled = workload.compile("tiny", HYPERBLOCK)
+        report = lint_executable(compiled.executable, name=workload.name)
+        assert not report.has_errors, report.render(Severity.ERROR)
+
+
+class TestBuilderRegionValidation:
+    def test_region_based_branch_requires_region(self):
+        pb = ProgramBuilder()
+        f = pb.function("main")
+        with pytest.raises(ValueError, match="region >= 0"):
+            f.br("x", qp=1, kind=BranchKind.EXIT, region_based=True)
+
+    def test_region_based_branch_with_region_is_fine(self):
+        pb = ProgramBuilder()
+        f = pb.function("main")
+        instr = f.br(
+            "x", qp=1, kind=BranchKind.EXIT, region=2, region_based=True
+        )
+        assert instr.region == 2

@@ -80,6 +80,63 @@ class TestAnalyzeCommand:
         assert "regions                0" in out
 
 
+class TestLintCommand:
+    def test_lint_text(self, capsys):
+        code, out = run_cli(capsys, "lint", "crc", "--scale", "tiny")
+        assert code == 0
+        assert "crc:" in out
+        assert "0 error(s)" in out
+
+    def test_lint_json(self, capsys):
+        import json
+
+        code, out = run_cli(capsys, "lint", "crc", "--json")
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["totals"]["error"] == 0
+        names = [entry["program"] for entry in payload["programs"]]
+        assert names == ["crc"]
+
+    def test_lint_min_severity_filters_text(self, capsys):
+        code, out = run_cli(
+            capsys, "lint", "crc", "--min-severity", "error"
+        )
+        assert code == 0
+        assert "RPA005" not in out
+
+    def test_lint_baseline(self, capsys):
+        code, out = run_cli(capsys, "lint", "crc", "--baseline")
+        assert code == 0
+
+    def test_lint_unknown_workload(self, capsys):
+        code = main(["lint", "bogus"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "unknown workload" in err
+
+    def test_lint_metrics_jsonl(self, capsys, tmp_path):
+        import json
+
+        metrics = tmp_path / "lint.jsonl"
+        code, _ = run_cli(
+            capsys, "lint", "crc", "--metrics", str(metrics)
+        )
+        assert code == 0
+        events = [
+            json.loads(line)
+            for line in metrics.read_text().splitlines()
+            if line
+        ]
+        spans = [e for e in events if e.get("event") == "span"]
+        assert any(e["name"] == "lint" for e in spans)
+        assert any(e["name"] == "lint-run" for e in spans)
+        snapshots = [e for e in events if e.get("event") == "metrics"]
+        counters = snapshots[-1]["counters"]
+        assert counters["analysis.programs"] == 1
+        assert counters["analysis.functions"] >= 1
+        assert counters["analysis.instructions"] > 10
+
+
 class TestHotspotsAndExport:
     def test_hotspots(self, capsys):
         code, out = run_cli(

@@ -13,12 +13,10 @@ from repro.compiler import (
 from repro.compiler import config as config_mod
 from repro.compiler.cfg import CFG
 from repro.compiler.dominance import dominators, immediate_dominators
-from repro.compiler.lower import TEMP_BASE, VREG_BASE, PredAllocator
-from repro.compiler.regalloc import ALLOCATABLE, allocate_registers
-from repro.compiler.schedule import hoist_slices, merge_regions
+from repro.compiler.lower import VREG_BASE, PredAllocator
+from repro.compiler.regalloc import ALLOCATABLE
 from repro.engine import run
-from repro.isa.opcodes import BranchKind, CmpType, Opcode
-from repro.lang import parse
+from repro.isa.opcodes import BranchKind, Opcode
 
 
 def compiled_main(source, config=config_mod.BASELINE, profiled=False):
@@ -424,12 +422,6 @@ class TestProfileCollector:
         }
         """
         balanced = compile_with_profile(source, config_mod.HYPERBLOCK)
-        cond_branches = sum(
-            1
-            for i in balanced.executable.code
-            if i.op is Opcode.BR
-            and i.kind in (BranchKind.COND, BranchKind.EXIT)
-        )
         assert balanced.num_regions >= 1
 
 

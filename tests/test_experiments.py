@@ -4,7 +4,6 @@ claims hold at tiny scale on a fast subset."""
 import pytest
 
 from repro.experiments import EXPERIMENTS, experiment_ids, get_experiment
-from repro.experiments.common import geometric_mean
 
 #: cheap but technique-sensitive subset
 SUBSET = ["compress", "grep", "nbody"]

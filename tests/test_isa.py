@@ -83,6 +83,75 @@ class TestInstruction:
         assert not add.writes_predicates()
 
 
+#: op -> (instruction, expected reads, expected write, writes predicates).
+#: The static verifier's dataflow rules are built on these accessors, so
+#: every opcode's register effects are pinned down here.
+_EFFECTS = {
+    Opcode.ADD: (Instruction(op=Opcode.ADD, rd=1, ra=2, rb=3), [2, 3], 1),
+    Opcode.SUB: (Instruction(op=Opcode.SUB, rd=4, ra=5, imm=1), [5], 4),
+    Opcode.MUL: (Instruction(op=Opcode.MUL, rd=1, ra=1, rb=1), [1, 1], 1),
+    Opcode.DIV: (Instruction(op=Opcode.DIV, rd=2, ra=3, imm=2), [3], 2),
+    Opcode.MOD: (Instruction(op=Opcode.MOD, rd=2, ra=3, rb=4), [3, 4], 2),
+    Opcode.AND: (Instruction(op=Opcode.AND, rd=6, ra=7, rb=8), [7, 8], 6),
+    Opcode.OR: (Instruction(op=Opcode.OR, rd=6, ra=7, imm=15), [7], 6),
+    Opcode.XOR: (Instruction(op=Opcode.XOR, rd=6, ra=7, rb=8), [7, 8], 6),
+    Opcode.SHL: (Instruction(op=Opcode.SHL, rd=9, ra=9, imm=2), [9], 9),
+    Opcode.SHR: (Instruction(op=Opcode.SHR, rd=9, ra=9, imm=2), [9], 9),
+    Opcode.SRA: (Instruction(op=Opcode.SRA, rd=9, ra=9, rb=3), [9, 3], 9),
+    Opcode.MOV: (Instruction(op=Opcode.MOV, rd=4, ra=2), [2], 4),
+    Opcode.LOAD: (Instruction(op=Opcode.LOAD, rd=4, ra=5, imm=8), [5], 4),
+    Opcode.STORE: (Instruction(op=Opcode.STORE, ra=4, rb=5), [4, 5], -1),
+    Opcode.CMP: (
+        Instruction(op=Opcode.CMP, pd1=1, pd2=2, ra=3, rb=4),
+        [3, 4],
+        -1,
+    ),
+    Opcode.BR: (
+        Instruction(op=Opcode.BR, qp=1, target="x", kind=BranchKind.COND),
+        [],
+        -1,
+    ),
+    Opcode.CALL: (
+        Instruction(op=Opcode.CALL, rd=7, target="f", nargs=1), [], 7
+    ),
+    Opcode.RET: (
+        Instruction(op=Opcode.RET, ra=3, kind=BranchKind.RET), [3], -1
+    ),
+    Opcode.HALT: (Instruction(op=Opcode.HALT), [], -1),
+    Opcode.NOP: (Instruction(op=Opcode.NOP), [], -1),
+}
+
+
+class TestInstructionEffectsCatalogue:
+    def test_catalogue_covers_every_opcode(self):
+        assert set(_EFFECTS) == set(Opcode)
+
+    @pytest.mark.parametrize("op", list(_EFFECTS), ids=lambda o: o.name)
+    def test_reads_and_write(self, op):
+        instr, reads, write = _EFFECTS[op]
+        assert instr.reads_regs() == reads
+        assert instr.writes_reg() == write
+
+    @pytest.mark.parametrize("op", list(_EFFECTS), ids=lambda o: o.name)
+    def test_writes_predicates(self, op):
+        instr, _, _ = _EFFECTS[op]
+        assert instr.writes_predicates() == (
+            op is Opcode.CMP and (instr.pd1 >= 0 or instr.pd2 >= 0)
+        )
+
+    def test_immediate_sources_are_not_register_reads(self):
+        mov = Instruction(op=Opcode.MOV, rd=1, imm=5)
+        assert mov.reads_regs() == []
+        ret = Instruction(op=Opcode.RET, imm=0, kind=BranchKind.RET)
+        assert ret.reads_regs() == []
+        load = Instruction(op=Opcode.LOAD, rd=1, imm=64)
+        assert load.reads_regs() == []
+
+    def test_compare_without_targets_writes_no_predicates(self):
+        cmp = Instruction(op=Opcode.CMP, ra=1, rb=2)
+        assert not cmp.writes_predicates()
+
+
 class TestLinking:
     def test_link_resolves_labels(self):
         pb = ProgramBuilder()

@@ -17,7 +17,6 @@ from repro.compiler.verify import (
 )
 from repro.isa import (
     BranchKind,
-    CmpType,
     Instruction,
     Opcode,
     ProgramBuilder,

@@ -4,7 +4,6 @@ import pytest
 
 from repro.predictors import (
     BimodalPredictor,
-    GAgPredictor,
     GSelectPredictor,
     GSharePredictor,
     LocalPredictor,

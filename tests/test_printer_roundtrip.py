@@ -1,0 +1,273 @@
+"""Round-trip tests for the disassembler (``repro.isa.printer``).
+
+``reparse`` inverts ``format_instruction`` for every opcode; the
+catalogue below exercises each operand shape, and a compiled workload
+checks render-stability on real code (``format(reparse(text)) == text``).
+"""
+
+import re
+
+import pytest
+
+from repro.compiler.config import HYPERBLOCK
+from repro.isa import BranchKind, CmpType, Instruction, Opcode, Relation
+from repro.isa.printer import _GUARD_WIDTH, disassemble, format_instruction
+from repro.isa.registers import P_TRUE
+from repro.workloads import get_workload
+
+_RELS = {
+    "eq": Relation.EQ,
+    "ne": Relation.NE,
+    "lt": Relation.LT,
+    "le": Relation.LE,
+    "gt": Relation.GT,
+    "ge": Relation.GE,
+}
+_CTYPES = {
+    "": CmpType.NORMAL,
+    "unc": CmpType.UNC,
+    "and": CmpType.AND,
+    "or": CmpType.OR,
+}
+_KINDS = {
+    "br": BranchKind.UNCOND,
+    "br.cond": BranchKind.COND,
+    "br.loop": BranchKind.LOOP,
+    "br.exit": BranchKind.EXIT,
+}
+_ALUS = {
+    "add": Opcode.ADD,
+    "sub": Opcode.SUB,
+    "mul": Opcode.MUL,
+    "div": Opcode.DIV,
+    "mod": Opcode.MOD,
+    "and": Opcode.AND,
+    "or": Opcode.OR,
+    "xor": Opcode.XOR,
+    "shl": Opcode.SHL,
+    "shr": Opcode.SHR,
+    "sra": Opcode.SRA,
+}
+
+
+def _target(text: str):
+    return int(text) if re.fullmatch(r"-?\d+", text) else text
+
+
+def reparse(text: str) -> Instruction:
+    """Parse one line of disassembly back into an :class:`Instruction`."""
+    match = re.match(r"\(p(\d+)\)\s+", text)
+    if match:
+        qp = int(match.group(1))
+        body = text[match.end():]
+    else:
+        assert text.startswith(" " * _GUARD_WIDTH), text
+        qp = P_TRUE
+        body = text.lstrip()
+
+    region, region_based = -1, False
+    if ";" in body:
+        body, _, notes = body.partition(";")
+        body = body.rstrip()
+        for note in notes.split(","):
+            note = note.strip()
+            if note == "region-based":
+                region_based = True
+            elif note.startswith("region "):
+                region = int(note.split()[1])
+
+    instr = _parse_body(body, qp)
+    instr.region = region
+    instr.region_based = region_based
+    return instr
+
+
+def _parse_body(body: str, qp: int) -> Instruction:
+    mnemonic, _, rest = body.partition(" ")
+    if mnemonic == "halt":
+        return Instruction(op=Opcode.HALT, qp=qp)
+    if mnemonic == "nop":
+        return Instruction(op=Opcode.NOP, qp=qp)
+    if mnemonic == "ret":
+        if rest.startswith("r"):
+            return Instruction(
+                op=Opcode.RET, qp=qp, ra=int(rest[1:]), kind=BranchKind.RET
+            )
+        return Instruction(
+            op=Opcode.RET, qp=qp, imm=int(rest), kind=BranchKind.RET
+        )
+    if mnemonic == "call":
+        m = re.fullmatch(r"r(\d+) = (\w+)\((\d+) args\)", rest)
+        return Instruction(
+            op=Opcode.CALL,
+            qp=qp,
+            rd=int(m.group(1)),
+            target=_target(m.group(2)),
+            nargs=int(m.group(3)),
+            kind=BranchKind.CALL,
+        )
+    if mnemonic in _KINDS:
+        return Instruction(
+            op=Opcode.BR, qp=qp, target=_target(rest), kind=_KINDS[mnemonic]
+        )
+    if mnemonic.startswith("cmp."):
+        parts = mnemonic.split(".")
+        m = re.fullmatch(
+            r"p(\d+)(?:, p(\d+))? = r(\d+), (?:r(\d+)|(-?\d+))", rest
+        )
+        return Instruction(
+            op=Opcode.CMP,
+            qp=qp,
+            pd1=int(m.group(1)),
+            pd2=int(m.group(2)) if m.group(2) else -1,
+            ra=int(m.group(3)),
+            rb=int(m.group(4)) if m.group(4) is not None else -1,
+            imm=int(m.group(5)) if m.group(5) is not None else 0,
+            crel=_RELS[parts[1]],
+            ctype=_CTYPES[parts[2] if len(parts) > 2 else ""],
+        )
+    if mnemonic == "mov":
+        m = re.fullmatch(r"r(\d+) = (?:r(\d+)|(-?\d+))", rest)
+        return Instruction(
+            op=Opcode.MOV,
+            qp=qp,
+            rd=int(m.group(1)),
+            ra=int(m.group(2)) if m.group(2) is not None else -1,
+            imm=int(m.group(3)) if m.group(3) is not None else 0,
+        )
+    if mnemonic == "ld":
+        m = re.fullmatch(r"r(\d+) = \[(?:r(\d+)|0) \+ (-?\d+)\]", rest)
+        return Instruction(
+            op=Opcode.LOAD,
+            qp=qp,
+            rd=int(m.group(1)),
+            ra=int(m.group(2)) if m.group(2) is not None else -1,
+            imm=int(m.group(3)),
+        )
+    if mnemonic == "st":
+        m = re.fullmatch(r"\[(?:r(\d+)|0) \+ (-?\d+)\] = r(\d+)", rest)
+        return Instruction(
+            op=Opcode.STORE,
+            qp=qp,
+            ra=int(m.group(1)) if m.group(1) is not None else -1,
+            imm=int(m.group(2)),
+            rb=int(m.group(3)),
+        )
+    alu = _ALUS[mnemonic]
+    m = re.fullmatch(r"r(\d+) = r(\d+), (?:r(\d+)|(-?\d+))", rest)
+    return Instruction(
+        op=alu,
+        qp=qp,
+        rd=int(m.group(1)),
+        ra=int(m.group(2)),
+        rb=int(m.group(3)) if m.group(3) is not None else -1,
+        imm=int(m.group(4)) if m.group(4) is not None else 0,
+    )
+
+
+CASES = [
+    Instruction(op=Opcode.ADD, rd=3, ra=1, rb=2),
+    Instruction(op=Opcode.ADD, qp=5, rd=3, ra=1, imm=-7),
+    Instruction(op=Opcode.SUB, rd=4, ra=4, rb=2),
+    Instruction(op=Opcode.MUL, rd=4, ra=4, imm=3),
+    Instruction(op=Opcode.DIV, rd=9, ra=8, rb=7),
+    Instruction(op=Opcode.MOD, qp=63, rd=9, ra=8, imm=10),
+    Instruction(op=Opcode.AND, rd=1, ra=2, rb=3),
+    Instruction(op=Opcode.OR, rd=1, ra=2, imm=255),
+    Instruction(op=Opcode.XOR, rd=1, ra=1, rb=1),
+    Instruction(op=Opcode.SHL, rd=2, ra=2, imm=4),
+    Instruction(op=Opcode.SHR, rd=2, ra=2, imm=1),
+    Instruction(op=Opcode.SRA, qp=12, rd=2, ra=2, imm=31),
+    Instruction(op=Opcode.MOV, rd=4, ra=2),
+    Instruction(op=Opcode.MOV, qp=3, rd=4, imm=-9),
+    Instruction(op=Opcode.LOAD, rd=2, ra=5, imm=12),
+    Instruction(op=Opcode.LOAD, rd=2, imm=100),
+    Instruction(op=Opcode.STORE, ra=5, rb=3, imm=-4),
+    Instruction(op=Opcode.STORE, qp=6, rb=3, imm=64),
+    Instruction(op=Opcode.CMP, pd1=1, pd2=2, ra=4, rb=7, crel=Relation.LT),
+    Instruction(op=Opcode.CMP, pd1=3, ra=4, imm=0, crel=Relation.EQ),
+    Instruction(
+        op=Opcode.CMP,
+        qp=3,
+        pd1=5,
+        pd2=6,
+        ra=4,
+        rb=7,
+        crel=Relation.GE,
+        ctype=CmpType.UNC,
+    ),
+    Instruction(
+        op=Opcode.CMP, qp=1, pd1=5, ra=4, imm=-1,
+        crel=Relation.NE, ctype=CmpType.AND,
+    ),
+    Instruction(
+        op=Opcode.CMP, qp=2, pd1=5, ra=4, imm=9,
+        crel=Relation.LE, ctype=CmpType.OR,
+    ),
+    Instruction(
+        op=Opcode.CMP, pd1=7, pd2=8, ra=1, rb=2,
+        crel=Relation.GT, region=2,
+    ),
+    Instruction(op=Opcode.BR, target="loop", kind=BranchKind.UNCOND),
+    Instruction(op=Opcode.BR, qp=2, target="exit", kind=BranchKind.COND),
+    Instruction(op=Opcode.BR, qp=1, target=17, kind=BranchKind.LOOP),
+    Instruction(
+        op=Opcode.BR,
+        qp=9,
+        target="side",
+        kind=BranchKind.EXIT,
+        region=3,
+        region_based=True,
+    ),
+    Instruction(
+        op=Opcode.CALL, rd=1, target="helper", nargs=2, kind=BranchKind.CALL
+    ),
+    Instruction(op=Opcode.RET, ra=3, kind=BranchKind.RET),
+    Instruction(op=Opcode.RET, imm=0, kind=BranchKind.RET),
+    Instruction(op=Opcode.HALT),
+    Instruction(op=Opcode.NOP, qp=7),
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "instr", CASES, ids=[f"{i:02d}-{c.op.name}" for i, c in enumerate(CASES)]
+    )
+    def test_catalogue_roundtrip(self, instr):
+        text = format_instruction(instr)
+        assert reparse(text) == instr, text
+
+    def test_catalogue_covers_every_opcode(self):
+        assert {case.op for case in CASES} == set(Opcode)
+
+    def test_workload_disassembly_is_render_stable(self):
+        exe = get_workload("crc").compile("tiny", HYPERBLOCK).executable
+        lines = disassemble(exe).splitlines()
+        checked = 0
+        for line in lines:
+            if not re.match(r"^  +\d+  ", line):
+                continue  # function-entry label line
+            text = line[9:]
+            assert format_instruction(reparse(text)) == text
+            checked += 1
+        assert checked == len(exe.code)
+
+
+class TestGuardColumn:
+    def test_p0_guard_is_omitted(self):
+        text = format_instruction(Instruction(op=Opcode.NOP))
+        assert "(p0)" not in text
+        assert text == " " * _GUARD_WIDTH + "nop"
+
+    def test_p0_never_appears_in_workload_disassembly(self):
+        exe = get_workload("grep").compile("tiny", HYPERBLOCK).executable
+        assert "(p0)" not in disassemble(exe)
+
+    def test_bodies_align_regardless_of_guard(self):
+        for instr in CASES:
+            text = format_instruction(instr)
+            body = text[_GUARD_WIDTH:]
+            assert not body.startswith(" "), repr(text)
+            guard = text[:_GUARD_WIDTH]
+            expected = "" if instr.qp == P_TRUE else f"(p{instr.qp})"
+            assert guard.rstrip() == expected

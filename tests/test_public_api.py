@@ -7,6 +7,7 @@ import pytest
 
 PACKAGES = [
     "repro",
+    "repro.analysis",
     "repro.isa",
     "repro.lang",
     "repro.compiler",

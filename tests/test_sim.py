@@ -1,7 +1,6 @@
 """Unit tests for the simulation driver: SFP squashing, PGU history
 injection, per-class statistics, and option handling."""
 
-import numpy as np
 import pytest
 
 from repro.isa.opcodes import BranchKind

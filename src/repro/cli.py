@@ -11,8 +11,10 @@
     repro analyze grep --regions       # static region statistics
     repro lint [crc grep] [--json]     # predicate-aware static verifier
     repro hotspots lexer --sfp --pgu   # worst-mispredicting sites
+    repro profile crc --sfp --pgu      # misprediction attribution
     repro disasm crc [--function main] [--baseline]
     repro telemetry-report run.jsonl   # summarise a --metrics file
+    repro telemetry-report ev.jsonl --profile   # replay --events stream
     repro clear-cache
 
 ``run``, ``run-all`` and ``simulate`` accept ``--metrics out.jsonl``:
@@ -174,6 +176,139 @@ def _cmd_hotspots(args) -> int:
     return 0
 
 
+def _cmd_profile(args) -> int:
+    import json
+
+    from repro.profiler import (
+        AggregatingCollector,
+        JsonlEventCollector,
+        ProfileSpec,
+        SiteTable,
+        TeeCollector,
+    )
+    from repro.sim.stats import format_result_table
+    from repro.telemetry import render_profile_markdown
+    from repro.trace.container import BranchClass
+
+    workload = get_workload(args.workload)
+    config = (
+        config_mod.BASELINE if args.baseline else config_mod.HYPERBLOCK
+    )
+    spec = ProfileSpec(rate=args.rate, seed=args.seed)
+    with _metrics_scope(args):
+        with telemetry.span("profile", workload=args.workload):
+            compiled = workload.compile(args.scale, config)
+            sites = SiteTable.from_executable(compiled.executable)
+            trace = workload.trace(
+                scale=args.scale, hyperblocks=not args.baseline
+            )
+            predictor = make_predictor(args.predictor, entries=args.entries)
+            options = SimOptions(
+                distance=args.distance,
+                sfp=SFPConfig() if args.sfp else None,
+                pgu=PGUConfig() if args.pgu else None,
+            )
+            aggregating = AggregatingCollector(
+                spec, sites=sites, workload=workload.name
+            )
+            collector = aggregating
+            if args.events:
+                collector = TeeCollector([
+                    aggregating,
+                    JsonlEventCollector(
+                        args.events, spec, sites=sites,
+                        workload=workload.name,
+                    ),
+                ])
+            with collector:
+                result = simulate(
+                    trace, predictor, options, collector=collector
+                )
+    aggregator = aggregating.aggregator
+    if args.events:
+        print(f"events written to {args.events}", file=sys.stderr)
+
+    if args.json:
+        print(json.dumps({
+            "workload": workload.name,
+            "scale": args.scale,
+            "compile_config": "baseline" if args.baseline else "hyperblock",
+            "predictor": predictor.describe(),
+            "frontend": options.describe(),
+            "simulated": {
+                "branches": result.branches,
+                "mispredictions": result.mispredictions,
+                "squashed": result.squashed,
+            },
+            "attribution": aggregator.to_dict(),
+        }, indent=2))
+        return 0
+    if args.markdown:
+        print(render_profile_markdown(
+            aggregator, top=args.top,
+            title=(
+                f"{workload.name} ({args.scale}) — "
+                f"{predictor.describe()}, {options.describe()}"
+            ),
+        ))
+        return 0
+
+    totals = aggregator.totals()
+    print(f"workload    : {workload.name} ({args.scale}, "
+          f"{'baseline' if args.baseline else 'hyperblock'})")
+    print(f"predictor   : {predictor.describe()}")
+    print(f"front end   : {options.describe()}")
+    print(f"sampling    : {spec.describe()}")
+    print(f"events      : {totals['events']}  (sites: "
+          f"{totals['static_sites']})")
+    print(f"mispredicts : {totals['mispredictions']}  filtered: "
+          f"{totals['filtered']}")
+    print(f"H2P         : top {aggregator.h2p_count(0.9)} site(s) cover "
+          f"90% of mispredictions")
+    print()
+    mispredictions = totals["mispredictions"]
+    covered = 0
+    rows = []
+    for record in aggregator.top_branches(args.top):
+        covered += record.mispredictions
+        rows.append({
+            "pc": record.pc,
+            "function": record.function or "-",
+            "region": record.region_id if record.region_id >= 0 else "",
+            "class": BranchClass(record.branch_class).name.lower(),
+            "execs": record.executions,
+            "misp": record.mispredictions,
+            "rate": record.misprediction_rate,
+            "filtered": record.filtered,
+            "cum%": (
+                f"{100 * covered / mispredictions:.1f}"
+                if mispredictions else "-"
+            ),
+        })
+    print(format_result_table(
+        rows,
+        ["pc", "function", "region", "class", "execs", "misp", "rate",
+         "filtered", "cum%"],
+        title=f"top {len(rows)} mispredicting branches",
+    ))
+    sfp_stats = aggregator.sfp_breakdown()
+    if sfp_stats["filtered_correct"] or sfp_stats["filtered_wrong"]:
+        print()
+        print(f"sfp         : {sfp_stats['filtered_correct']} squashed "
+              f"correct, {sfp_stats['filtered_wrong']} wrong "
+              f"(accuracy {sfp_stats['squash_accuracy']:.4f}, coverage "
+              f"{sfp_stats['squash_coverage']:.4f})")
+    pgu_stats = aggregator.pgu_breakdown()
+    if any(v["events"] for k, v in pgu_stats.items() if k != "off"):
+        parts = [
+            f"{path} {data['events']} @ {data['accuracy']:.4f}"
+            for path, data in pgu_stats.items()
+            if data["events"]
+        ]
+        print(f"pgu         : {', '.join(parts)}")
+    return 0
+
+
 def _cmd_analyze(args) -> int:
     from repro.compiler.analysis import analyze_executable
     from repro.compiler import config as cfg
@@ -286,7 +421,11 @@ def _cmd_disasm(args) -> int:
 
 def _cmd_telemetry_report(args) -> int:
     try:
-        report = telemetry.render_report(args.path)
+        if args.profile:
+            report = telemetry.render_profile_events(args.path,
+                                                     top=args.top)
+        else:
+            report = telemetry.render_report(args.path)
     except FileNotFoundError:
         print(f"no such metrics file: {args.path}", file=sys.stderr)
         return 1
@@ -381,6 +520,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--pgu", action="store_true")
     p.add_argument("--baseline", action="store_true")
 
+    p = sub.add_parser(
+        "profile",
+        help="event-level misprediction attribution for one workload",
+    )
+    p.add_argument("workload", choices=workload_names())
+    p.add_argument("--scale", default="small",
+                   choices=("tiny", "small", "ref"))
+    p.add_argument("--predictor", default="gshare",
+                   choices=available_predictors())
+    p.add_argument("--entries", type=int, default=4096)
+    p.add_argument("--distance", type=int, default=4)
+    p.add_argument("--sfp", action="store_true")
+    p.add_argument("--pgu", action="store_true")
+    p.add_argument("--baseline", action="store_true",
+                   help="use the non-predicated compile")
+    p.add_argument("--rate", type=int, default=1,
+                   help="sample 1-in-N branch events (default 1 = all)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="sampling phase; same seed+rate = same events")
+    p.add_argument("--top", type=int, default=10, metavar="K",
+                   help="show the K worst branches (default 10)")
+    p.add_argument("--json", action="store_true",
+                   help="full attribution report as JSON")
+    p.add_argument("--markdown", action="store_true",
+                   help="render the markdown report instead of tables")
+    p.add_argument("--events", metavar="PATH",
+                   help="also write sampled events (JSONL) to PATH")
+    p.add_argument("--metrics", metavar="PATH",
+                   help="append telemetry events (JSONL) to PATH")
+
     p = sub.add_parser("analyze", help="static region statistics")
     p.add_argument("workload", choices=workload_names())
     p.add_argument("--scale", default="tiny",
@@ -422,6 +591,11 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("telemetry-report",
                        help="summarise a --metrics JSONL file")
     p.add_argument("path", help="JSONL file written by --metrics")
+    p.add_argument("--profile", action="store_true",
+                   help="treat PATH as a `repro profile --events` file "
+                        "and render the attribution report")
+    p.add_argument("--top", type=int, default=10, metavar="K",
+                   help="with --profile: show the K worst branches")
 
     sub.add_parser("clear-cache", help="delete cached traces")
     return parser
@@ -435,6 +609,7 @@ _HANDLERS = {
     "simulate": _cmd_simulate,
     "characterise": _cmd_characterise,
     "hotspots": _cmd_hotspots,
+    "profile": _cmd_profile,
     "analyze": _cmd_analyze,
     "lint": _cmd_lint,
     "disasm": _cmd_disasm,

@@ -72,11 +72,14 @@ def run_sweep(
     options_grid: Iterable[SimOptions],
     workers: Optional[int] = None,
     progress: Optional[ProgressCallback] = None,
+    profile=None,
 ) -> List[SimResult]:
     """Run a sweep grid for an experiment (parallel when ``workers``>1).
 
     Thin façade over :func:`repro.sim.sweep.sweep` so experiments share
-    one entry point for worker-count and progress plumbing.
+    one entry point for worker-count and progress plumbing.  ``profile``
+    (a :class:`~repro.profiler.ProfileSpec`) additionally attaches a
+    misprediction-attribution aggregator to every point's result.
     """
     return sweep(
         traces,
@@ -84,6 +87,7 @@ def run_sweep(
         options_grid,
         workers=workers,
         progress=progress,
+        profile=profile,
     )
 
 

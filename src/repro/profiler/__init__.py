@@ -1,0 +1,82 @@
+"""Prediction-event tracing and misprediction attribution.
+
+The profiler is the event-level lens over the simulation driver: every
+dynamic branch can emit a :class:`PredictionEvent` describing what the
+front end knew and decided, a pluggable :class:`EventCollector` samples
+the stream deterministically, and an :class:`AttributionAggregator`
+turns it into per-branch H2P rankings, per-region/per-mechanism
+breakdowns and phase timelines.  Aggregators pickle and merge like
+:class:`~repro.telemetry.MetricsRegistry`, so sweeps combine worker
+profiles into one report.
+
+Entry points: ``repro profile <workload>`` on the CLI, or::
+
+    from repro.profiler import AggregatingCollector, ProfileSpec
+    from repro.sim import simulate
+
+    collector = AggregatingCollector(ProfileSpec(rate=64), workload="crc")
+    simulate(trace, predictor, options, collector=collector)
+    report = collector.aggregator.to_dict()
+
+See ``docs/observability.md`` for the event schema and sampling
+semantics.
+"""
+
+from repro.profiler.attribution import (
+    AVAIL_BUCKETS,
+    REPORT_SCHEMA_VERSION,
+    AttributionAggregator,
+    BranchRecord,
+    avail_bucket_labels,
+    merge_attributions,
+)
+from repro.profiler.collector import (
+    AggregatingCollector,
+    EventCollector,
+    JsonlEventCollector,
+    RingBufferCollector,
+    SiteTable,
+    TeeCollector,
+    aggregate_event_stream,
+    header_record,
+    read_event_stream,
+)
+from repro.profiler.events import (
+    AVAIL_NEVER,
+    CONF_PERFECT,
+    CONF_UNKNOWN,
+    EVENT_FIELDS,
+    EVENT_SCHEMA_VERSION,
+    PGUPath,
+    PredictionEvent,
+    SFPDecision,
+)
+from repro.profiler.spec import DEFAULT_INTERVAL, ProfileSpec
+
+__all__ = [
+    "AVAIL_BUCKETS",
+    "AVAIL_NEVER",
+    "AggregatingCollector",
+    "AttributionAggregator",
+    "BranchRecord",
+    "CONF_PERFECT",
+    "CONF_UNKNOWN",
+    "DEFAULT_INTERVAL",
+    "EVENT_FIELDS",
+    "EVENT_SCHEMA_VERSION",
+    "EventCollector",
+    "JsonlEventCollector",
+    "PGUPath",
+    "PredictionEvent",
+    "ProfileSpec",
+    "REPORT_SCHEMA_VERSION",
+    "RingBufferCollector",
+    "SFPDecision",
+    "SiteTable",
+    "TeeCollector",
+    "aggregate_event_stream",
+    "avail_bucket_labels",
+    "header_record",
+    "merge_attributions",
+    "read_event_stream",
+]

@@ -1,0 +1,188 @@
+"""Prediction events: the per-dynamic-branch record the profiler traces.
+
+One :class:`PredictionEvent` describes everything the front end knew (and
+decided) about a single dynamic branch: where it sits statically (pc,
+function, region), how long its qualifying predicate had been resolved by
+fetch, what the squash false-path filter did with it, whether predicate
+global update had freshly inserted history bits, and how the prediction
+compared with the outcome.  The simulation driver emits these into an
+:class:`~repro.profiler.collector.EventCollector`; the stream is the raw
+material for misprediction attribution
+(:class:`~repro.profiler.attribution.AttributionAggregator`).
+
+Events are deliberately flat and enum-coded so they serialise to one
+small JSON object per line (``repro profile --events out.jsonl``) and
+reconstruct losslessly with :func:`PredictionEvent.from_dict`.
+"""
+
+import enum
+from typing import Dict
+
+#: Version of the on-disk event schema (bumped on incompatible change).
+EVENT_SCHEMA_VERSION = 1
+
+#: ``conf`` value meaning "no confidence estimate was attached".
+CONF_UNKNOWN = -1
+#: ``conf`` value for squash-filtered branches: the direction was certain.
+CONF_PERFECT = 100
+
+#: ``avail`` value meaning "guard never architecturally written (or p0)".
+AVAIL_NEVER = -1
+
+
+class SFPDecision(enum.IntEnum):
+    """What the squash false-path filter did with a branch."""
+
+    NOT_FILTERED = 0  #: filter off, or the guard was not resolved by fetch
+    FILTERED_CORRECT = 1  #: squashed, and the asserted direction was right
+    FILTERED_WRONG = 2  #: squashed, but the asserted direction was wrong
+
+
+class PGUPath(enum.IntEnum):
+    """How predicate global update shaped the history this branch saw."""
+
+    OFF = 0  #: PGU disabled — history holds branch outcomes only
+    UPDATE = 1  #: no predicate define entered history since the previous
+    #: branch: the prediction rode on outcome-update bits alone
+    INSERT = 2  #: >=1 predicate define was freshly inserted before fetch
+
+
+class PredictionEvent:
+    """One dynamic branch through the predict/squash machinery.
+
+    Attributes:
+        seq: index of this event in the trace's dynamic branch stream
+            (the profiler's deterministic sampling key).
+        pc: static instruction index of the branch.
+        function: containing function name (``""`` until annotated from a
+            :class:`~repro.profiler.collector.SiteTable`).
+        region_id: hyperblock/region id, ``-1`` outside any region (or
+            until annotated).
+        branch_class: :class:`~repro.trace.container.BranchClass` value.
+        region_based: branch left inside a predicated region.
+        guard: qualifying predicate register (0 = p0, unguarded).
+        avail: dynamic-instruction distance between the guard's defining
+            write and this branch's fetch (``AVAIL_NEVER`` if the guard
+            was never written).  The guard is *visible* at fetch iff
+            ``avail >= D``.
+        sfp: :class:`SFPDecision` value.
+        pgu: :class:`PGUPath` value.
+        pgu_bits: predicate-define bits inserted into global history
+            between the previous branch event and this one.
+        predicted: direction the front end asserted (squash) or the
+            predictor produced.
+        taken: actual outcome.
+        conf: confidence attached to the prediction (``CONF_PERFECT`` for
+            squashes, ``CONF_UNKNOWN`` when no estimator ran).
+    """
+
+    __slots__ = (
+        "seq", "pc", "function", "region_id", "branch_class",
+        "region_based", "guard", "avail", "sfp", "pgu", "pgu_bits",
+        "predicted", "taken", "conf",
+    )
+
+    def __init__(self, seq, pc, branch_class, region_based, guard, avail,
+                 sfp, pgu, pgu_bits, predicted, taken,
+                 function="", region_id=-1, conf=CONF_UNKNOWN):
+        self.seq = seq
+        self.pc = pc
+        self.function = function
+        self.region_id = region_id
+        self.branch_class = branch_class
+        self.region_based = region_based
+        self.guard = guard
+        self.avail = avail
+        self.sfp = sfp
+        self.pgu = pgu
+        self.pgu_bits = pgu_bits
+        self.predicted = predicted
+        self.taken = taken
+        self.conf = conf
+
+    @property
+    def correct(self) -> bool:
+        """Did the asserted direction match the outcome?"""
+        return self.predicted == self.taken
+
+    @property
+    def filtered(self) -> bool:
+        """Was the branch handled by the squash filter?"""
+        return self.sfp != SFPDecision.NOT_FILTERED
+
+    def to_dict(self) -> Dict:
+        """Flat JSON-serialisable form (one JSONL record)."""
+        return {
+            "event": "prediction",
+            "seq": self.seq,
+            "pc": self.pc,
+            "function": self.function,
+            "region_id": self.region_id,
+            "class": int(self.branch_class),
+            "region": bool(self.region_based),
+            "guard": self.guard,
+            "avail": self.avail,
+            "sfp": int(self.sfp),
+            "pgu": int(self.pgu),
+            "pgu_bits": self.pgu_bits,
+            "predicted": bool(self.predicted),
+            "taken": bool(self.taken),
+            "conf": self.conf,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "PredictionEvent":
+        """Rebuild an event from :meth:`to_dict` output."""
+        return cls(
+            seq=int(data["seq"]),
+            pc=int(data["pc"]),
+            function=data.get("function", ""),
+            region_id=int(data.get("region_id", -1)),
+            branch_class=int(data["class"]),
+            region_based=bool(data["region"]),
+            guard=int(data["guard"]),
+            avail=int(data["avail"]),
+            sfp=SFPDecision(data["sfp"]),
+            pgu=PGUPath(data["pgu"]),
+            pgu_bits=int(data["pgu_bits"]),
+            predicted=bool(data["predicted"]),
+            taken=bool(data["taken"]),
+            conf=int(data.get("conf", CONF_UNKNOWN)),
+        )
+
+    def __eq__(self, other):
+        if not isinstance(other, PredictionEvent):
+            return NotImplemented
+        return all(
+            getattr(self, name) == getattr(other, name)
+            for name in self.__slots__
+        )
+
+    def __repr__(self):
+        return (
+            f"PredictionEvent(seq={self.seq}, pc={self.pc}, "
+            f"predicted={self.predicted}, taken={self.taken}, "
+            f"sfp={SFPDecision(self.sfp).name}, "
+            f"pgu={PGUPath(self.pgu).name})"
+        )
+
+
+#: Field names and JSON types of one ``"prediction"`` JSONL record —
+#: the contract CI's schema check validates against.
+EVENT_FIELDS = {
+    "event": str,
+    "seq": int,
+    "pc": int,
+    "function": str,
+    "region_id": int,
+    "class": int,
+    "region": bool,
+    "guard": int,
+    "avail": int,
+    "sfp": int,
+    "pgu": int,
+    "pgu_bits": int,
+    "predicted": bool,
+    "taken": bool,
+    "conf": int,
+}

@@ -1,0 +1,51 @@
+"""Profiling configuration shared by collectors and aggregators.
+
+A :class:`ProfileSpec` pins down the two things every consumer of an
+event stream must agree on for results to be comparable and mergeable:
+the deterministic sampling decision and the timeline interval width.
+
+Sampling is 1-in-``rate`` by dynamic branch index: event ``seq`` is kept
+iff ``(seq + seed) % rate == 0``.  The decision depends only on the
+trace position, never on wall clock or process layout, so the same
+(trace, rate, seed) always yields the identical sampled stream — across
+reruns *and* across sweep worker counts.
+"""
+
+from dataclasses import dataclass
+
+#: Default timeline interval, in dynamic branch events.
+DEFAULT_INTERVAL = 4096
+
+
+@dataclass(frozen=True)
+class ProfileSpec:
+    """Sampling and bucketing parameters for one profiling run.
+
+    Attributes:
+        rate: keep one event in ``rate`` (1 = every branch).  Attribution
+            totals reconcile exactly with ``SimResult`` only at rate 1.
+        seed: phase offset of the deterministic sampler; distinct seeds
+            select distinct (but individually reproducible) subsets.
+        interval: width of one timeline bucket, in branch events.
+    """
+
+    rate: int = 1
+    seed: int = 0
+    interval: int = DEFAULT_INTERVAL
+
+    def __post_init__(self):
+        if self.rate < 1:
+            raise ValueError(f"sampling rate must be >= 1, got {self.rate}")
+        if self.seed < 0:
+            raise ValueError(f"seed must be >= 0, got {self.seed}")
+        if self.interval < 1:
+            raise ValueError(
+                f"interval must be >= 1, got {self.interval}"
+            )
+
+    def wants(self, seq: int) -> bool:
+        """Deterministic sampling decision for branch event ``seq``."""
+        return (seq + self.seed) % self.rate == 0
+
+    def describe(self) -> str:
+        return f"profile(1/{self.rate},seed={self.seed})"

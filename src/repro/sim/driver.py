@@ -27,8 +27,26 @@ from repro.predictors.perfect import PerfectPredictor
 from repro.predictors.pgu import PGUConfig
 from repro.predictors.sfp import SFPConfig
 from repro.predictors.static import StaticPredictor
+from repro.profiler.events import (
+    AVAIL_NEVER,
+    CONF_PERFECT,
+    CONF_UNKNOWN,
+    PGUPath,
+    PredictionEvent,
+    SFPDecision,
+)
 from repro.sim.stats import ClassStats
 from repro.trace.container import BranchClass, Trace
+
+# Enum values pre-bound as ints: the profiled event path is inside the
+# per-branch loop, where attribute lookups on IntEnum members cost real
+# time at sampling rate 1.
+_SFP_NOT_FILTERED = int(SFPDecision.NOT_FILTERED)
+_SFP_FILTERED_CORRECT = int(SFPDecision.FILTERED_CORRECT)
+_SFP_FILTERED_WRONG = int(SFPDecision.FILTERED_WRONG)
+_PGU_OFF = int(PGUPath.OFF)
+_PGU_UPDATE = int(PGUPath.UPDATE)
+_PGU_INSERT = int(PGUPath.INSERT)
 
 
 @dataclass(frozen=True)
@@ -90,6 +108,9 @@ class SimResult:
     misfetches: int = 0
     #: per-branch flags (only with ``SimOptions(record_flags=True)``)
     flags: Optional["BranchFlags"] = None
+    #: misprediction attribution (only when :func:`simulate` was given a
+    #: collector that aggregates, e.g. an ``AggregatingCollector``)
+    attribution: Optional["AttributionAggregator"] = None  # noqa: F821
 
     @property
     def misprediction_rate(self) -> float:
@@ -122,8 +143,17 @@ def simulate(
     trace: Trace,
     predictor: BranchPredictor,
     options: SimOptions = SimOptions(),
+    collector=None,
 ) -> SimResult:
-    """Run ``trace`` through ``predictor`` under ``options``."""
+    """Run ``trace`` through ``predictor`` under ``options``.
+
+    ``collector`` (an :class:`repro.profiler.EventCollector`) receives a
+    :class:`~repro.profiler.events.PredictionEvent` for every sampled
+    dynamic branch — sampling is the collector's deterministic
+    1-in-``rate`` decision keyed on the branch's stream index, so the
+    event stream is identical run to run.  With no collector the event
+    path reduces to one sentinel comparison per branch.
+    """
     availability = AvailabilityModel(options.distance)
     history = GlobalHistory(options.history_bits)
     sfp = options.sfp
@@ -196,6 +226,50 @@ def simulate(
     f_squashed = [] if record else None
     f_misfetch = [] if record else None
 
+    # Profiling: `next_sample` is the only per-branch cost when no
+    # collector is installed (it stays -1, which no index reaches).
+    if collector is not None:
+        p_rate = collector.rate
+        next_sample = (-collector.seed) % p_rate
+        collect = collector.collect
+        pb_guard = trace.b_guard.tolist()
+        pb_guard_def = trace.b_guard_def.tolist()
+        pb_region = trace.b_region.tolist()
+        pgu_on = pgu is not None
+
+        def emit_event(i, j, predicted, taken, sfp_code, conf):
+            # Predicate bits inserted since the previous branch: the
+            # defines whose visibility index lands in (j_prev, j].
+            if pgu_on:
+                prev_j = b_idx[i - 1] if i else -1
+                k = dptr
+                while k and d_idx[k - 1] + delay > prev_j:
+                    k -= 1
+                bits = dptr - k
+                pgu_code = _PGU_INSERT if bits else _PGU_UPDATE
+            else:
+                bits = 0
+                pgu_code = _PGU_OFF
+            guard_def = pb_guard_def[i]
+            collect(PredictionEvent(
+                seq=i,
+                pc=b_pc[i],
+                branch_class=classes[i],
+                region_based=pb_region[i],
+                guard=pb_guard[i],
+                avail=(j - guard_def) if guard_def >= 0 else AVAIL_NEVER,
+                sfp=sfp_code,
+                pgu=pgu_code,
+                pgu_bits=bits,
+                predicted=predicted,
+                taken=taken,
+                conf=conf,
+            ))
+    else:
+        p_rate = 0
+        next_sample = -1
+        emit_event = None
+
     for i in range(len(b_pc)):
         j = b_idx[i]
         while dptr < num_defs and d_idx[dptr] + delay <= j:
@@ -233,6 +307,15 @@ def simulate(
                 f_correct.append(True)
                 f_squashed.append(True)
                 f_misfetch.append(missed_target)
+            if i == next_sample:
+                next_sample += p_rate
+                asserted = taken if sfp.squash_known_true else False
+                emit_event(
+                    i, j, asserted, taken,
+                    _SFP_FILTERED_CORRECT if asserted == taken
+                    else _SFP_FILTERED_WRONG,
+                    CONF_PERFECT,
+                )
             continue
 
         if is_static:
@@ -261,6 +344,11 @@ def simulate(
             f_correct.append(predicted == taken)
             f_squashed.append(False)
             f_misfetch.append(missed_target)
+        if i == next_sample:
+            next_sample += p_rate
+            emit_event(
+                i, j, predicted, taken, _SFP_NOT_FILTERED, CONF_UNKNOWN
+            )
 
     branches = len(b_pc)
     if telemetry.enabled():
@@ -286,6 +374,14 @@ def simulate(
             )
             registry.counter(f"{prefix}.squashed").inc(stats.squashed)
 
+    # Duck-typed: any collector that exposes an `aggregator` (e.g.
+    # AggregatingCollector, or a Tee wrapping one) rides back on the
+    # result, which is how sweep workers ship attribution to the parent.
+    attribution = (
+        getattr(collector, "aggregator", None)
+        if collector is not None
+        else None
+    )
     return SimResult(
         predictor=predictor.name,
         options=options,
@@ -305,4 +401,5 @@ def simulate(
             if record
             else None
         ),
+        attribution=attribution,
     )

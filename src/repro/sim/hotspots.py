@@ -5,15 +5,23 @@ mispredictions under a given configuration — the view an architect uses
 to see *which* branches a mechanism fixed and which remain.  Returns
 structured records; the CLI's ``hotspots`` command prints them alongside
 the disassembled site.
+
+Since the profiler landed this is a thin view over
+:class:`~repro.profiler.attribution.AttributionAggregator`: the trace is
+replayed once through the real driver with an unsampled
+:class:`~repro.profiler.collector.AggregatingCollector`, so per-site
+accounting lives in exactly one place and hotspots see the driver's full
+semantics (SFP, PGU — including ``guards_only`` filtering — delayed
+update) instead of a hand-maintained mirror loop.
 """
 
 from dataclasses import dataclass
 from typing import List
 
-from repro.pipeline.availability import AvailabilityModel
-from repro.pipeline.frontend import GlobalHistory
 from repro.predictors.base import BranchPredictor
-from repro.sim.driver import SimOptions
+from repro.profiler.collector import AggregatingCollector
+from repro.profiler.spec import ProfileSpec
+from repro.sim.driver import SimOptions, simulate
 from repro.trace.container import Trace
 
 
@@ -46,71 +54,26 @@ def per_site_stats(
 ) -> List[SiteStats]:
     """Simulate and aggregate per static branch site.
 
-    A separate (slower, dict-building) loop from the main driver so the
-    hot path stays lean; mechanics mirror
-    :func:`repro.sim.driver.simulate` for the SFP/PGU features.
+    One rate-1 profiled :func:`~repro.sim.driver.simulate` pass; sites
+    come back sorted by absolute mispredictions (ties keep first-seen
+    order, as the dynamic stream encounters them).
     """
-    availability = AvailabilityModel(options.distance)
-    history = GlobalHistory(options.history_bits)
-    sfp = options.sfp
-    if sfp is None:
-        squash_list = None
-    elif sfp.squash_known_true:
-        squash_list = (
-            availability.guard_known_mask(trace) & (trace.b_guard != 0)
-        ).tolist()
-    else:
-        squash_list = availability.squashable_mask(trace).tolist()
-
-    if options.pgu is not None:
-        delay = (
-            options.distance
-            if options.pgu.delay is None
-            else options.pgu.delay
-        )
-        d_idx = trace.d_idx.tolist()
-        d_value = trace.d_value.tolist()
-    else:
-        delay = 0
-        d_idx = d_value = []
-    num_defs = len(d_idx)
-
-    sites = {}
-    b_pc = trace.b_pc.tolist()
-    b_idx = trace.b_idx.tolist()
-    b_taken = trace.b_taken.tolist()
-    b_region = trace.b_region.tolist()
-    dptr = 0
-
-    for i in range(len(b_pc)):
-        j = b_idx[i]
-        while dptr < num_defs and d_idx[dptr] + delay <= j:
-            history.shift(d_value[dptr])
-            dptr += 1
-        pc = b_pc[i]
-        site = sites.get(pc)
-        if site is None:
-            site = SiteStats(pc=pc, region_based=bool(b_region[i]))
-            sites[pc] = site
-        taken = b_taken[i]
-        site.executions += 1
-        site.taken += int(taken)
-        if squash_list is not None and squash_list[i]:
-            site.squashed += 1
-            if sfp.update_pht:
-                predictor.update(pc, history.bits, taken)
-            if sfp.update_history:
-                history.shift(taken)
-            continue
-        predicted = predictor.predict(pc, history.bits)
-        predictor.update(pc, history.bits, taken)
-        history.shift(taken)
-        if predicted != taken:
-            site.mispredictions += 1
-
-    return sorted(
-        sites.values(), key=lambda s: s.mispredictions, reverse=True
+    collector = AggregatingCollector(
+        ProfileSpec(), workload=trace.meta.workload
     )
+    simulate(trace, predictor, options, collector=collector)
+    sites = [
+        SiteStats(
+            pc=record.pc,
+            executions=record.executions,
+            taken=record.taken,
+            mispredictions=record.mispredictions,
+            squashed=record.filtered,
+            region_based=record.region_based,
+        )
+        for record in collector.aggregator.records()
+    ]
+    return sorted(sites, key=lambda s: s.mispredictions, reverse=True)
 
 
 def top_hotspots(

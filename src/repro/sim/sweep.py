@@ -33,6 +33,8 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional
 
 from repro import telemetry
+from repro.profiler.collector import AggregatingCollector
+from repro.profiler.spec import ProfileSpec
 from repro.sim.driver import SimOptions, SimResult, simulate
 from repro.telemetry import MetricsRegistry, span, use_registry
 from repro.trace.container import Trace
@@ -100,17 +102,28 @@ def _init_worker(traces_blob: bytes) -> None:
     _WORKER_TRACES = pickle.loads(traces_blob)
 
 
-def _run_point(index, trace_name, label, predictor, options):
+def _run_point(index, trace_name, label, predictor, options, profile=None):
     """Simulate one grid point inside a worker process.
 
     The point runs under a fresh registry so its counters can be merged
     deterministically in the parent; ``started_at`` (wall clock) lets
     the parent estimate how long the point sat in the pool's queue.
+    With a :class:`~repro.profiler.spec.ProfileSpec` the point also runs
+    under a fresh attribution aggregator, which rides back to the parent
+    on ``result.attribution`` exactly like the registry.
     """
     started_at = time.time()
     start = time.perf_counter()
+    collector = (
+        AggregatingCollector(profile, workload=trace_name)
+        if profile is not None
+        else None
+    )
     with use_registry(MetricsRegistry()) as registry:
-        result = simulate(_WORKER_TRACES[trace_name], predictor, options)
+        result = simulate(
+            _WORKER_TRACES[trace_name], predictor, options,
+            collector=collector,
+        )
     result.workload = trace_name
     result.predictor = label
     return index, result, time.perf_counter() - start, registry, started_at
@@ -148,6 +161,7 @@ class ParallelSweepRunner:
         traces: Dict[str, Trace],
         predictor_factories: Dict[str, Callable[[], "BranchPredictor"]],
         options_grid: Iterable[SimOptions],
+        profile: Optional[ProfileSpec] = None,
     ) -> List[SimResult]:
         points = self._enumerate(traces, predictor_factories, options_grid)
         serial = self.workers <= 1 or len(points) <= 1
@@ -161,9 +175,9 @@ class ParallelSweepRunner:
         start = time.perf_counter()
         with span("sweep", points=len(points), workers=effective):
             if serial:
-                results = self._run_serial(traces, points)
+                results = self._run_serial(traces, points, profile)
             else:
-                results = self._run_parallel(traces, points)
+                results = self._run_parallel(traces, points, profile)
         wall = time.perf_counter() - start
         if telemetry.enabled() and wall > 0.0:
             # Busy-time over capacity: 1.0 means no worker ever idled.
@@ -210,17 +224,23 @@ class ParallelSweepRunner:
                 )
             )
 
-    def _run_serial(self, traces, points):
+    def _run_serial(self, traces, points, profile=None):
         parent_registry = telemetry.get_registry()
         results = []
         for point, predictor in points:
             start = time.perf_counter()
+            collector = (
+                AggregatingCollector(profile, workload=point.workload)
+                if profile is not None
+                else None
+            )
             try:
                 # Same shape as the parallel path: the point runs under
                 # its own registry, merged back in canonical order.
                 with use_registry(MetricsRegistry()) as registry:
                     result = simulate(
-                        traces[point.workload], predictor, point.options
+                        traces[point.workload], predictor, point.options,
+                        collector=collector,
                     )
             except Exception as exc:
                 raise SweepError(self._describe_failure(point, exc)) from exc
@@ -231,7 +251,7 @@ class ParallelSweepRunner:
             self._report(point, time.perf_counter() - start, len(results))
         return results
 
-    def _run_parallel(self, traces, points):
+    def _run_parallel(self, traces, points, profile=None):
         traces_blob = pickle.dumps(traces, protocol=pickle.HIGHEST_PROTOCOL)
         slots: List[Optional[SimResult]] = [None] * len(points)
         registries: List[Optional[MetricsRegistry]] = [None] * len(points)
@@ -255,6 +275,7 @@ class ParallelSweepRunner:
                         point.predictor,
                         predictor,
                         point.options,
+                        profile,
                     )
                 ] = point
                 submitted_at[point.index] = time.time()
@@ -321,6 +342,7 @@ def sweep(
     options_grid: Iterable[SimOptions],
     workers: Optional[int] = None,
     progress: Optional[ProgressCallback] = None,
+    profile: Optional[ProfileSpec] = None,
 ) -> List[SimResult]:
     """Simulate every combination, with a *fresh* predictor per point.
 
@@ -333,6 +355,15 @@ def sweep(
     CPUs, default serial; ``$REPRO_SWEEP_WORKERS`` overrides when the
     argument is omitted).  ``progress`` receives one
     :class:`SweepProgress` per completed point.
+
+    ``profile`` turns on per-point misprediction attribution: each
+    point's :class:`~repro.sim.driver.SimResult` carries an
+    ``attribution`` aggregator, and
+    :func:`repro.profiler.merge_attributions` folds them (pass results
+    in the returned canonical order) into one deterministic report —
+    identical for serial and parallel runs.
     """
     runner = ParallelSweepRunner(workers=workers, progress=progress)
-    return runner.run(traces, predictor_factories, options_grid)
+    return runner.run(
+        traces, predictor_factories, options_grid, profile=profile
+    )

@@ -42,7 +42,12 @@ from repro.telemetry.registry import (
     set_registry,
     use_registry,
 )
-from repro.telemetry.report import render_report, summarize_events
+from repro.telemetry.report import (
+    render_profile_events,
+    render_profile_markdown,
+    render_report,
+    summarize_events,
+)
 from repro.telemetry.sinks import (
     JsonlSink,
     MemorySink,
@@ -71,6 +76,8 @@ __all__ = [
     "get_registry",
     "get_sink",
     "read_events",
+    "render_profile_events",
+    "render_profile_markdown",
     "render_report",
     "set_enabled",
     "set_registry",

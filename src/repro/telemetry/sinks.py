@@ -60,8 +60,15 @@ class MemorySink(Sink):
 class JsonlSink(Sink):
     """Appends one JSON object per line to a file.
 
-    The file is opened lazily on the first event, line-buffered, and the
-    parent directory is created if needed.
+    The file is opened lazily on the first event (creating the parent
+    directory if needed) and written with normal block buffering — the
+    profiler's event streams are tens of thousands of records, where
+    per-line flushing costs real time.  Buffering makes the close path
+    load-bearing: :meth:`close` (idempotent) flushes everything, and the
+    context-manager ``__exit__`` runs it even when the body raised, so a
+    simulation blowing up mid-run still leaves a complete, parseable
+    file behind.  Call :meth:`flush` to checkpoint mid-run (e.g. before
+    handing the path to a tail-following reader).
     """
 
     def __init__(self, path):
@@ -71,14 +78,27 @@ class JsonlSink(Sink):
     def emit(self, event: dict) -> None:
         if self._handle is None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
-            self._handle = open(self.path, "a", buffering=1)
-        self._handle.write(json.dumps(event, sort_keys=True, default=str))
-        self._handle.write("\n")
+            self._handle = open(self.path, "a")
+        # One write per record keeps the line intact even if a later
+        # event raises mid-serialisation.
+        self._handle.write(
+            json.dumps(event, sort_keys=True, default=str) + "\n"
+        )
+
+    def flush(self) -> None:
+        """Push buffered records to disk without closing."""
+        if self._handle is not None:
+            self._handle.flush()
+
+    @property
+    def closed(self) -> bool:
+        """No open handle (never emitted, or already closed)."""
+        return self._handle is None
 
     def close(self) -> None:
         if self._handle is not None:
-            self._handle.close()
-            self._handle = None
+            handle, self._handle = self._handle, None
+            handle.close()
 
 
 def read_events(path) -> List[dict]:

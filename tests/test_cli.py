@@ -161,3 +161,75 @@ class TestHotspotsAndExport:
         )
         assert code == 0
         assert (tmp_path / "e3.json").exists()
+
+
+class TestProfileCommand:
+    def test_profile_table(self, capsys):
+        code, out = run_cli(
+            capsys, "profile", "crc", "--scale", "tiny",
+            "--entries", "256", "--sfp", "--pgu", "--top", "3",
+        )
+        assert code == 0
+        assert "mispredicting branches" in out
+        assert "H2P" in out
+        assert "sfp" in out
+        assert "pgu" in out
+
+    def test_profile_json_reconciles(self, capsys):
+        import json
+
+        code, out = run_cli(
+            capsys, "profile", "crc", "--scale", "tiny",
+            "--entries", "256", "--sfp", "--pgu", "--json",
+        )
+        assert code == 0
+        payload = json.loads(out)
+        simulated = payload["simulated"]
+        totals = payload["attribution"]["totals"]
+        assert totals["events"] == simulated["branches"]
+        assert totals["mispredictions"] == simulated["mispredictions"]
+        assert totals["filtered"] == simulated["squashed"]
+        assert payload["attribution"]["sites"]
+
+    def test_profile_markdown(self, capsys):
+        code, out = run_cli(
+            capsys, "profile", "qsort", "--scale", "tiny",
+            "--entries", "256", "--markdown",
+        )
+        assert code == 0
+        assert out.startswith("# qsort (tiny)")
+        assert "## Top" in out
+
+    def test_profile_baseline(self, capsys):
+        code, out = run_cli(
+            capsys, "profile", "crc", "--scale", "tiny",
+            "--baseline", "--entries", "256",
+        )
+        assert code == 0
+        assert "baseline" in out
+
+    def test_profile_events_roundtrip(self, capsys, tmp_path):
+        events = tmp_path / "events.jsonl"
+        code, out = run_cli(
+            capsys, "profile", "crc", "--scale", "tiny",
+            "--entries", "256", "--sfp", "--pgu",
+            "--rate", "8", "--seed", "2", "--events", str(events),
+            "--markdown",
+        )
+        assert code == 0
+        code, report = run_cli(
+            capsys, "telemetry-report", str(events), "--profile"
+        )
+        assert code == 0
+        # The replayed report carries the same numbers as the live one
+        # (headings differ: the live render knows the predictor).
+        assert out.split("\n", 2)[2] == report.split("\n", 2)[2]
+
+    def test_telemetry_report_profile_rejects_metrics_file(
+            self, capsys, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        path.write_text('{"event": "metrics"}\n')
+        code = main(["telemetry-report", str(path), "--profile"])
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "profile-header" in err

@@ -1,0 +1,339 @@
+"""Tests for ``repro.profiler``.
+
+The load-bearing contracts, straight from the acceptance criteria:
+
+* at sampling rate 1 the attribution totals reconcile *exactly* with
+  ``SimResult`` / per-class ``ClassStats`` for every bundled workload,
+  under both compile configs;
+* sampled event streams are deterministic — same seed and rate produce
+  identical events, different seeds diverge;
+* a 4-worker sweep merges worker aggregators into exactly the report a
+  serial sweep produces;
+* aggregators survive pickling and ``to_dict``/``from_dict`` round
+  trips, so the sweep boundary and the JSON export are lossless;
+* the JSONL event stream replays into the same aggregator, and the
+  file is complete even when the simulation raises mid-run.
+"""
+
+import json
+import pickle
+
+import pytest
+
+from repro.compiler import config as config_mod
+from repro.predictors import PGUConfig, SFPConfig, make_predictor
+from repro.profiler import (
+    AggregatingCollector,
+    AttributionAggregator,
+    EVENT_FIELDS,
+    JsonlEventCollector,
+    PredictionEvent,
+    ProfileSpec,
+    RingBufferCollector,
+    SiteTable,
+    TeeCollector,
+    aggregate_event_stream,
+    merge_attributions,
+    read_event_stream,
+)
+from repro.sim import SimOptions, simulate, sweep
+from repro.trace.container import BranchClass
+from repro.workloads import get_workload, workload_names
+
+
+def _options(sfp=True, pgu=True):
+    return SimOptions(
+        sfp=SFPConfig() if sfp else None,
+        pgu=PGUConfig() if pgu else None,
+    )
+
+
+def _profiled(workload, spec=None, options=None, baseline=False,
+              entries=256, sites=None):
+    trace = get_workload(workload).trace(
+        scale="tiny", hyperblocks=not baseline
+    )
+    predictor = make_predictor("gshare", entries=entries)
+    collector = AggregatingCollector(
+        spec or ProfileSpec(), sites=sites, workload=workload
+    )
+    result = simulate(
+        trace, predictor, options or _options(), collector=collector
+    )
+    return result, collector.aggregator
+
+
+class TestSpec:
+    def test_defaults_and_describe(self):
+        spec = ProfileSpec()
+        assert spec.rate == 1
+        assert spec.seed == 0
+        assert spec.wants(0) and spec.wants(1)
+        assert "1/1" in spec.describe()
+
+    def test_wants_matches_sampling_rule(self):
+        spec = ProfileSpec(rate=4, seed=3)
+        sampled = [seq for seq in range(16) if spec.wants(seq)]
+        assert sampled == [1, 5, 9, 13]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProfileSpec(rate=0)
+        with pytest.raises(ValueError):
+            ProfileSpec(interval=0)
+        with pytest.raises(ValueError):
+            ProfileSpec(seed=-1)
+
+
+class TestReconciliation:
+    """Rate-1 attribution must agree exactly with the simulator."""
+
+    @pytest.mark.parametrize("workload", workload_names())
+    @pytest.mark.parametrize("baseline", [False, True],
+                             ids=["hyperblock", "baseline"])
+    def test_totals_match_sim_result(self, workload, baseline):
+        result, aggregator = _profiled(workload, baseline=baseline)
+        totals = aggregator.totals()
+        assert totals["events"] == result.branches
+        assert totals["mispredictions"] == result.mispredictions
+        assert totals["filtered"] == result.squashed
+        site_sum = sum(
+            r.mispredictions for r in aggregator.records()
+        )
+        assert site_sum == result.mispredictions
+
+    @pytest.mark.parametrize("workload", ["crc", "qsort", "lexer"])
+    def test_per_class_matches_class_stats(self, workload):
+        result, aggregator = _profiled(workload)
+        for branch_class in BranchClass:
+            stats = result.class_stats(branch_class)
+            got = aggregator.classes.get(
+                int(branch_class), [0, 0, 0]
+            )
+            assert got[0] == stats.branches
+            assert got[1] == stats.mispredictions
+            assert got[2] == stats.squashed
+
+    @pytest.mark.parametrize("workload", ["crc", "lexer", "grep"])
+    def test_mechanism_breakdowns_nonempty_on_hyperblocks(self, workload):
+        _, aggregator = _profiled(workload)
+        sfp = aggregator.sfp_breakdown()
+        pgu = aggregator.pgu_breakdown()
+        # Hyperblock traces exercise both predicate mechanisms.
+        assert sfp["filtered_correct"] + sfp["filtered_wrong"] > 0
+        assert pgu["insert"]["events"] + pgu["update"]["events"] > 0
+
+    def test_baseline_has_no_mechanism_events(self):
+        _, aggregator = _profiled(
+            "crc", options=SimOptions(), baseline=True
+        )
+        sfp = aggregator.sfp_breakdown()
+        assert sfp["filtered_correct"] == sfp["filtered_wrong"] == 0
+        assert aggregator.pgu_breakdown()["off"]["events"] > 0
+
+
+class TestSampledDeterminism:
+    def _ring(self, spec):
+        trace = get_workload("qsort").trace(scale="tiny")
+        predictor = make_predictor("gshare", entries=256)
+        collector = RingBufferCollector(spec, capacity=1 << 20)
+        simulate(trace, predictor, _options(), collector=collector)
+        return collector.events
+
+    def test_same_seed_same_stream(self):
+        spec = ProfileSpec(rate=64, seed=7)
+        first = self._ring(spec)
+        second = self._ring(spec)
+        assert len(first) > 0
+        assert first == second
+
+    def test_different_seed_diverges(self):
+        first = self._ring(ProfileSpec(rate=64, seed=0))
+        second = self._ring(ProfileSpec(rate=64, seed=1))
+        assert [e.seq for e in first] != [e.seq for e in second]
+
+    def test_rate_partitions_stream(self):
+        """Every branch lands in exactly one of the ``rate`` phases."""
+        by_seed = [
+            self._ring(ProfileSpec(rate=4, seed=seed))
+            for seed in range(4)
+        ]
+        total = sum(len(events) for events in by_seed)
+        all_rate1 = self._ring(ProfileSpec())
+        assert total == len(all_rate1)
+        seqs = sorted(e.seq for events in by_seed for e in events)
+        assert seqs == [e.seq for e in all_rate1]
+
+    def test_sampled_counts_match_spec(self):
+        spec = ProfileSpec(rate=64, seed=3)
+        events = self._ring(spec)
+        assert all(spec.wants(e.seq) for e in events)
+
+
+class TestSweepMerge:
+    def _grid(self):
+        traces = {
+            name: get_workload(name).trace(scale="tiny")
+            for name in ("crc", "qsort")
+        }
+        factories = {
+            "gshare256": lambda: make_predictor("gshare", entries=256),
+            "bimodal256": lambda: make_predictor("bimodal", entries=256),
+        }
+        grid = [SimOptions(), _options()]
+        return traces, factories, grid
+
+    def _merged(self, workers, profile):
+        traces, factories, grid = self._grid()
+        results = sweep(traces, factories, grid, workers=workers,
+                        profile=profile)
+        return merge_attributions(r.attribution for r in results)
+
+    @pytest.mark.parametrize("spec", [ProfileSpec(),
+                                      ProfileSpec(rate=16, seed=5)])
+    def test_serial_and_parallel_merge_identical(self, spec):
+        serial = self._merged(None, spec)
+        parallel = self._merged(4, spec)
+        assert serial.to_dict() == parallel.to_dict()
+        assert serial.totals()["events"] > 0
+
+    def test_no_profile_means_no_attribution(self):
+        traces, factories, grid = self._grid()
+        results = sweep(traces, factories, grid)
+        assert all(r.attribution is None for r in results)
+
+    def test_merged_sites_keyed_by_workload(self):
+        merged = self._merged(None, ProfileSpec())
+        workloads = {r.workload for r in merged.records()}
+        assert workloads == {"crc", "qsort"}
+
+    def test_merge_rejects_spec_mismatch(self):
+        a = AttributionAggregator(ProfileSpec(rate=1))
+        b = AttributionAggregator(ProfileSpec(rate=2))
+        with pytest.raises(ValueError, match="spec"):
+            a.merge(b)
+
+
+class TestRoundTrips:
+    def test_pickle_roundtrip(self):
+        _, aggregator = _profiled("crc")
+        clone = pickle.loads(pickle.dumps(aggregator))
+        assert clone.to_dict() == aggregator.to_dict()
+
+    def test_dict_roundtrip(self):
+        _, aggregator = _profiled("lexer")
+        payload = json.loads(json.dumps(aggregator.to_dict()))
+        clone = AttributionAggregator.from_dict(payload)
+        assert clone.to_dict() == aggregator.to_dict()
+
+    def test_event_dict_roundtrip(self):
+        trace = get_workload("crc").trace(scale="tiny")
+        predictor = make_predictor("gshare", entries=256)
+        collector = RingBufferCollector(ProfileSpec(rate=32))
+        simulate(trace, predictor, _options(), collector=collector)
+        for event in collector.events:
+            record = event.to_dict()
+            assert set(record) == set(EVENT_FIELDS) | {"event"}
+            assert PredictionEvent.from_dict(record) == event
+
+
+class TestJsonlEventStream:
+    def _write(self, tmp_path, spec=None, workload="crc"):
+        path = tmp_path / "events.jsonl"
+        trace = get_workload(workload).trace(scale="tiny")
+        predictor = make_predictor("gshare", entries=256)
+        aggregating = AggregatingCollector(
+            spec or ProfileSpec(), workload=workload
+        )
+        with TeeCollector([
+            aggregating,
+            JsonlEventCollector(path, spec or ProfileSpec(),
+                                workload=workload),
+        ]) as collector:
+            simulate(trace, predictor, _options(), collector=collector)
+        return path, aggregating.aggregator
+
+    def test_stream_replays_to_same_report(self, tmp_path):
+        spec = ProfileSpec(rate=8, seed=1)
+        path, live = self._write(tmp_path, spec=spec)
+        replayed = aggregate_event_stream(path)
+        assert replayed.to_dict() == live.to_dict()
+
+    def test_header_carries_spec(self, tmp_path):
+        spec = ProfileSpec(rate=8, seed=1)
+        path, _ = self._write(tmp_path, spec=spec)
+        read_spec, workload, events = read_event_stream(path)
+        assert read_spec == spec
+        assert workload == "crc"
+        assert all(spec.wants(e.seq) for e in events)
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "bogus.jsonl"
+        path.write_text('{"event": "prediction"}\n')
+        with pytest.raises(ValueError, match="profile-header"):
+            read_event_stream(path)
+
+    def test_file_complete_when_simulation_raises(self, tmp_path):
+        """Satellite regression: mid-run crash leaves a parseable file."""
+        path = tmp_path / "crash.jsonl"
+        trace = get_workload("crc").trace(scale="tiny")
+        predictor = make_predictor("gshare", entries=256)
+
+        class Boom(RuntimeError):
+            pass
+
+        class ExplodingCollector(JsonlEventCollector):
+            def collect(self, event):
+                super().collect(event)
+                if event.seq >= 500:
+                    raise Boom()
+
+        with pytest.raises(Boom):
+            with ExplodingCollector(path, workload="crc") as collector:
+                simulate(trace, predictor, _options(),
+                         collector=collector)
+        # Every buffered record was flushed on the exception exit.
+        spec, workload, events = read_event_stream(path)
+        assert workload == "crc"
+        assert len(events) >= 500
+        assert events[-1].seq >= 500
+
+
+class TestSiteTable:
+    def test_from_executable_annotates_events(self):
+        workload = get_workload("lexer")
+        compiled = workload.compile("tiny", config_mod.HYPERBLOCK)
+        sites = SiteTable.from_executable(compiled.executable)
+        assert len(sites) > 0
+        _, aggregator = _profiled("lexer", sites=sites)
+        functions = {r.function for r in aggregator.records()}
+        assert functions and functions != {""}
+        assert any(
+            r.region_id >= 0 for r in aggregator.records()
+            if r.region_based
+        )
+
+    def test_unknown_pc_defaults(self):
+        sites = SiteTable()
+        assert sites.function(1234) == ""
+        assert sites.region(1234) == -1
+
+
+class TestRankingAndCoverage:
+    def test_ranked_order_and_coverage(self):
+        _, aggregator = _profiled("qsort")
+        ranked = aggregator.ranked()
+        misp = [r.mispredictions for r in ranked]
+        assert misp == sorted(misp, reverse=True)
+        assert aggregator.coverage(len(ranked)) == pytest.approx(1.0)
+        assert 1 <= aggregator.h2p_count(0.9) <= len(ranked)
+        assert aggregator.top_branches(3) == ranked[:3]
+
+    def test_timeline_counts_reconcile(self):
+        result, aggregator = _profiled("compress")
+        points = aggregator.timeline_points()
+        assert sum(p["branches"] for p in points) == result.branches
+        assert (
+            sum(p["mispredictions"] for p in points)
+            == result.mispredictions
+        )

@@ -140,6 +140,31 @@ class TestSinks:
             sink.emit({"event": "span", "name": "two"})
         assert [e["name"] for e in read_events(path)] == ["one", "two"]
 
+    def test_jsonl_flushes_buffered_records_on_exception(self, tmp_path):
+        """Regression: a crash inside the ``with`` block must not lose
+        block-buffered records — the exception exit closes the handle."""
+        path = tmp_path / "crash.jsonl"
+        with pytest.raises(RuntimeError, match="boom"):
+            with JsonlSink(path) as sink:
+                for i in range(2000):
+                    sink.emit({"event": "span", "i": i})
+                raise RuntimeError("boom")
+        assert sink.closed
+        events = read_events(path)
+        assert len(events) == 2000
+        assert events[-1]["i"] == 1999
+
+    def test_jsonl_flush_and_idempotent_close(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(path)
+        assert sink.closed  # lazy open: no handle until first emit
+        sink.emit({"event": "span", "i": 0})
+        sink.flush()
+        assert read_events(path) == [{"event": "span", "i": 0}]
+        sink.close()
+        sink.close()  # second close is a no-op
+        assert sink.closed
+
     def test_read_events_rejects_garbage(self, tmp_path):
         path = tmp_path / "bad.jsonl"
         path.write_text('{"ok": 1}\nnot json\n')

@@ -1,0 +1,179 @@
+"""Validate ``repro profile`` artifacts against the published schema.
+
+CI's ``profile-smoke`` step runs a profile with ``--json`` and
+``--events`` and pipes both files through this checker before uploading
+them as artifacts, so a schema drift (renamed field, type change,
+missing section) fails the build instead of shipping an artifact that
+downstream tooling can no longer parse.
+
+Usage::
+
+    python tools/check_profile_schema.py --report profile.json
+    python tools/check_profile_schema.py --events events.jsonl
+    python tools/check_profile_schema.py --report profile.json \\
+        --events events.jsonl
+
+Exit status is 0 iff every named file validates.  ``--report`` also
+re-checks the rate-1 reconciliation invariant: attribution totals must
+match the simulated branch/misprediction/squash counts exactly.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.profiler import (  # noqa: E402
+    EVENT_FIELDS,
+    EVENT_SCHEMA_VERSION,
+    REPORT_SCHEMA_VERSION,
+    AttributionAggregator,
+)
+
+#: Required top-level keys of a ``repro profile --json`` report.
+REPORT_KEYS = (
+    "workload", "scale", "compile_config", "predictor", "frontend",
+    "simulated", "attribution",
+)
+
+#: Required sections of the nested attribution report.
+ATTRIBUTION_KEYS = (
+    "schema", "rate", "seed", "interval", "workload", "totals",
+    "classes", "sfp", "pgu", "availability", "regions", "timeline",
+    "sites",
+)
+
+
+def _fail(path, message):
+    print(f"{path}: {message}", file=sys.stderr)
+    return 1
+
+
+def check_report(path) -> int:
+    """Validate a ``repro profile --json`` report file."""
+    payload = json.loads(Path(path).read_text())
+    for key in REPORT_KEYS:
+        if key not in payload:
+            return _fail(path, f"report missing top-level key {key!r}")
+    attribution = payload["attribution"]
+    for key in ATTRIBUTION_KEYS:
+        if key not in attribution:
+            return _fail(path, f"attribution missing section {key!r}")
+    if attribution["schema"] != REPORT_SCHEMA_VERSION:
+        return _fail(
+            path,
+            f"report schema {attribution['schema']!r} != "
+            f"{REPORT_SCHEMA_VERSION}",
+        )
+    # The report must survive the documented round trip.
+    AttributionAggregator.from_dict(attribution)
+
+    simulated = payload["simulated"]
+    totals = attribution["totals"]
+    if attribution["rate"] == 1:
+        for report_key, sim_key in (
+            ("events", "branches"),
+            ("mispredictions", "mispredictions"),
+            ("filtered", "squashed"),
+        ):
+            if totals[report_key] != simulated[sim_key]:
+                return _fail(
+                    path,
+                    f"rate-1 reconciliation failed: "
+                    f"totals[{report_key!r}]={totals[report_key]} != "
+                    f"simulated[{sim_key!r}]={simulated[sim_key]}",
+                )
+    site_misp = sum(s["mispredictions"] for s in attribution["sites"])
+    if site_misp != totals["mispredictions"]:
+        return _fail(
+            path,
+            f"per-site mispredictions sum to {site_misp}, totals say "
+            f"{totals['mispredictions']}",
+        )
+    print(
+        f"{path}: ok — {payload['workload']} ({payload['scale']}), "
+        f"{totals['events']} events over "
+        f"{len(attribution['sites'])} sites"
+    )
+    return 0
+
+
+def check_events(path) -> int:
+    """Validate a ``repro profile --events`` JSONL stream."""
+    checked = 0
+    with open(path) as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if lineno == 1:
+                if record.get("event") != "profile-header":
+                    return _fail(
+                        path, "first record is not a profile-header"
+                    )
+                if record.get("schema") != EVENT_SCHEMA_VERSION:
+                    return _fail(
+                        path,
+                        f"event schema {record.get('schema')!r} != "
+                        f"{EVENT_SCHEMA_VERSION}",
+                    )
+                continue
+            if record.get("event") != "prediction":
+                continue  # interleaved telemetry is legal
+            for field, expected in EVENT_FIELDS.items():
+                if field not in record:
+                    return _fail(
+                        path, f"line {lineno}: missing field {field!r}"
+                    )
+                value = record[field]
+                # JSON has no int/bool distinction problem here: bool
+                # is an int subclass, so check bools first.
+                if expected is bool:
+                    ok = isinstance(value, bool)
+                else:
+                    ok = (
+                        isinstance(value, expected)
+                        and not isinstance(value, bool)
+                    ) if expected is int else isinstance(value, expected)
+                if not ok:
+                    return _fail(
+                        path,
+                        f"line {lineno}: field {field!r} is "
+                        f"{type(value).__name__}, expected "
+                        f"{expected.__name__}",
+                    )
+            extra = set(record) - set(EVENT_FIELDS)
+            if extra:
+                return _fail(
+                    path,
+                    f"line {lineno}: unknown fields {sorted(extra)}",
+                )
+            checked += 1
+    if checked == 0:
+        return _fail(path, "no prediction records found")
+    print(f"{path}: ok — {checked} prediction records")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--report", metavar="PATH",
+                        help="a `repro profile --json` output file")
+    parser.add_argument("--events", metavar="PATH",
+                        help="a `repro profile --events` JSONL file")
+    args = parser.parse_args(argv)
+    if not args.report and not args.events:
+        parser.error("nothing to check: pass --report and/or --events")
+    status = 0
+    if args.report:
+        status |= check_report(args.report)
+    if args.events:
+        status |= check_events(args.events)
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

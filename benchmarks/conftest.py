@@ -5,7 +5,19 @@ figure) and prints its rows, so ``pytest benchmarks/ --benchmark-only -s``
 reproduces the full evaluation.  Traces are pre-built once per session
 (the on-disk cache makes repeat runs cheap); the benchmark timings then
 measure the simulation harness itself.
+
+Gate benchmarks additionally report their measured numbers through
+:func:`emit_gate`, so every threshold assertion also leaves a
+machine-readable trail: at session end the collected numbers are written
+as JSON to ``$REPRO_BENCH_JSON`` (when set) and appended to the
+run-history store as a ``benchmark`` RunRecord when
+``$REPRO_BENCH_RECORD=1`` (store root per ``$REPRO_RUNSTORE``) — the
+longitudinal feed ``repro history trend`` draws gate timelines from.
+The assertions themselves are unchanged; recording never gates.
 """
+
+import json
+import os
 
 import pytest
 
@@ -17,6 +29,9 @@ BENCH_SCALE = "tiny"
 
 #: Technique-sensitive subset used by the heavier sweeps.
 BENCH_SUBSET = ["compress", "grep", "nbody", "lexer"]
+
+#: Measured gate numbers collected this session: gate name -> metrics.
+GATE_RESULTS = {}
 
 
 @pytest.fixture(scope="session", autouse=True)
@@ -31,3 +46,38 @@ def run_once(benchmark, fn, *args, **kwargs):
     """Run an experiment exactly once under the benchmark timer."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
                               iterations=1)
+
+
+def emit_gate(name: str, **metrics) -> None:
+    """Record one gate's measured numbers (floats) for export."""
+    GATE_RESULTS[name] = {
+        key: float(value) for key, value in sorted(metrics.items())
+    }
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not GATE_RESULTS:
+        return
+    payload = {
+        "gates": {name: dict(values)
+                  for name, values in sorted(GATE_RESULTS.items())},
+        "scale": BENCH_SCALE,
+    }
+    out = os.environ.get("REPRO_BENCH_JSON", "").strip()
+    if out:
+        with open(out, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if os.environ.get("REPRO_BENCH_RECORD", "").strip() == "1":
+        from repro.runstore import RunRecord, RunStore
+
+        record = RunRecord(
+            kind="benchmark", label="gates", scale=BENCH_SCALE,
+            metrics={
+                f"gates.{gate}.{metric}": value
+                for gate, values in sorted(GATE_RESULTS.items())
+                for metric, value in values.items()
+            },
+            command="pytest benchmarks/ --benchmark-only",
+        )
+        RunStore().add(record.seal())

@@ -20,7 +20,7 @@ halves of a pair alike, and the median discards the pairs it didn't.
 
 import time
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import emit_gate, run_once
 from repro.predictors import PGUConfig, SFPConfig, make_predictor
 from repro.profiler import AggregatingCollector, ProfileSpec
 from repro.sim import SimOptions, simulate
@@ -109,6 +109,10 @@ def bench_collector_disabled_gate(benchmark):
 
     run_once(benchmark, compare)
     overhead = _report(measured, "armed-but-idle collector overhead")
+    emit_gate(
+        "profiler_idle_overhead",
+        overhead=overhead, pairs=measured["pairs"],
+    )
     assert overhead < 0.03, (
         "idle-collector overhead on simulate() exceeded 3%: "
         f"{100 * overhead:.2f}%"
@@ -131,6 +135,10 @@ def bench_sampled_collection_gate(benchmark):
 
     run_once(benchmark, compare)
     overhead = _report(measured, "1-in-64 sampling overhead")
+    emit_gate(
+        "profiler_sampled_overhead",
+        overhead=overhead, pairs=measured["pairs"],
+    )
     assert overhead < 0.15, (
         "1-in-64 sampled profiling overhead on simulate() exceeded "
         f"15%: {100 * overhead:.2f}%"

@@ -14,7 +14,7 @@ import time
 
 import pytest
 
-from benchmarks.conftest import BENCH_SUBSET, run_once
+from benchmarks.conftest import BENCH_SUBSET, emit_gate, run_once
 from repro.predictors import PGUConfig, SFPConfig, make_predictor
 from repro.sim import SimOptions, sweep
 from repro.workloads import get_workload
@@ -97,6 +97,13 @@ def bench_parallel_sweep_speedup(benchmark):
 
     run_once(benchmark, compare)
     speedup = measured["serial"] / measured["parallel"]
+    emit_gate(
+        "parallel_sweep_speedup",
+        serial_seconds=measured["serial"],
+        parallel_seconds=measured["parallel"],
+        speedup=speedup,
+        identical=float(measured["identical"]),
+    )
     print(
         f"\nserial {measured['serial']:.2f}s, "
         f"4 workers {measured['parallel']:.2f}s, "

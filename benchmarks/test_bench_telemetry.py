@@ -14,7 +14,7 @@ instrumentation's true cost is a few dozen dict operations per
 
 import time
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import emit_gate, run_once
 from repro import telemetry
 from repro.predictors import make_predictor
 from repro.sim import SimOptions, simulate
@@ -76,6 +76,13 @@ def bench_nullsink_overhead_gate(benchmark):
 
     run_once(benchmark, compare)
     overhead = measured["ratio"] - 1.0
+    emit_gate(
+        "nullsink_overhead",
+        overhead=overhead,
+        pairs=measured["pairs"],
+        spread_low=measured["ratios"][0] - 1.0,
+        spread_high=measured["ratios"][-1] - 1.0,
+    )
     print(
         f"\noverhead {100 * overhead:+.2f}% (median of "
         f"{measured['pairs']} interleaved pairs, {SIMS_PER_REP} sims "

@@ -35,4 +35,19 @@ Quickstart::
 
 __version__ = "1.0.0"
 
-__all__ = ["__version__"]
+
+def repro_version() -> str:
+    """The installed package version, falling back to ``__version__``.
+
+    ``PYTHONPATH=src`` runs (CI, dev checkouts) have no installed
+    distribution metadata; the module constant keeps RunRecords and
+    JSONL headers stamped either way.
+    """
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+        return version("repro")
+    except (ImportError, PackageNotFoundError):
+        return __version__
+
+
+__all__ = ["__version__", "repro_version"]

@@ -15,18 +15,23 @@
     repro disasm crc [--function main] [--baseline]
     repro telemetry-report run.jsonl   # summarise a --metrics file
     repro telemetry-report ev.jsonl --profile   # replay --events stream
+    repro history list                 # stored RunRecords, oldest first
+    repro history diff HEAD~0 --baseline docs/results/baseline-run.json
+    repro history trend --metric 'E2.MEAN.*'
+    repro history gc --keep 50
     repro clear-cache
 
-``run``, ``run-all`` and ``simulate`` accept ``--metrics out.jsonl``:
-phase spans and a final merged-counter snapshot are appended as JSONL
-(see ``docs/observability.md``), summarisable with ``telemetry-report``.
+``run``, ``run-all`` and ``simulate`` accept ``--metrics out.jsonl``
+(phase spans plus a final merged-counter snapshot as JSONL, see
+``docs/observability.md``) and ``--record`` (append a RunRecord to the
+run-history store, see ``docs/run-history.md``).
 """
 
 import argparse
 import sys
 from contextlib import contextmanager
 
-from repro import telemetry
+from repro import repro_version, telemetry
 from repro.compiler import config as config_mod
 from repro.experiments import experiment_ids, get_experiment
 from repro.predictors import (
@@ -47,20 +52,59 @@ def _metrics_scope(args):
     A fresh registry is installed either way (so repeated in-process
     invocations don't bleed counters into each other); with
     ``--metrics PATH`` a JSONL sink additionally captures span events
-    and, last, a ``metrics`` snapshot of the merged registry.
+    and, last, a ``metrics`` snapshot of the merged registry.  The
+    stream opens with a ``header`` event carrying the harness version
+    and the invoked subcommand.
     """
     path = getattr(args, "metrics", None)
     registry = telemetry.MetricsRegistry()
     with telemetry.use_registry(registry):
         if not path:
-            yield
+            yield registry
             return
         with telemetry.JsonlSink(path) as sink, telemetry.use_sink(sink):
+            sink.emit({
+                "event": "header",
+                "schema": 1,
+                "version": repro_version(),
+                "command": getattr(args, "command", ""),
+            })
             try:
-                yield
+                yield registry
             finally:
                 sink.emit({"event": "metrics", **registry.snapshot()})
         print(f"metrics written to {path}", file=sys.stderr)
+
+
+@contextmanager
+def _record_scope(args, kind, label, compile_config="hyperblock",
+                  matrix=None):
+    """Record one invocation into the run-history store.
+
+    Yields a :class:`~repro.runstore.RunRecorder` (or ``None`` without
+    ``--record``); the body adds its results, and on clean exit the
+    sealed record — wall time, telemetry snapshot of the *current*
+    registry, envelope — is atomically appended to the store.  Must be
+    entered inside :func:`_metrics_scope` so the snapshot sees the
+    invocation's fresh registry.
+    """
+    if not getattr(args, "record", False):
+        yield None
+        return
+    from repro.runstore import RunRecorder, RunStore
+
+    recorder = RunRecorder(
+        kind, label,
+        scale=getattr(args, "scale", ""),
+        compile_config=compile_config,
+        command="repro " + " ".join(getattr(args, "_argv", ())),
+        matrix=matrix,
+    )
+    with recorder.timed():
+        yield recorder
+    record = recorder.finish(telemetry.get_registry())
+    path = RunStore(getattr(args, "store", None)).add(record)
+    print(f"recorded run {record.run_id} -> {path}", file=sys.stderr)
 
 
 def _cmd_list(args) -> int:
@@ -77,7 +121,7 @@ def _cmd_list(args) -> int:
     return 0
 
 
-def _run_one(exp_id: str, args) -> None:
+def _run_one(exp_id: str, args) -> "ExperimentResult":  # noqa: F821
     from repro.experiments.report import render, write_result
 
     module = get_experiment(exp_id)
@@ -99,34 +143,54 @@ def _run_one(exp_id: str, args) -> None:
         print(f"wrote {path}")
     print(render(result, fmt))
     print()
+    return result
 
 
 def _cmd_run_experiment(args) -> int:
+    label = get_experiment(args.id).SPEC.id
     with _metrics_scope(args):
-        _run_one(args.id, args)
+        with _record_scope(args, "experiment", label) as recorder:
+            result = _run_one(args.id, args)
+            if recorder is not None:
+                recorder.add_experiment(result)
     return 0
 
 
 def _cmd_run_all(args) -> int:
     with _metrics_scope(args):
-        for exp_id in experiment_ids():
-            _run_one(exp_id, args)
+        with _record_scope(args, "experiment", "run-all") as recorder:
+            for exp_id in experiment_ids():
+                result = _run_one(exp_id, args)
+                if recorder is not None:
+                    recorder.add_experiment(result)
     return 0
 
 
 def _cmd_simulate(args) -> int:
     with _metrics_scope(args):
         workload = get_workload(args.workload)
-        trace = workload.trace(
-            scale=args.scale, hyperblocks=not args.baseline
-        )
         predictor = make_predictor(args.predictor, entries=args.entries)
         options = SimOptions(
             distance=args.distance,
             sfp=SFPConfig() if args.sfp else None,
             pgu=PGUConfig() if args.pgu else None,
         )
-        result = simulate(trace, predictor, options)
+        matrix = {
+            "workload": args.workload,
+            "predictor": predictor.describe(),
+            "frontend": options.describe(),
+        }
+        with _record_scope(
+            args, "simulate", args.workload,
+            compile_config="baseline" if args.baseline else "hyperblock",
+            matrix=matrix,
+        ) as recorder:
+            trace = workload.trace(
+                scale=args.scale, hyperblocks=not args.baseline
+            )
+            result = simulate(trace, predictor, options)
+            if recorder is not None:
+                recorder.add_sim_result(result, prefix=args.workload)
     print(f"workload    : {result.workload} ({args.scale})")
     print(f"predictor   : {predictor.describe()}")
     print(f"front end   : {options.describe()}")
@@ -425,7 +489,24 @@ def _cmd_telemetry_report(args) -> int:
             report = telemetry.render_profile_events(args.path,
                                                      top=args.top)
         else:
-            report = telemetry.render_report(args.path)
+            # Lenient parse: a truncated/corrupted line (a crashed or
+            # still-writing producer) is skipped with a warning, and the
+            # report renders from whatever parsed.  Only a stream with
+            # *no* valid events is an error.
+            events, skipped = telemetry.read_events_lenient(args.path)
+            if skipped:
+                print(
+                    f"warning: skipped {skipped} malformed line(s) in "
+                    f"{args.path}",
+                    file=sys.stderr,
+                )
+            if not events and skipped:
+                print(
+                    f"{args.path}: no valid telemetry events",
+                    file=sys.stderr,
+                )
+                return 1
+            report = telemetry.summarize_events(events)
     except FileNotFoundError:
         print(f"no such metrics file: {args.path}", file=sys.stderr)
         return 1
@@ -434,6 +515,122 @@ def _cmd_telemetry_report(args) -> int:
         return 1
     print(report)
     return 0
+
+
+def _cmd_history(args) -> int:
+    import json
+
+    from repro import runstore
+
+    store = runstore.RunStore(getattr(args, "store", None))
+    command = args.history_command
+
+    if command == "list":
+        records = store.records(kind=args.kind, label=args.label)
+        if args.json:
+            print(json.dumps(
+                [r.to_dict() for r in records], indent=2, sort_keys=True
+            ))
+            return 0
+        if not records:
+            print(f"(no runs in {store.root})")
+            return 0
+        print(f"{'run_id':12s} {'timestamp':>24s} {'kind':10s} "
+              f"{'label':10s} {'scale':6s} {'metrics':>7s} "
+              f"{'wall_s':>8s}  git")
+        for record in records:
+            sha = record.git.get("sha", "")[:10]
+            dirty = "+" if record.git.get("dirty") else ""
+            print(f"{record.run_id:12s} {record.timestamp:>24s} "
+                  f"{record.kind:10s} {record.label:10s} "
+                  f"{record.scale:6s} {len(record.metrics):>7d} "
+                  f"{record.wall_seconds:>8.2f}  {sha}{dirty}")
+        return 0
+
+    if command == "show":
+        try:
+            record = store.resolve(
+                args.run, kind=args.kind, label=args.label
+            )
+        except (KeyError, ValueError) as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        print(json.dumps(record.to_dict(), indent=2, sort_keys=True))
+        return 0
+
+    if command == "diff":
+        try:
+            current = store.resolve(
+                args.run, kind=args.kind, label=args.label
+            )
+        except (KeyError, ValueError) as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        baseline_selector = args.baseline or args.against
+        if baseline_selector:
+            try:
+                baseline = store.resolve(
+                    baseline_selector, kind=args.kind, label=args.label
+                )
+            except (KeyError, ValueError) as exc:
+                print(str(exc), file=sys.stderr)
+                return 2
+            diff = runstore.diff_runs(
+                current, baseline,
+                runstore.Thresholds(
+                    absolute=args.abs, relative=args.rel
+                ),
+            )
+        else:
+            # Rolling mode: noise model from the runs stored *before*
+            # the selected one, within the same kind/label series.
+            records = store.records(
+                kind=args.kind or current.kind,
+                label=args.label or current.label,
+            )
+            history = [
+                r for r in records
+                if (r.timestamp, r.run_id)
+                < (current.timestamp, current.run_id)
+            ]
+            if not history:
+                print(
+                    "no earlier runs to seed the noise model; pass "
+                    "--baseline FILE or a second selector",
+                    file=sys.stderr,
+                )
+                return 2
+            diff = runstore.diff_against_history(
+                current, history,
+                sigma=args.sigma, absolute_floor=args.abs,
+                window=args.window,
+            )
+        if args.json:
+            print(json.dumps(diff.to_dict(), indent=2, sort_keys=True))
+        else:
+            print(runstore.render_diff(diff, verbose=args.verbose))
+        return 0 if diff.ok else 1
+
+    if command == "trend":
+        records = store.records(kind=args.kind, label=args.label)
+        if args.last:
+            records = records[-args.last:]
+        if args.json:
+            print(runstore.render_trend_json(records, args.metric))
+        else:
+            print(runstore.render_trend_markdown(records, args.metric))
+        return 0
+
+    if command == "gc":
+        victims = store.gc(keep=args.keep, dry_run=args.dry_run)
+        verb = "would remove" if args.dry_run else "removed"
+        print(f"{verb} {len(victims)} run record(s), keeping "
+              f"{args.keep} newest")
+        for path in victims:
+            print(f"  {path.name}")
+        return 0
+
+    raise AssertionError(f"unhandled history command {command!r}")
 
 
 def _cmd_clear_cache(args) -> int:
@@ -449,6 +646,10 @@ def build_parser() -> argparse.ArgumentParser:
             "Reproduction of 'Incorporating Predicate Information into "
             "Branch Predictors' (HPCA-9, 2003)"
         ),
+    )
+    parser.add_argument(
+        "--version", action="version",
+        version=f"repro {repro_version()}",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -472,6 +673,11 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--output", help="also write the export to this dir")
         p.add_argument("--metrics", metavar="PATH",
                        help="append telemetry events (JSONL) to PATH")
+        p.add_argument("--record", action="store_true",
+                       help="append a RunRecord to the run-history store")
+        p.add_argument("--store", metavar="DIR",
+                       help="run-history store root (default "
+                            "$REPRO_RUNSTORE or .repro/runs)")
 
     p = sub.add_parser("run-all", help="run every experiment")
     p.add_argument("--scale", default="small",
@@ -486,6 +692,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", help="also write each export to this dir")
     p.add_argument("--metrics", metavar="PATH",
                    help="append telemetry events (JSONL) to PATH")
+    p.add_argument("--record", action="store_true",
+                   help="append a RunRecord to the run-history store")
+    p.add_argument("--store", metavar="DIR",
+                   help="run-history store root (default "
+                        "$REPRO_RUNSTORE or .repro/runs)")
 
     p = sub.add_parser("simulate", help="one (workload, predictor) run")
     p.add_argument("workload", choices=workload_names())
@@ -501,6 +712,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="use the non-predicated compile")
     p.add_argument("--metrics", metavar="PATH",
                    help="append telemetry events (JSONL) to PATH")
+    p.add_argument("--record", action="store_true",
+                   help="append a RunRecord to the run-history store")
+    p.add_argument("--store", metavar="DIR",
+                   help="run-history store root (default "
+                        "$REPRO_RUNSTORE or .repro/runs)")
 
     p = sub.add_parser("characterise", help="trace summary of a workload")
     p.add_argument("workload", choices=workload_names())
@@ -588,6 +804,78 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=("tiny", "small", "ref"))
     p.add_argument("--baseline", action="store_true")
 
+    p = sub.add_parser(
+        "history",
+        help="run-history store: list/show/diff/trend/gc",
+    )
+    hsub = p.add_subparsers(dest="history_command", required=True)
+
+    def _store_args(sp, filters=True):
+        sp.add_argument("--store", metavar="DIR",
+                        help="store root (default $REPRO_RUNSTORE or "
+                             ".repro/runs)")
+        if filters:
+            sp.add_argument("--kind", choices=("experiment", "simulate",
+                                               "sweep", "benchmark"),
+                            help="restrict to one record kind")
+            sp.add_argument("--label", help="restrict to one label "
+                                            "(e.g. E2 or a workload)")
+
+    hp = hsub.add_parser("list", help="stored runs, oldest first")
+    _store_args(hp)
+    hp.add_argument("--json", action="store_true",
+                    help="full records as JSON")
+
+    hp = hsub.add_parser("show", help="print one stored run")
+    hp.add_argument("run", help="HEAD[~N], a run-id prefix, or a path")
+    _store_args(hp)
+
+    hp = hsub.add_parser(
+        "diff",
+        help="compare a run against a baseline or the rolling history",
+    )
+    hp.add_argument("run", help="current run: HEAD[~N], id prefix, path")
+    hp.add_argument("against", nargs="?", default=None,
+                    help="baseline selector (default: rolling noise "
+                         "model over earlier runs)")
+    hp.add_argument("--baseline", metavar="FILE",
+                    help="baseline record file (e.g. the committed "
+                         "golden docs/results/baseline-run.json)")
+    hp.add_argument("--abs", type=float,
+                    default=0.0005, metavar="X",
+                    help="absolute regression threshold (default "
+                         "%(default)s)")
+    hp.add_argument("--rel", type=float, default=0.02, metavar="F",
+                    help="relative regression threshold (default "
+                         "%(default)s)")
+    hp.add_argument("--sigma", type=float, default=3.0, metavar="K",
+                    help="rolling mode: flag beyond mean + K*sigma "
+                         "(default %(default)s)")
+    hp.add_argument("--window", type=int, default=10, metavar="N",
+                    help="rolling mode: runs seeding the noise model "
+                         "(default %(default)s)")
+    hp.add_argument("--json", action="store_true",
+                    help="machine-readable diff")
+    hp.add_argument("--verbose", action="store_true",
+                    help="also list unchanged metrics")
+    _store_args(hp)
+
+    hp = hsub.add_parser("trend", help="per-metric timelines")
+    hp.add_argument("--metric", metavar="PATTERN",
+                    help="fnmatch filter over metric names")
+    hp.add_argument("--last", type=int, default=0, metavar="N",
+                    help="only the newest N runs (default: all)")
+    hp.add_argument("--json", action="store_true",
+                    help="JSON timelines instead of markdown")
+    _store_args(hp)
+
+    hp = hsub.add_parser("gc", help="drop the oldest stored runs")
+    hp.add_argument("--keep", type=int, default=50, metavar="N",
+                    help="records to retain (default %(default)s)")
+    hp.add_argument("--dry-run", action="store_true",
+                    help="list victims without deleting")
+    _store_args(hp, filters=False)
+
     p = sub.add_parser("telemetry-report",
                        help="summarise a --metrics JSONL file")
     p.add_argument("path", help="JSONL file written by --metrics")
@@ -613,13 +901,16 @@ _HANDLERS = {
     "analyze": _cmd_analyze,
     "lint": _cmd_lint,
     "disasm": _cmd_disasm,
+    "history": _cmd_history,
     "telemetry-report": _cmd_telemetry_report,
     "clear-cache": _cmd_clear_cache,
 }
 
 
 def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
     args = build_parser().parse_args(argv)
+    args._argv = argv  # full invocation, recorded into RunRecords
     return _HANDLERS[args.command](args)
 
 

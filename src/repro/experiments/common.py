@@ -42,6 +42,31 @@ class ExperimentResult:
     def column(self, name: str) -> list:
         return [row.get(name) for row in self.rows]
 
+    def numeric_metrics(self) -> Dict[str, float]:
+        """Flatten numeric cells into ``<row-key>.<column>`` metrics.
+
+        The row key is the first column's value (workload name, config
+        label, ...); non-numeric, boolean and NaN cells are dropped.
+        This is the diffable surface the run-history store records for
+        an experiment — key stability matters more than completeness.
+        """
+        metrics: Dict[str, float] = {}
+        key_column = self.columns[0] if self.columns else None
+        for index, row in enumerate(self.rows):
+            row_key = (
+                str(row.get(key_column, index)) if key_column else index
+            )
+            for column in self.columns[1:]:
+                value = row.get(column)
+                if isinstance(value, bool) or not isinstance(
+                    value, (int, float)
+                ):
+                    continue
+                if value != value:  # NaN
+                    continue
+                metrics[f"{row_key}.{column}"] = float(value)
+        return metrics
+
 
 def suite_workloads(workloads: Optional[List[str]] = None):
     """The workloads an experiment runs over (default: whole suite)."""

@@ -215,9 +215,12 @@ class TeeCollector(EventCollector):
 
 def header_record(spec: ProfileSpec, workload: str = "") -> dict:
     """The ``profile-header`` JSONL record for an event stream."""
+    from repro import repro_version
+
     return {
         "event": "profile-header",
         "schema": EVENT_SCHEMA_VERSION,
+        "version": repro_version(),
         "rate": spec.rate,
         "seed": spec.seed,
         "interval": spec.interval,

@@ -1,0 +1,94 @@
+"""Run-history store: persistent RunRecords with regression detection.
+
+The longitudinal complement to :mod:`repro.telemetry` (one run, in
+depth): every ``--record``-ed experiment, simulation or benchmark run
+appends one schema-versioned JSON document to an append-only,
+content-addressed store (default ``.repro/runs/``), capturing the
+headline metrics, the merged telemetry snapshot and the envelope
+(timestamp, git SHA, harness version, wall time, sweep throughput).
+
+On top of the store sit a comparison engine — pairwise diffs against a
+committed golden baseline, or a rolling ``mean ± k·sigma`` noise model
+seeded from recent runs — and trend renderers that turn the history
+into markdown/JSON timelines.  Surfaced as ``repro history
+list|show|diff|trend|gc`` and the ``--record`` flag on ``run``,
+``run-all`` and ``simulate``; see ``docs/run-history.md``.
+"""
+
+from repro.runstore.diff import (
+    DEFAULT_ABS_THRESHOLD,
+    DEFAULT_REL_THRESHOLD,
+    DEFAULT_SIGMA,
+    DEFAULT_WINDOW,
+    MetricDelta,
+    MetricNoise,
+    NoiseModel,
+    RunDiff,
+    Thresholds,
+    diff_against_history,
+    diff_runs,
+    higher_is_better,
+    render_diff,
+)
+from repro.runstore.record import (
+    KINDS,
+    SCHEMA_VERSION,
+    RunRecord,
+    RunRecorder,
+    canonical_json,
+    git_state,
+    metrics_from_experiment,
+    metrics_from_sim_result,
+    payload_hash,
+    sweep_throughput,
+    utc_timestamp,
+)
+from repro.runstore.store import (
+    DEFAULT_ROOT,
+    STORE_ENV,
+    RunStore,
+    load_record,
+    resolve_root,
+)
+from repro.runstore.trend import (
+    render_trend_json,
+    render_trend_markdown,
+    sparkline,
+    trend_series,
+)
+
+__all__ = [
+    "DEFAULT_ABS_THRESHOLD",
+    "DEFAULT_REL_THRESHOLD",
+    "DEFAULT_ROOT",
+    "DEFAULT_SIGMA",
+    "DEFAULT_WINDOW",
+    "KINDS",
+    "MetricDelta",
+    "MetricNoise",
+    "NoiseModel",
+    "RunDiff",
+    "RunRecord",
+    "RunRecorder",
+    "RunStore",
+    "SCHEMA_VERSION",
+    "STORE_ENV",
+    "Thresholds",
+    "canonical_json",
+    "diff_against_history",
+    "diff_runs",
+    "git_state",
+    "higher_is_better",
+    "load_record",
+    "metrics_from_experiment",
+    "metrics_from_sim_result",
+    "payload_hash",
+    "render_diff",
+    "render_trend_json",
+    "render_trend_markdown",
+    "resolve_root",
+    "sparkline",
+    "sweep_throughput",
+    "trend_series",
+    "utc_timestamp",
+]

@@ -1,0 +1,298 @@
+"""Run comparison: pairwise diffs, regression gating and a noise model.
+
+Two modes, both deterministic (metrics are walked in sorted-name
+order, so reports and exit decisions never depend on dict layout):
+
+* **pairwise** — :func:`diff_runs` compares a current record against an
+  explicit baseline (another stored run, or a committed golden file).
+  A metric regresses when it moved in its *worse* direction by more
+  than both the absolute and relative thresholds.
+* **rolling** — :func:`diff_against_history` seeds a
+  :class:`NoiseModel` from the last N stored runs of the same
+  kind/label and flags the current run only where it falls outside
+  ``mean ± k·sigma`` (and past the absolute floor) — the per-metric
+  noise band replaces a hand-tuned relative threshold once enough
+  history exists.
+
+Direction handling: most headline metrics are *worse when higher*
+(misprediction rates, mpki, wall times); a small suffix list marks the
+better-when-higher family (accuracy, coverage, IPC, speedup,
+throughput).  Improvements are reported but never gate.
+"""
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.runstore.record import RunRecord
+
+#: Metric-name suffixes where a *higher* value is an improvement.
+HIGHER_IS_BETTER_SUFFIXES = (
+    "accuracy", "coverage", "ipc", "speedup", "throughput",
+    "branch_reduction", "benefit",
+)
+
+#: Default gate: both must be exceeded for a pairwise regression.
+DEFAULT_ABS_THRESHOLD = 0.0005
+DEFAULT_REL_THRESHOLD = 0.02
+
+#: Rolling mode: flag beyond mean + k·sigma of the seeded noise model.
+DEFAULT_SIGMA = 3.0
+
+#: Rolling mode: runs seeding the noise model.
+DEFAULT_WINDOW = 10
+
+
+def higher_is_better(name: str) -> bool:
+    short = name.rsplit(".", 1)[-1]
+    return short.endswith(HIGHER_IS_BETTER_SUFFIXES)
+
+
+@dataclass(frozen=True)
+class Thresholds:
+    """Pairwise gate: a regression must clear both bounds."""
+
+    absolute: float = DEFAULT_ABS_THRESHOLD
+    relative: float = DEFAULT_REL_THRESHOLD
+
+
+@dataclass
+class MetricDelta:
+    """One metric's movement between baseline and current."""
+
+    name: str
+    baseline: Optional[float]  #: None when the metric is new
+    current: Optional[float]  #: None when the metric disappeared
+    delta: float = 0.0
+    relative: float = 0.0  #: delta / |baseline| (0 for a zero baseline)
+    #: positive when the metric moved in its worse direction
+    worsening: float = 0.0
+    regression: bool = False
+    #: noise-model context, rolling mode only
+    mean: Optional[float] = None
+    sigma: Optional[float] = None
+
+
+@dataclass
+class RunDiff:
+    """The full comparison of one run against its baseline."""
+
+    baseline_id: str
+    current_id: str
+    mode: str  #: "pairwise" or "rolling"
+    deltas: List[MetricDelta] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[MetricDelta]:
+        return [d for d in self.deltas if d.regression]
+
+    @property
+    def changed(self) -> List[MetricDelta]:
+        return [
+            d for d in self.deltas
+            if d.baseline is not None and d.current is not None
+            and d.delta != 0.0
+        ]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def to_dict(self) -> dict:
+        return {
+            "baseline": self.baseline_id,
+            "current": self.current_id,
+            "mode": self.mode,
+            "ok": self.ok,
+            "regressions": [d.name for d in self.regressions],
+            "deltas": [
+                {
+                    "metric": d.name,
+                    "baseline": d.baseline,
+                    "current": d.current,
+                    "delta": d.delta,
+                    "relative": d.relative,
+                    "regression": d.regression,
+                    **(
+                        {"mean": d.mean, "sigma": d.sigma}
+                        if d.mean is not None
+                        else {}
+                    ),
+                }
+                for d in self.deltas
+                if d.regression or d.delta != 0.0
+                or d.baseline is None or d.current is None
+            ],
+        }
+
+
+def _worsening(name: str, delta: float) -> float:
+    return -delta if higher_is_better(name) else delta
+
+
+def diff_runs(
+    current: RunRecord,
+    baseline: RunRecord,
+    thresholds: Thresholds = Thresholds(),
+) -> RunDiff:
+    """Pairwise comparison; regressions must clear both thresholds."""
+    diff = RunDiff(
+        baseline_id=baseline.run_id or "<baseline>",
+        current_id=current.run_id or "<current>",
+        mode="pairwise",
+    )
+    names = sorted(set(baseline.metrics) | set(current.metrics))
+    for name in names:
+        base = baseline.metrics.get(name)
+        cur = current.metrics.get(name)
+        delta = MetricDelta(name=name, baseline=base, current=cur)
+        if base is not None and cur is not None:
+            delta.delta = cur - base
+            delta.relative = (
+                delta.delta / abs(base) if base else 0.0
+            )
+            delta.worsening = _worsening(name, delta.delta)
+            delta.regression = (
+                delta.worsening > thresholds.absolute
+                and abs(delta.relative) > thresholds.relative
+            ) if base else delta.worsening > thresholds.absolute
+        diff.deltas.append(delta)
+    return diff
+
+
+# -- rolling baseline ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MetricNoise:
+    """Per-metric statistics over the seeding window."""
+
+    mean: float
+    sigma: float  #: population standard deviation
+    samples: int
+
+
+class NoiseModel:
+    """``mean ± sigma`` per metric, seeded from recent stored runs."""
+
+    def __init__(self, stats: Dict[str, MetricNoise]):
+        self.stats = stats
+
+    @classmethod
+    def from_records(cls, records: Sequence[RunRecord]) -> "NoiseModel":
+        """Seed from ``records`` (typically the last N of one series)."""
+        samples: Dict[str, List[float]] = {}
+        for record in records:
+            for name, value in record.metrics.items():
+                samples.setdefault(name, []).append(value)
+        stats = {}
+        for name in sorted(samples):
+            values = samples[name]
+            mean = sum(values) / len(values)
+            variance = sum((v - mean) ** 2 for v in values) / len(values)
+            stats[name] = MetricNoise(
+                mean=mean, sigma=math.sqrt(variance), samples=len(values)
+            )
+        return cls(stats)
+
+
+def diff_against_history(
+    current: RunRecord,
+    history: Sequence[RunRecord],
+    sigma: float = DEFAULT_SIGMA,
+    absolute_floor: float = DEFAULT_ABS_THRESHOLD,
+    window: int = DEFAULT_WINDOW,
+) -> RunDiff:
+    """Compare ``current`` against a noise model of recent history.
+
+    ``history`` is oldest-first and must not include ``current``; only
+    the trailing ``window`` records seed the model.  A metric regresses
+    when it sits more than ``k·sigma`` beyond the window mean in its
+    worse direction *and* more than ``absolute_floor`` away — the floor
+    keeps a zero-variance window (deterministic metrics never move)
+    from flagging sub-threshold wobble.
+    """
+    seed = list(history)[-window:] if window else list(history)
+    model = NoiseModel.from_records(seed)
+    diff = RunDiff(
+        baseline_id=f"rolling({len(seed)})",
+        current_id=current.run_id or "<current>",
+        mode="rolling",
+    )
+    names = sorted(set(model.stats) | set(current.metrics))
+    for name in names:
+        noise = model.stats.get(name)
+        cur = current.metrics.get(name)
+        delta = MetricDelta(
+            name=name,
+            baseline=noise.mean if noise else None,
+            current=cur,
+        )
+        if noise is not None and cur is not None:
+            delta.mean = noise.mean
+            delta.sigma = noise.sigma
+            delta.delta = cur - noise.mean
+            delta.relative = (
+                delta.delta / abs(noise.mean) if noise.mean else 0.0
+            )
+            delta.worsening = _worsening(name, delta.delta)
+            delta.regression = (
+                delta.worsening > sigma * noise.sigma
+                and delta.worsening > absolute_floor
+            )
+        diff.deltas.append(delta)
+    return diff
+
+
+# -- rendering -----------------------------------------------------------------
+
+
+def _fmt(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.6f}"
+
+
+def render_diff(diff: RunDiff, verbose: bool = False) -> str:
+    """Plain-text comparison report (stable ordering)."""
+    lines = [
+        f"baseline : {diff.baseline_id}",
+        f"current  : {diff.current_id}",
+        f"mode     : {diff.mode}",
+    ]
+    regressions = diff.regressions
+    shown = diff.deltas if verbose else [
+        d for d in diff.deltas
+        if d.regression or d.delta != 0.0
+        or d.baseline is None or d.current is None
+    ]
+    if shown:
+        lines.append("")
+        width = max(len(d.name) for d in shown)
+        for d in shown:
+            if d.baseline is None:
+                note = "new metric"
+            elif d.current is None:
+                note = "metric disappeared"
+            else:
+                note = (
+                    f"{_fmt(d.baseline)} -> {_fmt(d.current)} "
+                    f"({d.delta:+.6f}, {100 * d.relative:+.2f}%)"
+                )
+                if d.sigma is not None:
+                    note += f" [sigma {d.sigma:.6f}]"
+            flag = "REGRESSION " if d.regression else "           "
+            lines.append(f"  {flag}{d.name:<{width}}  {note}")
+    lines.append("")
+    if regressions:
+        names = ", ".join(d.name for d in regressions)
+        lines.append(
+            f"FAIL: {len(regressions)} regressed metric(s): {names}"
+        )
+    else:
+        lines.append(
+            f"ok: no regressions across {len(diff.deltas)} metric(s)"
+        )
+    return "\n".join(lines)

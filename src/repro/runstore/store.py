@@ -1,0 +1,161 @@
+"""The on-disk run-history store.
+
+Layout: one JSON document per run under the store root (default
+``.repro/runs/``, overridable with ``$REPRO_RUNSTORE`` or the CLI's
+``--store``), named ``<timestamp>-<run_id>.json`` — the timestamp prefix
+makes a plain directory listing chronological, the run-id suffix is the
+content hash of the record's deterministic payload (see
+:mod:`repro.runstore.record`).
+
+The store is append-only: records are written once, atomically (unique
+temp file + ``os.replace`` in the same directory, the same publish
+pattern the trace cache uses), and never mutated.  ``gc`` is the only
+deletion path and only ever drops whole records, oldest first.
+"""
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import List, Optional
+
+from repro.runstore.record import RunRecord
+
+#: Environment variable overriding the default store root.
+STORE_ENV = "REPRO_RUNSTORE"
+
+#: Default store root, relative to the working directory.
+DEFAULT_ROOT = ".repro/runs"
+
+
+def resolve_root(root=None) -> Path:
+    """Store root: argument > ``$REPRO_RUNSTORE`` > ``.repro/runs``."""
+    if root is not None:
+        return Path(root)
+    env = os.environ.get(STORE_ENV, "").strip()
+    return Path(env) if env else Path(DEFAULT_ROOT)
+
+
+class RunStore:
+    """Append-only, content-addressed collection of RunRecords."""
+
+    def __init__(self, root=None):
+        self.root = resolve_root(root)
+
+    # -- writing ----------------------------------------------------------
+
+    def add(self, record: RunRecord) -> Path:
+        """Atomically publish a sealed record; returns its path."""
+        if not record.run_id or not record.timestamp:
+            record.seal()
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.root / f"{record.timestamp}-{record.run_id}.json"
+        document = json.dumps(record.to_dict(), indent=2, sort_keys=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.root, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(document + "\n")
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    # -- reading ----------------------------------------------------------
+
+    def paths(self) -> List[Path]:
+        """Record files, oldest first (filenames sort chronologically)."""
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            p for p in self.root.iterdir()
+            if p.suffix == ".json" and not p.name.startswith(".")
+        )
+
+    def records(self, kind: Optional[str] = None,
+                label: Optional[str] = None) -> List[RunRecord]:
+        """Load records, oldest first, optionally filtered."""
+        out = []
+        for path in self.paths():
+            record = load_record(path)
+            if kind is not None and record.kind != kind:
+                continue
+            if label is not None and record.label != label:
+                continue
+            out.append(record)
+        return out
+
+    def resolve(self, selector: str, kind: Optional[str] = None,
+                label: Optional[str] = None) -> RunRecord:
+        """Resolve a run selector to one record.
+
+        Accepted forms, tried in order:
+
+        * a path to a record JSON file (e.g. a committed baseline);
+        * ``HEAD`` / ``HEAD~N`` — the latest / N-th-latest stored run
+          (after the kind/label filter);
+        * a run-id prefix — the latest stored run whose id matches.
+        """
+        candidate = Path(selector)
+        if candidate.is_file():
+            return load_record(candidate)
+        records = self.records(kind=kind, label=label)
+        if selector.upper() == "HEAD" or selector.upper().startswith(
+            "HEAD~"
+        ):
+            back = 0
+            if "~" in selector:
+                tail = selector.split("~", 1)[1]
+                try:
+                    back = int(tail)
+                except ValueError:
+                    raise KeyError(
+                        f"bad HEAD offset in selector {selector!r}"
+                    ) from None
+            if back >= len(records):
+                raise KeyError(
+                    f"selector {selector!r}: only {len(records)} "
+                    "matching run(s) in the store"
+                )
+            return records[-1 - back]
+        matches = [r for r in records if r.run_id.startswith(selector)]
+        if not matches:
+            raise KeyError(
+                f"no stored run matches {selector!r} "
+                f"(store: {self.root})"
+            )
+        return matches[-1]  # newest run with that content
+
+    # -- retention --------------------------------------------------------
+
+    def gc(self, keep: int = 50, dry_run: bool = False) -> List[Path]:
+        """Drop the oldest records beyond ``keep``; returns their paths."""
+        if keep < 0:
+            raise ValueError(f"keep must be >= 0, got {keep}")
+        paths = self.paths()
+        victims = paths[: max(0, len(paths) - keep)]
+        if not dry_run:
+            for path in victims:
+                path.unlink()
+        return victims
+
+
+def load_record(path) -> RunRecord:
+    """Load and validate one record file."""
+    try:
+        document = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path}: not valid JSON: {exc}") from None
+    record = RunRecord.from_dict(document)
+    expected = record.content_hash()[:12]
+    if record.run_id and record.run_id != expected:
+        raise ValueError(
+            f"{path}: run_id {record.run_id} does not match the payload "
+            f"content hash {expected} — record corrupted or hand-edited"
+        )
+    return record

@@ -1,0 +1,127 @@
+"""Trend reports: per-metric timelines over the stored run history.
+
+``repro history trend`` renders how each headline metric evolved across
+the records in the store (oldest first), as markdown — one table row
+per metric with first/last/best/worst, a relative change, and a unicode
+sparkline — or as JSON timelines for plotting tooling.  Rendering is
+deterministic: metrics sort by name, runs by store order.
+"""
+
+import fnmatch
+import json
+from typing import Dict, List, Optional, Sequence
+
+from repro.runstore.diff import higher_is_better
+from repro.runstore.record import RunRecord
+
+#: Sparkline glyphs, lowest to highest.
+SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Map a series onto eight block-glyph levels (flat series → mid)."""
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        return SPARK_LEVELS[3] * len(values)
+    span = hi - lo
+    out = []
+    for value in values:
+        level = int((value - lo) / span * (len(SPARK_LEVELS) - 1))
+        out.append(SPARK_LEVELS[level])
+    return "".join(out)
+
+
+def trend_series(
+    records: Sequence[RunRecord],
+    pattern: Optional[str] = None,
+) -> Dict[str, List[Optional[float]]]:
+    """Per-metric value series across ``records`` (oldest first).
+
+    A run that lacks a metric contributes ``None`` at its position, so
+    every series has one slot per record.  ``pattern`` is an
+    ``fnmatch``-style filter over metric names.
+    """
+    names = sorted({
+        name for record in records for name in record.metrics
+    })
+    if pattern:
+        names = [n for n in names if fnmatch.fnmatch(n, pattern)]
+    return {
+        name: [record.metrics.get(name) for record in records]
+        for name in names
+    }
+
+
+def render_trend_markdown(
+    records: Sequence[RunRecord],
+    pattern: Optional[str] = None,
+    title: str = "Run-history trends",
+) -> str:
+    """Markdown timeline: one summary row + sparkline per metric."""
+    records = list(records)
+    lines = [f"# {title}", ""]
+    if not records:
+        lines.append("(no runs in the store)")
+        return "\n".join(lines) + "\n"
+    first, last = records[0], records[-1]
+    lines.append(
+        f"- runs: {len(records)} "
+        f"({first.timestamp or '?'} → {last.timestamp or '?'})"
+    )
+    labels = sorted({r.label for r in records if r.label})
+    if labels:
+        lines.append(f"- series: {', '.join(labels)}")
+    lines.append("")
+    series = trend_series(records, pattern)
+    if not series:
+        lines.append("(no metrics matched)")
+        return "\n".join(lines) + "\n"
+    lines.append(
+        "| metric | first | last | change | best | worst | trend |"
+    )
+    lines.append("|---|---|---|---|---|---|---|")
+    for name, values in series.items():
+        present = [v for v in values if v is not None]
+        if not present:
+            continue
+        first_v, last_v = present[0], present[-1]
+        change = (
+            f"{100 * (last_v - first_v) / abs(first_v):+.2f}%"
+            if first_v else f"{last_v - first_v:+.6g}"
+        )
+        best, worst = (
+            (max(present), min(present))
+            if higher_is_better(name)
+            else (min(present), max(present))
+        )
+        lines.append(
+            f"| {name} | {first_v:.6g} | {last_v:.6g} | {change} "
+            f"| {best:.6g} | {worst:.6g} | {sparkline(present)} |"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def render_trend_json(
+    records: Sequence[RunRecord],
+    pattern: Optional[str] = None,
+) -> str:
+    """JSON timelines: run envelopes plus one series per metric."""
+    records = list(records)
+    payload = {
+        "runs": [
+            {
+                "run_id": r.run_id,
+                "timestamp": r.timestamp,
+                "kind": r.kind,
+                "label": r.label,
+                "scale": r.scale,
+                "git_sha": r.git.get("sha", ""),
+                "version": r.version,
+            }
+            for r in records
+        ],
+        "metrics": trend_series(records, pattern),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -138,6 +138,36 @@ class SimResult:
     def class_stats(self, branch_class: BranchClass) -> ClassStats:
         return self.per_class.get(branch_class, ClassStats())
 
+    def headline_metrics(self) -> dict:
+        """Flat ``name -> number`` summary for the run-history store.
+
+        Deterministic given (trace, predictor, options) — everything
+        here derives from the integer outcome counters, so recorded
+        payloads are byte-identical across serial and parallel sweeps.
+        Keys are stable API: ``repro history diff`` matches on them.
+        """
+        metrics = {
+            "branches": float(self.branches),
+            "mispredictions": float(self.mispredictions),
+            "misprediction_rate": self.misprediction_rate,
+            "mpki": self.mpki,
+            "squashed": float(self.squashed),
+            "squash_coverage": self.squash_coverage,
+            "misfetches": float(self.misfetches),
+        }
+        for branch_class, stats in sorted(
+            self.per_class.items(), key=lambda item: int(item[0])
+        ):
+            name = branch_class.name.lower()
+            metrics[f"class.{name}.branches"] = float(stats.branches)
+            metrics[f"class.{name}.misprediction_rate"] = (
+                stats.misprediction_rate
+            )
+            metrics[f"class.{name}.squash_coverage"] = (
+                stats.squash_coverage
+            )
+        return metrics
+
 
 def simulate(
     trace: Trace,

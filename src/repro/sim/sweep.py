@@ -180,9 +180,16 @@ class ParallelSweepRunner:
                 results = self._run_parallel(traces, points, profile)
         wall = time.perf_counter() - start
         if telemetry.enabled() and wall > 0.0:
+            registry = telemetry.get_registry()
             # Busy-time over capacity: 1.0 means no worker ever idled.
-            telemetry.get_registry().gauge("sweep.worker_utilisation").set(
+            registry.gauge("sweep.worker_utilisation").set(
                 min(1.0, self._busy / (wall * effective))
+            )
+            # Wall clock of the grid: with sweep.points_completed this
+            # gives the points/second throughput RunRecords capture.
+            registry.gauge("sweep.wall_seconds").set(wall)
+            registry.gauge("sweep.points_per_second").set(
+                len(points) / wall
             )
         return results
 

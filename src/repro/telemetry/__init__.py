@@ -43,6 +43,7 @@ from repro.telemetry.registry import (
     use_registry,
 )
 from repro.telemetry.report import (
+    render_history_trend,
     render_profile_events,
     render_profile_markdown,
     render_report,
@@ -55,6 +56,7 @@ from repro.telemetry.sinks import (
     Sink,
     get_sink,
     read_events,
+    read_events_lenient,
     set_sink,
     use_sink,
 )
@@ -76,6 +78,8 @@ __all__ = [
     "get_registry",
     "get_sink",
     "read_events",
+    "read_events_lenient",
+    "render_history_trend",
     "render_profile_events",
     "render_profile_markdown",
     "render_report",

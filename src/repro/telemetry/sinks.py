@@ -15,7 +15,7 @@ import json
 import threading
 from contextlib import contextmanager
 from pathlib import Path
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 
 class Sink:
@@ -120,6 +120,34 @@ def read_events(path) -> List[dict]:
                     f"{path}:{lineno}: not valid JSON: {exc}"
                 ) from None
     return events
+
+
+def read_events_lenient(path) -> Tuple[List[dict], int]:
+    """Like :func:`read_events`, but skip malformed lines.
+
+    Returns ``(events, skipped)`` — ``skipped`` counts the non-blank
+    lines that failed to parse or decoded to a non-object.  A stream
+    truncated mid-line by a crashed (or still-running) producer should
+    degrade to a partial report, not a traceback; callers decide how
+    loudly to warn.
+    """
+    events = []
+    skipped = 0
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                skipped += 1
+                continue
+            if not isinstance(event, dict):
+                skipped += 1
+                continue
+            events.append(event)
+    return events, skipped
 
 
 # -- process-global current sink ----------------------------------------------

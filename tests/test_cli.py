@@ -12,6 +12,23 @@ def run_cli(capsys, *argv):
 
 
 class TestCLI:
+    def test_version(self, capsys):
+        # argparse's version action prints and exits 0.
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("repro ")
+        assert out.strip() != "repro"
+
+    def test_version_matches_package(self, capsys):
+        from repro import repro_version
+
+        with pytest.raises(SystemExit):
+            main(["--version"])
+        assert capsys.readouterr().out.strip() == \
+            f"repro {repro_version()}"
+
     def test_list(self, capsys):
         code, out = run_cli(capsys, "list")
         assert code == 0

@@ -122,15 +122,48 @@ class TestMetricsCli:
         assert "counters" in out
         assert "sim.branches" in out
 
+    def test_metrics_header_carries_version(self, run_cli, tmp_path):
+        from repro import repro_version
+
+        path = tmp_path / "m.jsonl"
+        code, _ = run_cli(
+            "simulate", "crc", "--scale", "tiny", "--metrics", str(path),
+        )
+        assert code == 0
+        header = read_events(path)[0]
+        assert header["event"] == "header"
+        assert header["version"] == repro_version()
+        assert header["command"] == "simulate"
+
     def test_telemetry_report_missing_file(self, run_cli, tmp_path):
         code = main(["telemetry-report", str(tmp_path / "ghost.jsonl")])
         assert code == 1
 
-    def test_telemetry_report_bad_jsonl(self, run_cli, tmp_path):
+    def test_telemetry_report_all_lines_bad(self, run_cli, capsys,
+                                            tmp_path):
         path = tmp_path / "bad.jsonl"
-        path.write_text("not json\n")
+        path.write_text("not json\n{truncat\n")
         code = main(["telemetry-report", str(path)])
+        err = capsys.readouterr().err
         assert code == 1
+        assert "no valid telemetry events" in err
+
+    def test_telemetry_report_skips_corrupted_lines(self, run_cli,
+                                                    capsys, tmp_path):
+        # A producer died mid-write: valid events, one truncated line,
+        # one garbage line.  The report renders from what parsed and
+        # warns about what didn't.
+        path = tmp_path / "torn.jsonl"
+        path.write_text(
+            '{"event": "metrics", "counters": {"sim.branches": 42}}\n'
+            '{"event": "metrics", "coun\n'
+            "!!garbage!!\n"
+        )
+        code = main(["telemetry-report", str(path)])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "sim.branches" in captured.out
+        assert "skipped 2 malformed line(s)" in captured.err
 
     def test_simulate_metrics_snapshot(self, run_cli, tmp_path):
         path = tmp_path / "sim.jsonl"

@@ -1,0 +1,140 @@
+"""Validate run-history records against the published schema.
+
+CI's ``history-smoke`` job pipes the freshly recorded run (and the
+committed golden baseline) through this checker before diffing and
+uploading, so a schema drift — renamed field, type change, a payload
+that no longer matches its content hash — fails the build instead of
+shipping a store downstream tooling cannot parse.
+
+Usage::
+
+    python tools/check_runstore_schema.py .repro/runs/*.json
+    python tools/check_runstore_schema.py --store .repro/runs
+    python tools/check_runstore_schema.py docs/results/baseline-run.json
+
+Exit status is 0 iff every named record validates.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.runstore import (  # noqa: E402
+    KINDS,
+    SCHEMA_VERSION,
+    RunRecord,
+    payload_hash,
+)
+
+#: Required top-level keys and their types.
+RECORD_KEYS = {
+    "schema": int,
+    "kind": str,
+    "label": str,
+    "scale": str,
+    "compile_config": str,
+    "matrix": dict,
+    "metrics": dict,
+    "run_id": str,
+    "timestamp": str,
+    "git": dict,
+    "version": str,
+    "command": str,
+    "wall_seconds": (int, float),
+    "throughput": (int, float),
+    "telemetry": dict,
+}
+
+
+def _fail(path, message):
+    print(f"{path}: {message}", file=sys.stderr)
+    return 1
+
+
+def check_record(path) -> int:
+    """Validate one RunRecord JSON file."""
+    try:
+        document = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return _fail(path, f"unreadable: {exc}")
+    for key, expected in RECORD_KEYS.items():
+        if key not in document:
+            return _fail(path, f"missing key {key!r}")
+        value = document[key]
+        if isinstance(value, bool) or not isinstance(value, expected):
+            name = (
+                expected.__name__
+                if isinstance(expected, type)
+                else "number"
+            )
+            return _fail(
+                path,
+                f"key {key!r} is {type(value).__name__}, "
+                f"expected {name}",
+            )
+    if document["schema"] != SCHEMA_VERSION:
+        return _fail(
+            path,
+            f"schema {document['schema']!r} != {SCHEMA_VERSION}",
+        )
+    if document["kind"] not in KINDS:
+        return _fail(path, f"unknown kind {document['kind']!r}")
+    for name, value in document["metrics"].items():
+        if isinstance(value, bool) or not isinstance(
+            value, (int, float)
+        ):
+            return _fail(
+                path,
+                f"metric {name!r} is {type(value).__name__}, "
+                "expected a number",
+            )
+    # The record must survive the documented round trip, and the run id
+    # must be the content hash of the deterministic payload — the store
+    # is content-addressed, so a mismatch means corruption or an edit.
+    record = RunRecord.from_dict(document)
+    expected_id = payload_hash(record.payload())[:12]
+    if document["run_id"] != expected_id:
+        return _fail(
+            path,
+            f"run_id {document['run_id']} does not match payload "
+            f"content hash {expected_id}",
+        )
+    git = document["git"]
+    if "sha" not in git or "dirty" not in git:
+        return _fail(path, "git envelope missing sha/dirty")
+    print(
+        f"{path}: ok — {document['kind']}/{document['label']} "
+        f"({document['scale'] or '-'}), {len(document['metrics'])} "
+        f"metric(s), run {document['run_id']}"
+    )
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("records", nargs="*", metavar="PATH",
+                        help="RunRecord JSON files")
+    parser.add_argument("--store", metavar="DIR",
+                        help="validate every record in a store root")
+    args = parser.parse_args(argv)
+    paths = [Path(p) for p in args.records]
+    if args.store:
+        root = Path(args.store)
+        if root.is_dir():
+            paths.extend(sorted(
+                p for p in root.iterdir()
+                if p.suffix == ".json" and not p.name.startswith(".")
+            ))
+    if not paths:
+        parser.error("nothing to check: pass record paths and/or --store")
+    status = 0
+    for path in paths:
+        status |= check_record(path)
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

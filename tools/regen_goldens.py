@@ -6,17 +6,85 @@ Prints replacements for:
 * ``src/repro/workloads/expected.py`` — per-workload return values;
 * ``tests/test_regression_rates.py`` — per-workload prediction counts.
 
+``--runstore`` instead regenerates the committed run-history golden
+(``docs/results/baseline-run.json``): it records E2 at small scale
+through the same RunRecorder path the CLI's ``--record`` flag uses, so
+the golden's metric payload is byte-identical to what ``repro run E2
+--scale small --record`` produces on an unchanged tree — which is
+exactly what CI's ``history-smoke`` job diffs against.
+
 Remember to bump ``CODEGEN_REVISION`` in ``repro/compiler/config.py``
 whenever generated code changes, so cached traces regenerate.
 """
 
-from repro.compiler.config import BASELINE
-from repro.predictors import PGUConfig, SFPConfig, make_predictor
-from repro.sim import SimOptions, simulate
-from repro.workloads import all_workloads
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.compiler.config import BASELINE  # noqa: E402
+from repro.predictors import (  # noqa: E402
+    PGUConfig,
+    SFPConfig,
+    make_predictor,
+)
+from repro.sim import SimOptions, simulate  # noqa: E402
+from repro.workloads import all_workloads  # noqa: E402
+
+#: Where the run-history golden lives (CI diffs fresh runs against it).
+BASELINE_RUN = "docs/results/baseline-run.json"
+
+
+def regen_runstore_golden(path=BASELINE_RUN, scale="small") -> None:
+    from repro import telemetry
+    from repro.experiments import get_experiment
+    from repro.runstore import RunRecorder
+
+    recorder = RunRecorder(
+        "experiment", "E2", scale=scale,
+        command=f"repro run E2 --scale {scale} --record",
+    )
+    registry = telemetry.MetricsRegistry()
+    with telemetry.use_registry(registry):
+        with recorder.timed():
+            result = get_experiment("E2").run(scale=scale)
+    recorder.add_experiment(result)
+    # The golden carries only the deterministic payload + envelope: the
+    # telemetry snapshot is machine-local timing noise that would churn
+    # the committed file on every regen without changing the diff.
+    record = recorder.finish(registry=None)
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(
+        json.dumps(record.to_dict(), indent=2, sort_keys=True) + "\n"
+    )
+    print(f"wrote {target} (run {record.run_id}, "
+          f"{len(record.metrics)} metrics)")
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0]
+    )
+    parser.add_argument(
+        "--runstore", action="store_true",
+        help=f"regenerate {BASELINE_RUN} instead of the code goldens",
+    )
+    parser.add_argument(
+        "--scale", default="small", choices=("tiny", "small", "ref"),
+        help="scale for --runstore (default small, the CI gate scale)",
+    )
+    parser.add_argument(
+        "--output", default=BASELINE_RUN, metavar="PATH",
+        help="target for --runstore (default %(default)s)",
+    )
+    args = parser.parse_args()
+    if args.runstore:
+        regen_runstore_golden(args.output, scale=args.scale)
+        return
+
     print("# --- workloads/expected.py ---")
     print("EXPECTED = {")
     for workload in all_workloads():

@@ -1,0 +1,174 @@
+"""Speedup gates for the fast simulation cores.
+
+Run with::
+
+    pytest benchmarks/test_bench_fastcore.py --benchmark-only -s
+
+Two acceptance gates, both on an E2-style grid (gshare capacity sweep
+over the technique-sensitive workload subset, small scale):
+
+* ``bench_fastcore_speedup_gate`` — the flat-kernel core must push
+  ``sweep.points_per_second`` at least 5x the object core's, with
+  bit-identical results.
+* ``bench_numpy_vs_fast_gate`` — the numpy-batched backend must be at
+  least as fast as the scalar fast loop on gshare (the table-indexed
+  case it exists for).
+
+Both report their measured numbers through :func:`emit_gate`, so the
+run-history store tracks the trend behind the thresholds.
+"""
+
+from benchmarks.conftest import BENCH_SUBSET, emit_gate, run_once
+from repro import telemetry
+from repro.predictors import make_predictor
+from repro.sim import SimOptions, sweep
+from repro.workloads import get_workload
+
+#: Same reasoning as the sweep benchmark: per-point work must dwarf
+#: fixed overheads for a throughput ratio to mean anything.
+SCALE = "small"
+
+#: E2's capacity axis: gshare at the paper's four table sizes.
+SIZES = (256, 1024, 4096, 16384)
+
+#: Minimum accepted points-per-second ratio, fast core vs object core.
+#: Measured ~8x warm; 5x leaves room for noisy CI machines.
+FAST_SPEEDUP_FLOOR = 5.0
+
+
+def _grid():
+    traces = {
+        name: get_workload(name).trace(scale=SCALE)
+        for name in BENCH_SUBSET
+    }
+    factories = {
+        f"gshare{size}": (
+            lambda size=size: make_predictor("gshare", entries=size)
+        )
+        for size in SIZES
+    }
+    return traces, factories, [SimOptions()]
+
+
+def _run_sweep(traces, factories, grid, core):
+    """One sweep under a fresh registry; (results, snapshot)."""
+    with telemetry.use_registry(telemetry.MetricsRegistry()) as registry:
+        results = sweep(traces, factories, grid, core=core)
+    return results, registry.snapshot()
+
+
+def _points_per_second(snapshot):
+    return snapshot["gauges"]["sweep.points_per_second"]
+
+
+def _fingerprint(results):
+    return [
+        (r.workload, r.predictor, r.branches, r.mispredictions,
+         r.squashed)
+        for r in results
+    ]
+
+
+def _best_throughput(traces, factories, grid, core, repeats):
+    """Best points-per-second over ``repeats`` runs (noise floor)."""
+    best = 0.0
+    snapshot = None
+    results = None
+    for _ in range(repeats):
+        results, snap = _run_sweep(traces, factories, grid, core)
+        pps = _points_per_second(snap)
+        if pps > best:
+            best, snapshot = pps, snap
+    return best, results, snapshot
+
+
+def bench_fastcore_speedup_gate(benchmark):
+    """Flat kernels >= 5x object-core sweep throughput, identically."""
+    traces, factories, grid = _grid()
+    measured = {}
+
+    def compare():
+        obj_pps, obj_results, _ = _best_throughput(
+            traces, factories, grid, "object", repeats=2
+        )
+        fast_pps, fast_results, fast_snap = _best_throughput(
+            traces, factories, grid, "fast", repeats=3
+        )
+        measured.update(
+            object_pps=obj_pps,
+            fast_pps=fast_pps,
+            identical=_fingerprint(obj_results)
+            == _fingerprint(fast_results),
+            replay_bps=fast_snap["gauges"].get(
+                "fastcore.replay_branches_per_second", 0.0
+            ),
+        )
+
+    run_once(benchmark, compare)
+    speedup = measured["fast_pps"] / measured["object_pps"]
+    emit_gate(
+        "fastcore_speedup",
+        object_points_per_second=measured["object_pps"],
+        fast_points_per_second=measured["fast_pps"],
+        speedup=speedup,
+        replay_branches_per_second=measured["replay_bps"],
+        identical=float(measured["identical"]),
+    )
+    print(
+        f"\nobject {measured['object_pps']:.2f} pts/s, "
+        f"fast {measured['fast_pps']:.2f} pts/s, "
+        f"speedup {speedup:.1f}x; replay "
+        f"{measured['replay_bps'] / 1e6:.1f} M branches/s"
+    )
+    assert measured["identical"], "fast core diverged from object core"
+    assert measured["replay_bps"] > 0.0, (
+        "fastcore.replay_branches_per_second gauge was not set"
+    )
+    assert speedup >= FAST_SPEEDUP_FLOOR, (
+        f"fast core speedup {speedup:.2f}x is below the "
+        f"{FAST_SPEEDUP_FLOOR:.0f}x floor"
+    )
+
+
+def bench_numpy_vs_fast_gate(benchmark):
+    """The batched backend must not lose to the scalar fast loop."""
+    traces, factories, grid = _grid()
+    measured = {}
+
+    def compare():
+        # Alternate the two cores run to run so drift in machine load
+        # hits both sides, then compare the best of each.
+        fast_best, fast_results = 0.0, None
+        numpy_best, numpy_results = 0.0, None
+        for _ in range(3):
+            results, snap = _run_sweep(traces, factories, grid, "fast")
+            fast_best = max(fast_best, _points_per_second(snap))
+            fast_results = results
+            results, snap = _run_sweep(traces, factories, grid, "numpy")
+            numpy_best = max(numpy_best, _points_per_second(snap))
+            numpy_results = results
+        measured.update(
+            fast_pps=fast_best,
+            numpy_pps=numpy_best,
+            identical=_fingerprint(fast_results)
+            == _fingerprint(numpy_results),
+        )
+
+    run_once(benchmark, compare)
+    ratio = measured["numpy_pps"] / measured["fast_pps"]
+    emit_gate(
+        "fastcore_numpy_vs_fast",
+        fast_points_per_second=measured["fast_pps"],
+        numpy_points_per_second=measured["numpy_pps"],
+        ratio=ratio,
+    )
+    print(
+        f"\nfast {measured['fast_pps']:.2f} pts/s, "
+        f"numpy {measured['numpy_pps']:.2f} pts/s, "
+        f"ratio {ratio:.2f}x"
+    )
+    assert measured["identical"], "numpy core diverged from fast core"
+    assert ratio >= 1.0, (
+        f"numpy backend was slower than the scalar fast loop "
+        f"({ratio:.2f}x)"
+    )

@@ -40,7 +40,7 @@ from repro.predictors import (
     available_predictors,
     make_predictor,
 )
-from repro.sim import SimOptions, simulate
+from repro.sim import CORES, SimOptions, resolve_core, simulate, use_core
 from repro.trace import TraceCache
 from repro.workloads import get_workload, workload_names
 
@@ -100,6 +100,9 @@ def _record_scope(args, kind, label, compile_config="hyperblock",
         command="repro " + " ".join(getattr(args, "_argv", ())),
         matrix=matrix,
     )
+    # Envelope-only: fast cores are bit-identical to the object core,
+    # so the run id stays the same whichever core produced the record.
+    recorder.record.sim_core = resolve_core(getattr(args, "core", None))
     with recorder.timed():
         yield recorder
     record = recorder.finish(telemetry.get_registry())
@@ -149,20 +152,22 @@ def _run_one(exp_id: str, args) -> "ExperimentResult":  # noqa: F821
 def _cmd_run_experiment(args) -> int:
     label = get_experiment(args.id).SPEC.id
     with _metrics_scope(args):
-        with _record_scope(args, "experiment", label) as recorder:
-            result = _run_one(args.id, args)
-            if recorder is not None:
-                recorder.add_experiment(result)
+        with use_core(getattr(args, "core", None)):
+            with _record_scope(args, "experiment", label) as recorder:
+                result = _run_one(args.id, args)
+                if recorder is not None:
+                    recorder.add_experiment(result)
     return 0
 
 
 def _cmd_run_all(args) -> int:
     with _metrics_scope(args):
-        with _record_scope(args, "experiment", "run-all") as recorder:
-            for exp_id in experiment_ids():
-                result = _run_one(exp_id, args)
-                if recorder is not None:
-                    recorder.add_experiment(result)
+        with use_core(getattr(args, "core", None)):
+            with _record_scope(args, "experiment", "run-all") as recorder:
+                for exp_id in experiment_ids():
+                    result = _run_one(exp_id, args)
+                    if recorder is not None:
+                        recorder.add_experiment(result)
     return 0
 
 
@@ -188,7 +193,9 @@ def _cmd_simulate(args) -> int:
             trace = workload.trace(
                 scale=args.scale, hyperblocks=not args.baseline
             )
-            result = simulate(trace, predictor, options)
+            result = simulate(
+                trace, predictor, options, core=args.core
+            )
             if recorder is not None:
                 recorder.add_sim_result(result, prefix=args.workload)
     print(f"workload    : {result.workload} ({args.scale})")
@@ -668,6 +675,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--workers", type=int, default=None,
                        help="sweep worker processes (0 = all CPUs; default "
                             "$REPRO_SWEEP_WORKERS or serial)")
+        p.add_argument("--core", default=None, choices=CORES,
+                       help="simulation core (default $REPRO_SIM_CORE or "
+                            "object); fast cores are bit-identical")
         p.add_argument("--format", default="table",
                        choices=("table", "csv", "json"))
         p.add_argument("--output", help="also write the export to this dir")
@@ -687,6 +697,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=None,
                    help="sweep worker processes (0 = all CPUs; default "
                         "$REPRO_SWEEP_WORKERS or serial)")
+    p.add_argument("--core", default=None, choices=CORES,
+                   help="simulation core (default $REPRO_SIM_CORE or "
+                        "object); fast cores are bit-identical")
     p.add_argument("--format", default="table",
                    choices=("table", "csv", "json"))
     p.add_argument("--output", help="also write each export to this dir")
@@ -708,6 +721,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--distance", type=int, default=4)
     p.add_argument("--sfp", action="store_true")
     p.add_argument("--pgu", action="store_true")
+    p.add_argument("--core", default=None, choices=CORES,
+                   help="simulation core (default $REPRO_SIM_CORE or "
+                        "object); fast cores are bit-identical")
     p.add_argument("--baseline", action="store_true",
                    help="use the non-predicated compile")
     p.add_argument("--metrics", metavar="PATH",

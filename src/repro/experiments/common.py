@@ -98,13 +98,16 @@ def run_sweep(
     workers: Optional[int] = None,
     progress: Optional[ProgressCallback] = None,
     profile=None,
+    core: Optional[str] = None,
 ) -> List[SimResult]:
     """Run a sweep grid for an experiment (parallel when ``workers``>1).
 
     Thin façade over :func:`repro.sim.sweep.sweep` so experiments share
     one entry point for worker-count and progress plumbing.  ``profile``
     (a :class:`~repro.profiler.ProfileSpec`) additionally attaches a
-    misprediction-attribution aggregator to every point's result.
+    misprediction-attribution aggregator to every point's result;
+    ``core`` selects the simulation core (default: ambient context /
+    ``$REPRO_SIM_CORE`` / object).
     """
     return sweep(
         traces,
@@ -113,6 +116,7 @@ def run_sweep(
         workers=workers,
         progress=progress,
         profile=profile,
+        core=core,
     )
 
 

@@ -96,6 +96,11 @@ class RunRecord:
     wall_seconds: float = 0.0
     #: sweep grid points per second, 0.0 when no sweep ran
     throughput: float = 0.0
+    #: simulation core the run used ("object"/"fast"/"numpy", "" =
+    #: unrecorded).  Envelope, not payload: the cores are bit-identical
+    #: by contract, so the same measurement gets the same run id
+    #: whichever core produced it.
+    sim_core: str = ""
     telemetry: dict = field(default_factory=dict)
 
     def payload(self) -> dict:
@@ -142,6 +147,7 @@ class RunRecord:
             "command": self.command,
             "wall_seconds": self.wall_seconds,
             "throughput": self.throughput,
+            "sim_core": self.sim_core,
             "telemetry": self.telemetry,
         })
         return document
@@ -168,6 +174,7 @@ class RunRecord:
             command=document.get("command", ""),
             wall_seconds=document.get("wall_seconds", 0.0),
             throughput=document.get("throughput", 0.0),
+            sim_core=document.get("sim_core", ""),
             telemetry=document.get("telemetry", {}),
         )
 

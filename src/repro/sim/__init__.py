@@ -1,5 +1,6 @@
 """Trace-driven predictor simulation."""
 
+from repro.sim.core import CORES, resolve_core, use_core
 from repro.sim.driver import BranchFlags, SimOptions, SimResult, simulate
 from repro.sim.stats import ClassStats, format_result_table
 from repro.sim.confidence import simulate_with_confidence
@@ -15,6 +16,7 @@ from repro.sim.sweep import (
 
 __all__ = [
     "BranchFlags",
+    "CORES",
     "ClassStats",
     "ParallelSweepRunner",
     "SimOptions",
@@ -24,10 +26,12 @@ __all__ = [
     "SweepPoint",
     "SweepProgress",
     "per_site_stats",
+    "resolve_core",
     "resolve_workers",
     "simulate_with_confidence",
     "top_hotspots",
     "format_result_table",
     "simulate",
     "sweep",
+    "use_core",
 ]

@@ -174,6 +174,7 @@ def simulate(
     predictor: BranchPredictor,
     options: SimOptions = SimOptions(),
     collector=None,
+    core: Optional[str] = None,
 ) -> SimResult:
     """Run ``trace`` through ``predictor`` under ``options``.
 
@@ -183,7 +184,26 @@ def simulate(
     1-in-``rate`` decision keyed on the branch's stream index, so the
     event stream is identical run to run.  With no collector the event
     path reduces to one sentinel comparison per branch.
+
+    ``core`` selects the execution engine: ``"object"`` (this loop, the
+    reference), ``"fast"`` (flat kernels over a pre-decoded stream) or
+    ``"numpy"`` (batched table replay); ``None`` resolves through
+    :func:`repro.sim.core.resolve_core` (context, then
+    ``$REPRO_SIM_CORE``, then ``"object"``).  Results are bit-identical
+    across cores; points the fast cores cannot model exactly —
+    unkernelized predictors, BTB modelling, profiler collectors — run
+    here regardless of the knob.
     """
+    from repro.sim.core import resolve_core
+
+    core = resolve_core(core)
+    if core != "object":
+        from repro.sim import fastcore
+
+        if fastcore.supported(predictor, options, collector):
+            return fastcore.run_fast(
+                trace, predictor, options, core=core
+            )
     availability = AvailabilityModel(options.distance)
     history = GlobalHistory(options.history_bits)
     sfp = options.sfp

@@ -1,0 +1,211 @@
+"""Flat-kernel fast simulation core.
+
+``repro.sim.fastcore`` replays pre-decoded branch streams through
+allocation-free predictor kernels, bit-identically to the reference
+object-model loop in :mod:`repro.sim.driver` (the differential suite in
+``tests/test_fastcore_differential.py`` enforces the equivalence over
+the whole workload suite).  See ``docs/fast-core.md`` for the kernel
+ABI, the pre-decode layout and how to add a kernel.
+
+Entry point: :func:`run_fast`, reached through
+``simulate(..., core="fast"|"numpy")``.  The object core remains the
+reference and the only path for predictors without a kernel, for BTB
+modelling and for profiler collectors — ``simulate`` falls back
+automatically (see :func:`supported`).
+"""
+
+import time
+
+import numpy as np
+
+from repro import telemetry
+from repro.sim.driver import BranchFlags, SimOptions, SimResult
+from repro.sim.fastcore.batch import batch_replay, batch_supported
+from repro.sim.fastcore.decode import BranchTrace, ReplayPlan, build_plan
+from repro.sim.fastcore.differential import (
+    DivergenceReport,
+    differential_check,
+)
+from repro.sim.fastcore.kernels import (
+    KERNEL_BUILDERS,
+    KernelError,
+    kernel_from_predictor,
+    kernelizable,
+)
+from repro.sim.fastcore.replay import fast_replay
+from repro.sim.stats import ClassStats
+from repro.trace.container import BranchClass
+
+__all__ = [
+    "BranchTrace",
+    "DivergenceReport",
+    "KERNEL_BUILDERS",
+    "KernelError",
+    "ReplayPlan",
+    "batch_replay",
+    "batch_supported",
+    "build_plan",
+    "differential_check",
+    "fast_replay",
+    "kernel_from_predictor",
+    "kernelizable",
+    "run_fast",
+    "supported",
+]
+
+
+def supported(predictor, options: SimOptions, collector=None) -> bool:
+    """Can the fast cores run this point exactly?
+
+    BTB modelling and profiler collectors are object-core-only; so is
+    any predictor without a registered kernel (static, perfect,
+    tournament, perceptron, TAGE).
+    """
+    return (
+        collector is None
+        and options.btb is None
+        and kernelizable(predictor)
+    )
+
+
+_PLAN_CACHE_LIMIT = 8
+
+
+def _plan_for(trace, options: SimOptions) -> ReplayPlan:
+    """Build (or reuse) the replay plan for ``(trace, options)``.
+
+    Pre-decode depends only on the trace and the simulation options,
+    never on the predictor, so a sweep grid replaying one workload
+    under many predictors decodes it once.  The cache lives on the
+    trace object and dies with it; a small cap guards against
+    many-option grids pinning plans for the trace's whole lifetime.
+    """
+    cache = trace.__dict__.setdefault("_fastcore_plans", {})
+    key = repr(options)
+    plan = cache.get(key)
+    if plan is None:
+        plan = build_plan(trace, options)
+        while len(cache) >= _PLAN_CACHE_LIMIT:
+            cache.pop(next(iter(cache)))
+        cache[key] = plan
+    return plan
+
+
+def run_fast(
+    trace,
+    predictor,
+    options: SimOptions = SimOptions(),
+    core: str = "fast",
+    kernel=None,
+    require: bool = False,
+) -> SimResult:
+    """Simulate on a flat kernel; bit-identical to the object core.
+
+    ``kernel`` overrides the fresh kernel built from ``predictor``
+    (the differential harness uses this to inject corrupted state).
+    ``core="numpy"`` uses the batched backend when the kernel supports
+    it, silently dropping to the scalar fast loop otherwise — unless
+    ``require`` is set, in which case the mismatch raises.
+    """
+    if core not in ("fast", "numpy"):
+        raise ValueError(f"run_fast cannot execute core {core!r}")
+    if kernel is None:
+        kernel = kernel_from_predictor(predictor)
+    start = time.perf_counter()
+    plan = _plan_for(trace, options)
+    used = core
+    if core == "numpy" and not batch_supported(kernel):
+        if require:
+            raise KernelError(
+                f"kernel {kernel.name} has no numpy backend"
+            )
+        used = "fast"
+    if used == "numpy":
+        mis = batch_replay(kernel, plan)
+    else:
+        mis = fast_replay(kernel, plan)
+    wall = time.perf_counter() - start
+
+    n = plan.n
+    mispredictions = int(mis.shape[0])
+    squash = plan.squash
+    squashed = int(squash.sum()) if squash is not None else 0
+
+    branch_counts = np.bincount(plan.cls, minlength=3)
+    mis_counts = np.bincount(plan.cls[mis], minlength=3)
+    if squash is not None:
+        squash_counts = np.bincount(plan.cls[squash], minlength=3)
+    else:
+        squash_counts = np.zeros(3, dtype=np.int64)
+    per_class = {
+        branch_class: ClassStats(
+            branches=int(branch_counts[int(branch_class)]),
+            mispredictions=int(mis_counts[int(branch_class)]),
+            squashed=int(squash_counts[int(branch_class)]),
+        )
+        for branch_class in (
+            BranchClass.NORMAL, BranchClass.REGION, BranchClass.LOOP
+        )
+    }
+
+    sfp = options.sfp
+    if telemetry.enabled():
+        # Mirror the driver's end-of-run counters exactly, so merged
+        # sweep registries are identical across cores; then add the
+        # fast-core extras.
+        registry = telemetry.get_registry()
+        registry.counter("sim.runs").inc()
+        registry.counter("sim.instructions").inc(plan.instructions)
+        registry.counter("sim.branches").inc(n)
+        registry.counter("sim.predicts").inc(n - squashed)
+        updates = (
+            plan.applied_updates
+            if options.delayed_update
+            else n - squashed
+        )
+        if sfp is not None and sfp.update_pht:
+            updates += squashed
+        registry.counter("sim.updates").inc(updates)
+        registry.counter("sim.mispredictions").inc(mispredictions)
+        registry.counter("sim.squashed").inc(squashed)
+        registry.counter("sim.misfetches").inc(0)
+        for branch_class, stats in per_class.items():
+            prefix = f"sim.class.{branch_class.name.lower()}"
+            registry.counter(f"{prefix}.branches").inc(stats.branches)
+            registry.counter(f"{prefix}.mispredictions").inc(
+                stats.mispredictions
+            )
+            registry.counter(f"{prefix}.squashed").inc(stats.squashed)
+        registry.counter(f"sim.core.{used}").inc()
+        if wall > 0.0:
+            registry.gauge("fastcore.replay_branches_per_second").set(
+                n / wall
+            )
+
+    flags = None
+    if options.record_flags:
+        correct = np.ones(n, dtype=bool)
+        correct[mis] = False
+        flags = BranchFlags(
+            correct=correct,
+            squashed=(
+                squash.copy()
+                if squash is not None
+                else np.zeros(n, dtype=bool)
+            ),
+            misfetch=np.zeros(n, dtype=bool),
+        )
+
+    return SimResult(
+        predictor=predictor.name,
+        options=options,
+        workload=plan.workload,
+        instructions=plan.instructions,
+        branches=n,
+        mispredictions=mispredictions,
+        squashed=squashed,
+        per_class=per_class,
+        misfetches=0,
+        flags=flags,
+        attribution=None,
+    )

@@ -1,0 +1,303 @@
+"""Pre-decode: lower a trace + options into a flat replay plan.
+
+The key observation that makes vectorised replay possible: in
+trace-driven simulation the global history register's evolution is
+*prediction-independent* — actual outcomes are shifted in at predict
+time and predicate defines at their availability points, neither of
+which depends on what any predictor said.  So the entire history stream,
+every branch's predict-time history value, the squash mask and the
+delayed-update schedule can be computed up front with numpy; only the
+counter-table state remains serial, and that is what the replay loops
+(:mod:`repro.sim.fastcore.replay`) and the segmented-scan backend
+(:mod:`repro.sim.fastcore.batch`) handle.
+
+Two layers:
+
+* :class:`BranchTrace` — the option-independent structure-of-arrays
+  branch stream (the seed of the ROADMAP's external trace format).
+* :class:`ReplayPlan` — one (BranchTrace, SimOptions) decode: per-branch
+  predict-time history values, squash mask, branch classes, and the
+  merged *event stream* (reads, delayed-update applications, squash
+  train-PHT updates) in exactly the order the reference driver would
+  perform them.
+"""
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.sim.driver import SimOptions
+from repro.trace.container import Trace
+
+_U64 = np.uint64
+_FULL64 = _U64(0xFFFFFFFFFFFFFFFF)
+
+
+@dataclass
+class BranchTrace:
+    """Option-independent flat branch stream of one executed workload.
+
+    Branch arrays (fetch order): ``pc`` (static index), ``idx`` (dynamic
+    instruction index), ``taken`` (outcome), ``guard`` (qualifying
+    predicate, 0 = p0), ``guard_def`` (dynamic index of the guard's
+    defining write, -1 if never written), ``cls``
+    (:class:`~repro.trace.container.BranchClass` value).  Define arrays
+    (execution order): ``d_idx``, ``d_value``, ``d_pred``.
+    """
+
+    pc: np.ndarray
+    idx: np.ndarray
+    taken: np.ndarray
+    guard: np.ndarray
+    guard_def: np.ndarray
+    cls: np.ndarray
+    d_idx: np.ndarray
+    d_value: np.ndarray
+    d_pred: np.ndarray
+    workload: str = ""
+    instructions: int = 0
+
+    @classmethod
+    def from_trace(cls, trace: Trace) -> "BranchTrace":
+        return cls(
+            pc=trace.b_pc,
+            idx=trace.b_idx,
+            taken=trace.b_taken,
+            guard=trace.b_guard,
+            guard_def=trace.b_guard_def,
+            cls=trace.branch_classes(),
+            d_idx=trace.d_idx,
+            d_value=trace.d_value,
+            d_pred=trace.d_pred,
+            workload=trace.meta.workload or "<trace>",
+            instructions=trace.meta.instructions,
+        )
+
+    @property
+    def num_branches(self) -> int:
+        return int(self.pc.shape[0])
+
+
+@dataclass
+class ReplayPlan:
+    """Everything replay needs, decoded once per (trace, options)."""
+
+    options: SimOptions
+    workload: str
+    instructions: int
+    n: int
+    pc: np.ndarray  #: int64, per branch
+    taken: np.ndarray  #: uint8, per branch
+    ghr: np.ndarray  #: uint64, predict-time history value per branch
+    cls: np.ndarray  #: int8, per branch
+    squash: Optional[np.ndarray]  #: bool per branch, None without SFP
+    # -- event stream, in reference-driver order -------------------------
+    ev_branch: np.ndarray  #: int64, branch each event belongs to
+    ev_read: np.ndarray  #: uint8, event predicts (and counts stats)
+    ev_trans: np.ndarray  #: uint8, event applies a counter transition
+    uniform: bool  #: every event is read+trans (the common tight case)
+    applied_updates: int  #: delayed updates that actually applied
+
+
+def _squash_mask(bt: BranchTrace, options: SimOptions):
+    """Squash mask (:class:`~repro.pipeline.availability.AvailabilityModel`
+    semantics) computed from the flat arrays."""
+    sfp = options.sfp
+    if sfp is None:
+        return None
+    resolved = (bt.guard_def >= 0) & (
+        bt.idx - bt.guard_def >= options.distance
+    )
+    guarded = bt.guard != 0
+    if sfp.squash_known_true:
+        return resolved & guarded
+    return resolved & ~bt.taken.astype(bool) & guarded
+
+
+def _pgu_defines(bt: BranchTrace, options: SimOptions):
+    """(visible-at-branch positions, bit values) of the kept defines."""
+    pgu = options.pgu
+    if pgu is None:
+        return None
+    delay = options.distance if pgu.delay is None else pgu.delay
+    d_idx = bt.d_idx
+    d_value = bt.d_value
+    if pgu.which == "guards_only":
+        guard_preds = np.unique(bt.guard[bt.guard > 0]).astype(
+            bt.d_pred.dtype
+        )
+        keep = np.isin(bt.d_pred, guard_preds)
+        d_idx = d_idx[keep]
+        d_value = d_value[keep]
+    # First branch whose fetch sees the define: d_idx + delay <= b_idx.
+    visible_at = np.searchsorted(bt.idx, d_idx + delay, side="left")
+    in_range = visible_at < bt.num_branches
+    return visible_at[in_range], d_value[in_range]
+
+
+def _history_values(bt: BranchTrace, options: SimOptions,
+                    squash: Optional[np.ndarray]) -> np.ndarray:
+    """Per-branch predict-time history, via one packed bit stream.
+
+    The stream interleaves predicate-define bits (at their availability
+    points) with branch-outcome bits (squashed branches emit only when
+    ``sfp.update_history``), exactly as the driver shifts them.  Each
+    branch's value is then a 64-bit window extracted from the *reversed*
+    packed stream — the register's LSB is the most recent bit — masked
+    to ``history_bits``.
+    """
+    n = bt.num_branches
+    length = options.history_bits
+    lmask = _FULL64 if length >= 64 else _U64((1 << length) - 1)
+    if n == 0:
+        return np.zeros(0, dtype=np.uint64)
+
+    if squash is None:
+        emits = np.ones(n, dtype=bool)
+    elif options.sfp.update_history:
+        emits = np.ones(n, dtype=bool)
+    else:
+        emits = ~squash
+    # emits_excl[i] = number of emitting branches with index < i.
+    emits_excl = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(emits, out=emits_excl[1:])
+
+    defines = _pgu_defines(bt, options)
+    if defines is None:
+        visible_at = np.zeros(0, dtype=np.int64)
+        d_bits = np.zeros(0, dtype=bool)
+    else:
+        visible_at, d_bits = defines
+    # defs_le[i] = defines shifted in by the time branch i predicts
+    # (everything visible at or before i precedes i's own read).
+    defs_le = np.searchsorted(visible_at, np.arange(n), side="right")
+
+    m = int(visible_at.shape[0]) + int(emits_excl[n])
+    bits = np.zeros(m, dtype=np.uint8)
+    # Define k sits after the k-1 earlier defines and every emitting
+    # branch fetched before its visibility point.
+    def_slots = np.arange(visible_at.shape[0]) + emits_excl[visible_at]
+    bits[def_slots] = d_bits
+    emit_idx = np.flatnonzero(emits)
+    bits[defs_le[emit_idx] + emits_excl[emit_idx]] = bt.taken[emit_idx]
+
+    # h[i] = sum_t stream[r_i - 1 - t] << t  (newest bit at the LSB).
+    # Reversing the stream turns every window into a contiguous
+    # little-endian 64-bit load: h[i] = rev[m - r_i : m - r_i + 64].
+    read_pos = defs_le + emits_excl[:n]
+    packed = np.packbits(bits[::-1], bitorder="little")
+    words = (m >> 6) + 2
+    padded = np.zeros(words * 8, dtype=np.uint8)
+    padded[: packed.shape[0]] = packed
+    table = padded.view(np.uint64)
+
+    start = (m - read_pos).astype(np.uint64)
+    word = (start >> _U64(6)).astype(np.int64)
+    shift = start & _U64(63)
+    low = table[word] >> shift
+    high_shift = (_U64(64) - shift) & _U64(63)
+    high = np.where(
+        shift == 0, _U64(0), table[word + 1] << high_shift
+    )
+    return (low | high) & lmask
+
+
+def build_plan(trace, options: SimOptions) -> ReplayPlan:
+    """Decode one (trace, options) pair into a :class:`ReplayPlan`."""
+    bt = (
+        trace
+        if isinstance(trace, BranchTrace)
+        else BranchTrace.from_trace(trace)
+    )
+    n = bt.num_branches
+    squash = _squash_mask(bt, options)
+    ghr = _history_values(bt, options, squash)
+    taken = bt.taken.astype(np.uint8)
+    pc = bt.pc.astype(np.int64)
+
+    sfp = options.sfp
+    train_squashed = sfp is not None and sfp.update_pht
+    if squash is None:
+        participates = np.ones(n, dtype=bool)
+    else:
+        participates = ~squash
+
+    applied_updates = 0
+    if not options.delayed_update:
+        # One event per participating branch (read + transition); a
+        # squashed branch appears as a transition-only event when the
+        # filter still trains the PHT.
+        if squash is None or (not train_squashed and not squash.any()):
+            ev_branch = np.arange(n, dtype=np.int64)
+            ev_read = np.ones(n, dtype=np.uint8)
+            ev_trans = np.ones(n, dtype=np.uint8)
+            uniform = True
+        else:
+            keep = participates | (squash if train_squashed else False)
+            ev_branch = np.flatnonzero(keep).astype(np.int64)
+            ev_read = participates[ev_branch].astype(np.uint8)
+            ev_trans = np.ones(ev_branch.shape[0], dtype=np.uint8)
+            uniform = bool(ev_read.all())
+    else:
+        # Delayed updates: reads stay at their branch; each enqueued
+        # update applies just before the first later branch whose fetch
+        # index reaches apply_at = idx + distance (pending updates drain
+        # before that branch predicts).  Updates never reached by a
+        # later branch stay pending forever, exactly like the driver's
+        # queue at end of trace.  Squash train-PHT updates are immediate
+        # even in delayed mode (the driver calls update() directly).
+        read_idx = np.flatnonzero(participates).astype(np.int64)
+        apply_at = bt.idx[read_idx] + options.distance
+        target = np.searchsorted(bt.idx, apply_at, side="left")
+        target = np.maximum(target, read_idx + 1)
+        applies = target < n
+        upd_idx = read_idx[applies]
+        upd_target = target[applies]
+        applied_updates = int(upd_idx.shape[0])
+        if train_squashed and squash is not None:
+            pht_idx = np.flatnonzero(squash).astype(np.int64)
+        else:
+            pht_idx = np.zeros(0, dtype=np.int64)
+        ev_branch = np.concatenate([upd_idx, read_idx, pht_idx])
+        ev_read = np.concatenate([
+            np.zeros(upd_idx.shape[0], dtype=np.uint8),
+            np.ones(read_idx.shape[0], dtype=np.uint8),
+            np.zeros(pht_idx.shape[0], dtype=np.uint8),
+        ])
+        ev_trans = np.concatenate([
+            np.ones(upd_idx.shape[0], dtype=np.uint8),
+            np.zeros(read_idx.shape[0], dtype=np.uint8),
+            np.ones(pht_idx.shape[0], dtype=np.uint8),
+        ])
+        # Order: by firing position, pending updates draining before the
+        # read (or squash update) at the same branch; the stable sort
+        # keeps the queue's FIFO order among updates sharing a position.
+        pos = np.concatenate([upd_target, read_idx, pht_idx])
+        own = np.concatenate([
+            np.zeros(upd_idx.shape[0], dtype=np.int64),
+            np.ones(read_idx.shape[0], dtype=np.int64),
+            np.ones(pht_idx.shape[0], dtype=np.int64),
+        ])
+        order = np.argsort((pos << 1) | own, kind="stable")
+        ev_branch = ev_branch[order]
+        ev_read = ev_read[order]
+        ev_trans = ev_trans[order]
+        uniform = False
+
+    return ReplayPlan(
+        options=options,
+        workload=bt.workload,
+        instructions=bt.instructions,
+        n=n,
+        pc=pc,
+        taken=taken,
+        ghr=ghr,
+        cls=bt.cls.astype(np.int8),
+        squash=squash,
+        ev_branch=ev_branch,
+        ev_read=ev_read,
+        ev_trans=ev_trans,
+        uniform=uniform,
+        applied_updates=applied_updates,
+    )

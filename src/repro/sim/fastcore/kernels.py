@@ -1,0 +1,253 @@
+"""Flat predictor kernels: ints in, ints out, raw list tables.
+
+A kernel is the allocation-free counterpart of one
+:class:`~repro.predictors.base.BranchPredictor`: its state is plain
+Python lists of small ints (picklable, pokeable, trivially diffable) and
+its scalar ABI works entirely on integers:
+
+* ``predict(pc, ghist) -> (pred, idx)`` — predicted direction (0/1) and
+  the state index the prediction read.
+* ``train(pc, ghist, taken) -> idx`` — full update path: recompute the
+  index from the *stored* predict-time history (exactly what the
+  reference driver passes to ``BranchPredictor.update``), apply the
+  saturating-counter transition plus any kernel side effects (the local
+  kernel shifts its private history here), and return the index touched.
+
+Table-indexed kernels additionally expose ``batch_index(pc, ghr)``
+(vectorised index computation over numpy arrays), which is what both the
+specialised fast replay loops and the numpy backend consume.  The squash
+false-path filter and predicate global update are *not* kernels: they
+act on the history stream and the squash mask, which the pre-decode pass
+in :mod:`repro.sim.fastcore.decode` materialises before any kernel runs.
+
+Building a kernel from a predictor copies its *configuration*, not its
+trained state: fresh tables initialised exactly as the object
+constructors initialise theirs (2-bit counters at weakly-not-taken 1),
+matching how sweeps hand every grid point a fresh predictor.
+"""
+
+import numpy as np
+
+from repro.predictors.bimodal import BimodalPredictor
+from repro.predictors.gshare import GSharePredictor
+from repro.predictors.gselect import GSelectPredictor
+from repro.predictors.twolevel import GAgPredictor, LocalPredictor
+
+
+class KernelError(ValueError):
+    """No flat kernel models the given predictor."""
+
+
+class TableKernel:
+    """Shared shape of the four purely table-indexed kernels."""
+
+    #: numpy backend eligibility (the local kernel opts out)
+    batchable = True
+
+    def __init__(self, entries: int, name: str):
+        if entries <= 0 or entries & (entries - 1):
+            raise ValueError("entries must be a positive power of two")
+        self.table = [1] * entries
+        self.mask = entries - 1
+        self.name = name
+
+    # -- scalar ABI ----------------------------------------------------------
+
+    def index(self, pc: int, ghist: int) -> int:
+        raise NotImplementedError
+
+    def predict(self, pc: int, ghist: int):
+        idx = self.index(pc, ghist)
+        return (1 if self.table[idx] >= 2 else 0, idx)
+
+    def train(self, pc: int, ghist: int, taken: int) -> int:
+        idx = self.index(pc, ghist)
+        value = self.table[idx]
+        if taken:
+            if value < 3:
+                self.table[idx] = value + 1
+        elif value > 0:
+            self.table[idx] = value - 1
+        return idx
+
+    # -- vectorised index ----------------------------------------------------
+
+    def batch_index(self, pc: np.ndarray, ghr: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    # -- state ---------------------------------------------------------------
+
+    def state(self) -> dict:
+        return {"table": list(self.table)}
+
+    def load_state(self, state: dict) -> None:
+        table = list(state["table"])
+        if len(table) != self.mask + 1:
+            raise ValueError("state table size mismatch")
+        self.table = table
+
+
+class BimodalKernel(TableKernel):
+    def __init__(self, entries: int):
+        super().__init__(entries, f"bimodal-{entries}")
+
+    def index(self, pc: int, ghist: int) -> int:
+        return pc & self.mask
+
+    def batch_index(self, pc, ghr):
+        return (pc.astype(np.uint64) & np.uint64(self.mask)).astype(
+            np.int64
+        )
+
+
+class GShareKernel(TableKernel):
+    def __init__(self, entries: int, history_bits: int):
+        super().__init__(entries, f"gshare-{entries}/h{history_bits}")
+        self.history_mask = (1 << history_bits) - 1
+
+    def index(self, pc: int, ghist: int) -> int:
+        return (pc ^ (ghist & self.history_mask)) & self.mask
+
+    def batch_index(self, pc, ghr):
+        hist = ghr & np.uint64(self.history_mask)
+        return (
+            (pc.astype(np.uint64) ^ hist) & np.uint64(self.mask)
+        ).astype(np.int64)
+
+
+class GSelectKernel(TableKernel):
+    def __init__(self, entries: int, history_bits: int, pc_bits: int):
+        super().__init__(entries, f"gselect-{entries}/h{history_bits}")
+        self.history_bits = history_bits
+        self.history_mask = (1 << history_bits) - 1
+        self.pc_mask = (1 << pc_bits) - 1
+
+    def index(self, pc: int, ghist: int) -> int:
+        return (
+            ((pc & self.pc_mask) << self.history_bits)
+            | (ghist & self.history_mask)
+        ) & self.mask
+
+    def batch_index(self, pc, ghr):
+        upper = (pc.astype(np.uint64) & np.uint64(self.pc_mask)) << (
+            np.uint64(self.history_bits)
+        )
+        lower = ghr & np.uint64(self.history_mask)
+        return ((upper | lower) & np.uint64(self.mask)).astype(np.int64)
+
+
+class GAgKernel(TableKernel):
+    def __init__(self, entries: int):
+        super().__init__(entries, f"gag-{entries}")
+
+    def index(self, pc: int, ghist: int) -> int:
+        return ghist & self.mask
+
+    def batch_index(self, pc, ghr):
+        return (ghr & np.uint64(self.mask)).astype(np.int64)
+
+
+class LocalKernel:
+    """PAg-style local kernel: per-PC history feeding a pattern table.
+
+    The pattern index depends on private history mutated at train time,
+    so indices cannot be precomputed from the global history stream —
+    the kernel replays through its own scalar loop and opts out of the
+    numpy backend.
+    """
+
+    batchable = False
+
+    def __init__(self, entries: int, local_entries: int,
+                 history_bits: int):
+        self.table = [1] * entries
+        self.mask = entries - 1
+        self.histories = [0] * local_entries
+        self.local_mask = local_entries - 1
+        self.history_mask = (1 << history_bits) - 1
+        self.name = f"local-{entries}/l{local_entries}x{history_bits}"
+
+    def index(self, pc: int, ghist: int) -> int:
+        return self.histories[pc & self.local_mask] & self.history_mask
+
+    def predict(self, pc: int, ghist: int):
+        idx = self.index(pc, ghist)
+        return (1 if self.table[idx & self.mask] >= 2 else 0, idx)
+
+    def train(self, pc: int, ghist: int, taken: int) -> int:
+        slot = pc & self.local_mask
+        local = self.histories[slot] & self.history_mask
+        idx = local & self.mask
+        value = self.table[idx]
+        if taken:
+            if value < 3:
+                self.table[idx] = value + 1
+        elif value > 0:
+            self.table[idx] = value - 1
+        self.histories[slot] = (local << 1) | (1 if taken else 0)
+        return idx
+
+    def state(self) -> dict:
+        return {
+            "table": list(self.table),
+            "histories": list(self.histories),
+        }
+
+    def load_state(self, state: dict) -> None:
+        table = list(state["table"])
+        histories = list(state["histories"])
+        if len(table) != self.mask + 1:
+            raise ValueError("state table size mismatch")
+        if len(histories) != self.local_mask + 1:
+            raise ValueError("state history table size mismatch")
+        self.table = table
+        self.histories = histories
+
+
+def _from_bimodal(p: BimodalPredictor) -> BimodalKernel:
+    return BimodalKernel(p.entries)
+
+
+def _from_gshare(p: GSharePredictor) -> GShareKernel:
+    return GShareKernel(p.entries, p.history_bits)
+
+
+def _from_gselect(p: GSelectPredictor) -> GSelectKernel:
+    return GSelectKernel(p.entries, p.history_bits, p.pc_bits)
+
+
+def _from_gag(p: GAgPredictor) -> GAgKernel:
+    return GAgKernel(p.entries)
+
+
+def _from_local(p: LocalPredictor) -> LocalKernel:
+    return LocalKernel(p.entries, p.local_entries, p.history_bits)
+
+
+#: predictor class -> kernel builder.  Exact classes only: a subclass
+#: may override behaviour the kernel does not model, so it falls back to
+#: the object core instead of silently diverging.
+KERNEL_BUILDERS = {
+    BimodalPredictor: _from_bimodal,
+    GSharePredictor: _from_gshare,
+    GSelectPredictor: _from_gselect,
+    GAgPredictor: _from_gag,
+    LocalPredictor: _from_local,
+}
+
+
+def kernelizable(predictor) -> bool:
+    """Does a flat kernel model this predictor exactly?"""
+    return type(predictor) in KERNEL_BUILDERS
+
+
+def kernel_from_predictor(predictor):
+    """A fresh kernel mirroring ``predictor``'s configuration."""
+    builder = KERNEL_BUILDERS.get(type(predictor))
+    if builder is None:
+        raise KernelError(
+            f"no flat kernel for {type(predictor).__name__} "
+            f"({getattr(predictor, 'name', '?')}); the object core is "
+            "the only path for this predictor"
+        )
+    return builder(predictor)

@@ -35,6 +35,7 @@ from typing import Callable, Dict, Iterable, List, Optional
 from repro import telemetry
 from repro.profiler.collector import AggregatingCollector
 from repro.profiler.spec import ProfileSpec
+from repro.sim.core import resolve_core
 from repro.sim.driver import SimOptions, SimResult, simulate
 from repro.telemetry import MetricsRegistry, span, use_registry
 from repro.trace.container import Trace
@@ -102,7 +103,10 @@ def _init_worker(traces_blob: bytes) -> None:
     _WORKER_TRACES = pickle.loads(traces_blob)
 
 
-def _run_point(index, trace_name, label, predictor, options, profile=None):
+def _run_point(
+    index, trace_name, label, predictor, options, profile=None,
+    core="object",
+):
     """Simulate one grid point inside a worker process.
 
     The point runs under a fresh registry so its counters can be merged
@@ -122,7 +126,7 @@ def _run_point(index, trace_name, label, predictor, options, profile=None):
     with use_registry(MetricsRegistry()) as registry:
         result = simulate(
             _WORKER_TRACES[trace_name], predictor, options,
-            collector=collector,
+            collector=collector, core=core,
         )
     result.workload = trace_name
     result.predictor = label
@@ -150,10 +154,12 @@ class ParallelSweepRunner:
         workers: Optional[int] = None,
         progress: Optional[ProgressCallback] = None,
         mp_context=None,
+        core: Optional[str] = None,
     ):
         self.workers = resolve_workers(workers)
         self.progress = progress
         self.mp_context = mp_context
+        self.core = core  #: simulation core knob; resolved at run()
         self._busy = 0.0  #: summed per-point seconds of the current run
 
     def run(
@@ -163,6 +169,10 @@ class ParallelSweepRunner:
         options_grid: Iterable[SimOptions],
         profile: Optional[ProfileSpec] = None,
     ) -> List[SimResult]:
+        # Resolve the core in the parent so the ambient use_core() /
+        # $REPRO_SIM_CORE context applies identically to the serial
+        # path and to pool workers (which see neither).
+        core = resolve_core(self.core)
         points = self._enumerate(traces, predictor_factories, options_grid)
         serial = self.workers <= 1 or len(points) <= 1
         effective = 1 if serial else min(self.workers, len(points))
@@ -175,9 +185,9 @@ class ParallelSweepRunner:
         start = time.perf_counter()
         with span("sweep", points=len(points), workers=effective):
             if serial:
-                results = self._run_serial(traces, points, profile)
+                results = self._run_serial(traces, points, profile, core)
             else:
-                results = self._run_parallel(traces, points, profile)
+                results = self._run_parallel(traces, points, profile, core)
         wall = time.perf_counter() - start
         if telemetry.enabled() and wall > 0.0:
             registry = telemetry.get_registry()
@@ -231,7 +241,7 @@ class ParallelSweepRunner:
                 )
             )
 
-    def _run_serial(self, traces, points, profile=None):
+    def _run_serial(self, traces, points, profile=None, core="object"):
         parent_registry = telemetry.get_registry()
         results = []
         for point, predictor in points:
@@ -247,7 +257,7 @@ class ParallelSweepRunner:
                 with use_registry(MetricsRegistry()) as registry:
                     result = simulate(
                         traces[point.workload], predictor, point.options,
-                        collector=collector,
+                        collector=collector, core=core,
                     )
             except Exception as exc:
                 raise SweepError(self._describe_failure(point, exc)) from exc
@@ -258,7 +268,7 @@ class ParallelSweepRunner:
             self._report(point, time.perf_counter() - start, len(results))
         return results
 
-    def _run_parallel(self, traces, points, profile=None):
+    def _run_parallel(self, traces, points, profile=None, core="object"):
         traces_blob = pickle.dumps(traces, protocol=pickle.HIGHEST_PROTOCOL)
         slots: List[Optional[SimResult]] = [None] * len(points)
         registries: List[Optional[MetricsRegistry]] = [None] * len(points)
@@ -283,6 +293,7 @@ class ParallelSweepRunner:
                         predictor,
                         point.options,
                         profile,
+                        core,
                     )
                 ] = point
                 submitted_at[point.index] = time.time()
@@ -350,6 +361,7 @@ def sweep(
     workers: Optional[int] = None,
     progress: Optional[ProgressCallback] = None,
     profile: Optional[ProfileSpec] = None,
+    core: Optional[str] = None,
 ) -> List[SimResult]:
     """Simulate every combination, with a *fresh* predictor per point.
 
@@ -369,8 +381,17 @@ def sweep(
     :func:`repro.profiler.merge_attributions` folds them (pass results
     in the returned canonical order) into one deterministic report —
     identical for serial and parallel runs.
+
+    ``core`` selects the simulation core for every point (argument >
+    ambient :func:`repro.sim.core.use_core` > ``$REPRO_SIM_CORE`` >
+    ``"object"``); it is resolved once in the parent, so pool workers
+    honour the caller's context.  Fast cores are bit-identical to the
+    object core and fall back to it per point where unsupported, so
+    results never depend on the knob.
     """
-    runner = ParallelSweepRunner(workers=workers, progress=progress)
+    runner = ParallelSweepRunner(
+        workers=workers, progress=progress, core=core
+    )
     return runner.run(
         traces, predictor_factories, options_grid, profile=profile
     )

@@ -1,0 +1,343 @@
+"""Differential equivalence: fast simulation cores vs the object core.
+
+The object-model loop in :mod:`repro.sim.driver` is the reference; the
+flat-kernel (``fast``) and numpy-batched (``numpy``) cores must be
+*bit-identical* to it — same mispredict counts, same per-class stats,
+same headline metrics, branch for branch.  This suite enforces that
+over the whole workload suite under both compile configs, over the
+paper's mechanism space on focused workloads, and over
+hypothesis-generated random traces, and proves the harness can
+localise a seeded divergence.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa.opcodes import BranchKind
+from repro.predictors import (
+    BimodalPredictor,
+    GAgPredictor,
+    GSelectPredictor,
+    GSharePredictor,
+    LocalPredictor,
+    PGUConfig,
+    SFPConfig,
+)
+from repro.sim import SimOptions, simulate, use_core
+from repro.sim import fastcore
+from repro.trace.container import Trace, TraceMeta
+from repro.workloads import get_workload, workload_names
+
+pytestmark = pytest.mark.fastcore
+
+FAST_CORES = ("fast", "numpy")
+
+#: One factory per kernelized predictor family.
+PREDICTORS = {
+    "bimodal": lambda: BimodalPredictor(entries=512),
+    "gshare": lambda: GSharePredictor(entries=1024, history_bits=10),
+    "gselect": lambda: GSelectPredictor(entries=1024, history_bits=5),
+    "gag": lambda: GAgPredictor(entries=1024),
+    "local": lambda: LocalPredictor(
+        entries=512, local_entries=64, history_bits=9
+    ),
+}
+
+#: The two headline configurations the full matrix runs under.
+MATRIX_OPTIONS = {
+    "plain": SimOptions(),
+    "sfp+pgu": SimOptions(sfp=SFPConfig(), pgu=PGUConfig()),
+}
+
+#: Mechanism-space variants exercised on focused workloads.
+VARIANT_OPTIONS = {
+    "sfp-pht": SimOptions(sfp=SFPConfig(update_pht=True)),
+    "sfp-nohist": SimOptions(sfp=SFPConfig(update_history=False)),
+    "sfp-true": SimOptions(sfp=SFPConfig(squash_known_true=True)),
+    "pgu0-guards": SimOptions(
+        pgu=PGUConfig(delay=0, which="guards_only")
+    ),
+    "delayed": SimOptions(delayed_update=True),
+    "delayed+sfp+pgu": SimOptions(
+        delayed_update=True, sfp=SFPConfig(), pgu=PGUConfig()
+    ),
+    "d0-delayed": SimOptions(distance=0, delayed_update=True),
+    "h8": SimOptions(history_bits=8),
+    "h64": SimOptions(history_bits=64),
+}
+
+
+def _assert_identical(ref, got, context):
+    assert got.headline_metrics() == ref.headline_metrics(), context
+    assert got.per_class == ref.per_class, context
+    assert got.branches == ref.branches, context
+    assert got.mispredictions == ref.mispredictions, context
+
+
+@pytest.mark.parametrize(
+    "hyperblocks", [True, False], ids=["hyperblock", "baseline"]
+)
+@pytest.mark.parametrize("workload", workload_names())
+def test_full_matrix(workload, hyperblocks):
+    """All workloads x both configs x every kernelized predictor."""
+    trace = get_workload(workload).trace(
+        scale="tiny", hyperblocks=hyperblocks
+    )
+    for oname, options in MATRIX_OPTIONS.items():
+        for label, factory in PREDICTORS.items():
+            ref = simulate(trace, factory(), options)
+            for core in FAST_CORES:
+                got = simulate(trace, factory(), options, core=core)
+                _assert_identical(
+                    ref, got,
+                    f"{workload}/{oname}/{label} on core {core}",
+                )
+
+
+@pytest.mark.parametrize("oname", sorted(VARIANT_OPTIONS))
+@pytest.mark.parametrize("workload", ["crc", "grep"])
+def test_option_variants(workload, oname):
+    """Every mechanism knob, checked branch-for-branch via the harness."""
+    trace = get_workload(workload).trace(scale="tiny", hyperblocks=True)
+    options = VARIANT_OPTIONS[oname]
+    for label, factory in PREDICTORS.items():
+        batchable = fastcore.batch_supported(
+            fastcore.kernel_from_predictor(factory())
+        )
+        for core in FAST_CORES:
+            if core == "numpy" and not batchable:
+                # No numpy backend (local histories are serial); the
+                # public knob falls back to the scalar fast loop, which
+                # the "fast" leg of this loop already checks.
+                continue
+            report = fastcore.differential_check(
+                trace, factory, options, core=core
+            )
+            assert report.matches, report.summary()
+            assert report.first_divergence is None
+
+
+def test_trained_state_matches_object_predictor():
+    """Replay leaves the kernel tables exactly as object training does."""
+    trace = get_workload("crc").trace(scale="tiny", hyperblocks=True)
+    predictor = GSharePredictor(entries=1024, history_bits=10)
+    simulate(trace, predictor, SimOptions())
+    for core in FAST_CORES:
+        kernel = fastcore.kernel_from_predictor(
+            GSharePredictor(entries=1024, history_bits=10)
+        )
+        fastcore.run_fast(
+            trace,
+            GSharePredictor(entries=1024, history_bits=10),
+            SimOptions(),
+            core=core,
+            kernel=kernel,
+            require=True,
+        )
+        assert kernel.table == list(predictor.counters.table), core
+
+
+class TestSeededDivergence:
+    """Corrupt one kernel table entry; the harness must localise it."""
+
+    def _first_read_entry(self, trace, kernel, options):
+        plan = fastcore.build_plan(trace, options)
+        return plan, int(
+            kernel.batch_index(plan.pc[:1], plan.ghr[:1])[0]
+        )
+
+    @pytest.mark.parametrize("core", FAST_CORES)
+    def test_reports_first_diverging_branch(self, core):
+        trace = get_workload("crc").trace(
+            scale="tiny", hyperblocks=True
+        )
+        factory = PREDICTORS["gshare"]
+        kernel = fastcore.kernel_from_predictor(factory())
+        _, entry = self._first_read_entry(trace, kernel, SimOptions())
+        # Flip the prediction the very first branch will read.
+        kernel.table[entry] = 3 if kernel.table[entry] < 2 else 0
+        report = fastcore.differential_check(
+            trace, factory, SimOptions(), core=core, kernel=kernel
+        )
+        assert not report.matches
+        assert report.first_divergence == 0
+        assert report.predictor == factory().name
+        assert str(report.first_divergence) in report.summary()
+        assert core in report.summary()
+
+    def test_clean_kernel_reports_agreement(self):
+        trace = get_workload("crc").trace(
+            scale="tiny", hyperblocks=True
+        )
+        factory = PREDICTORS["gshare"]
+        report = fastcore.differential_check(
+            trace, factory, SimOptions(), core="fast"
+        )
+        assert report.matches
+        assert report.first_divergence is None
+        assert "agree" in report.summary()
+
+
+# -- random-trace equivalence --------------------------------------------------
+
+
+def random_trace(draw):
+    """A structurally valid random trace: sorted dynamic indices,
+    guard-define links consistent with the predicate-define stream."""
+    n = draw(st.integers(min_value=1, max_value=60))
+    last_def = {}
+    branches = []
+    pdefs = []
+    idx = 0
+    for _ in range(n):
+        idx += draw(st.integers(min_value=1, max_value=5))
+        if draw(st.booleans()):
+            pred = draw(st.integers(min_value=1, max_value=3))
+            pdefs.append(
+                (
+                    draw(st.integers(min_value=0, max_value=15)),
+                    idx,
+                    draw(st.integers(min_value=0, max_value=1)),
+                    pred,
+                )
+            )
+            last_def[pred] = idx
+            idx += draw(st.integers(min_value=1, max_value=3))
+        guard = draw(st.integers(min_value=0, max_value=3))
+        kind = draw(
+            st.sampled_from(
+                [BranchKind.COND, BranchKind.LOOP, BranchKind.EXIT]
+            )
+        )
+        branches.append(
+            (
+                draw(st.integers(min_value=0, max_value=15)),
+                idx,
+                draw(st.booleans()),
+                guard,
+                last_def.get(guard, -1) if guard else -1,
+                kind,
+                draw(st.booleans()),
+            )
+        )
+    return Trace.from_lists(
+        b_pc=[b[0] for b in branches],
+        b_idx=[b[1] for b in branches],
+        b_taken=[b[2] for b in branches],
+        b_guard=[b[3] for b in branches],
+        b_guard_def=[b[4] for b in branches],
+        b_kind=[int(b[5]) for b in branches],
+        b_region=[b[6] for b in branches],
+        b_target=[0 for _ in branches],
+        d_pc=[d[0] for d in pdefs],
+        d_idx=[d[1] for d in pdefs],
+        d_value=[d[2] for d in pdefs],
+        d_pred=[d[3] for d in pdefs],
+        meta=TraceMeta(workload="random", instructions=idx + 1),
+    )
+
+
+RANDOM_OPTIONS = [
+    SimOptions(),
+    SimOptions(sfp=SFPConfig(), pgu=PGUConfig()),
+    SimOptions(delayed_update=True, sfp=SFPConfig(update_pht=True)),
+    SimOptions(distance=1, pgu=PGUConfig(delay=0)),
+]
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_random_trace_equivalence(data):
+    trace = random_trace(data.draw)
+    options = data.draw(st.sampled_from(RANDOM_OPTIONS))
+    label = data.draw(st.sampled_from(sorted(PREDICTORS)))
+    factory = PREDICTORS[label]
+    ref = simulate(trace, factory(), options)
+    for core in FAST_CORES:
+        got = simulate(trace, factory(), options, core=core)
+        _assert_identical(ref, got, f"random/{label} on core {core}")
+
+
+def test_empty_trace_all_cores():
+    trace = Trace.from_lists(
+        b_pc=[], b_idx=[], b_taken=[], b_guard=[], b_guard_def=[],
+        b_kind=[], b_region=[], b_target=[],
+        d_pc=[], d_idx=[], d_value=[], d_pred=[],
+        meta=TraceMeta(workload="empty", instructions=0),
+    )
+    ref = simulate(trace, PREDICTORS["gshare"](), SimOptions())
+    for core in FAST_CORES:
+        got = simulate(
+            trace, PREDICTORS["gshare"](), SimOptions(), core=core
+        )
+        assert got.branches == ref.branches == 0
+        assert got.mispredictions == ref.mispredictions == 0
+
+
+# -- core knob plumbing --------------------------------------------------------
+
+
+def test_unsupported_predictor_falls_back_to_object():
+    from repro.predictors import make_predictor
+
+    trace = get_workload("crc").trace(scale="tiny", hyperblocks=True)
+    predictor = make_predictor("tournament", entries=512)
+    ref = simulate(trace, make_predictor("tournament", entries=512),
+                   SimOptions())
+    got = simulate(trace, predictor, SimOptions(), core="fast")
+    assert got.headline_metrics() == ref.headline_metrics()
+
+
+def test_use_core_context_and_flags():
+    trace = get_workload("crc").trace(scale="tiny", hyperblocks=True)
+    opts = SimOptions(record_flags=True)
+    ref = simulate(trace, PREDICTORS["gshare"](), opts)
+    with use_core("fast"):
+        got = simulate(trace, PREDICTORS["gshare"](), opts)
+    assert np.array_equal(got.flags.correct, ref.flags.correct)
+    assert np.array_equal(got.flags.squashed, ref.flags.squashed)
+    assert np.array_equal(got.flags.misfetch, ref.flags.misfetch)
+
+
+def test_same_run_id_across_cores():
+    """sim_core lives in the envelope, so records hash identically."""
+    from repro import telemetry
+    from repro.runstore import RunRecorder
+
+    trace = get_workload("crc").trace(scale="tiny", hyperblocks=True)
+    records = {}
+    for core in ("object", "fast"):
+        recorder = RunRecorder("simulate", "crc", scale="tiny")
+        recorder.record.sim_core = core
+        with telemetry.use_registry(
+            telemetry.MetricsRegistry()
+        ) as registry:
+            result = simulate(
+                trace, PREDICTORS["gshare"](), SimOptions(), core=core
+            )
+        recorder.add_sim_result(result, prefix="crc")
+        records[core] = recorder.finish(registry)
+    assert records["object"].run_id == records["fast"].run_id
+    for core, record in records.items():
+        assert record.to_dict()["sim_core"] == core
+        assert "sim_core" not in record.payload()
+
+
+def test_fastcore_telemetry_counters_match_object():
+    from repro import telemetry
+
+    trace = get_workload("grep").trace(scale="tiny", hyperblocks=True)
+    options = SimOptions(sfp=SFPConfig(), pgu=PGUConfig())
+    snapshots = {}
+    for core in ("object", "fast", "numpy"):
+        with telemetry.use_registry(
+            telemetry.MetricsRegistry()
+        ) as registry:
+            simulate(trace, PREDICTORS["gshare"](), options, core=core)
+        snapshots[core] = registry.snapshot()["counters"]
+    for core in FAST_CORES:
+        got = dict(snapshots[core])
+        used = got.pop(f"sim.core.{core}")
+        assert used == 1
+        assert got == snapshots["object"], core

@@ -1,0 +1,105 @@
+"""Property tests for the flat predictor kernels.
+
+Drives random ``(pc, outcome)`` streams through an object predictor and
+its kernel side by side via the scalar ABI — every prediction must
+match at every step — and checks that kernel state survives a pickle
+round trip mid-stream (warm tables keep predicting identically).
+"""
+
+import pickle
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.predictors import (
+    BimodalPredictor,
+    GAgPredictor,
+    GSelectPredictor,
+    GSharePredictor,
+    LocalPredictor,
+)
+from repro.sim.fastcore import kernel_from_predictor
+
+pytestmark = pytest.mark.fastcore
+
+FACTORIES = {
+    "bimodal": lambda: BimodalPredictor(entries=64),
+    "gshare": lambda: GSharePredictor(entries=64, history_bits=6),
+    "gselect": lambda: GSelectPredictor(entries=64, history_bits=3),
+    "gag": lambda: GAgPredictor(entries=64),
+    "local": lambda: LocalPredictor(
+        entries=64, local_entries=8, history_bits=6
+    ),
+}
+
+HISTORY_MASK = (1 << 32) - 1
+
+#: A random branch stream: (pc, taken) pairs.
+streams = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=255), st.booleans()
+    ),
+    min_size=1,
+    max_size=200,
+)
+
+
+def run_pair(predictor, kernel, stream):
+    """Step both sides through the stream; history evolves as in the
+    driver (outcome shifted in at predict time, LSB most recent)."""
+    history = 0
+    for pc, taken in stream:
+        expected = predictor.predict(pc, history)
+        got, _ = kernel.predict(pc, history)
+        assert bool(got) == bool(expected), (pc, taken, history)
+        predictor.update(pc, history, taken)
+        kernel.train(pc, history, taken)
+        history = ((history << 1) | int(taken)) & HISTORY_MASK
+
+
+@pytest.mark.parametrize("label", sorted(FACTORIES))
+@settings(max_examples=25, deadline=None)
+@given(stream=streams)
+def test_kernel_matches_object_predictor(label, stream):
+    factory = FACTORIES[label]
+    run_pair(factory(), kernel_from_predictor(factory()), stream)
+
+
+@pytest.mark.parametrize("label", sorted(FACTORIES))
+@settings(max_examples=25, deadline=None)
+@given(stream=streams, split=st.integers(min_value=0, max_value=200))
+def test_pickle_roundtrip_mid_stream(label, stream, split):
+    """Pickling a warm kernel must not perturb later predictions."""
+    factory = FACTORIES[label]
+    predictor = factory()
+    kernel = kernel_from_predictor(factory())
+    split = min(split, len(stream))
+    run_pair(predictor, kernel, stream[:split])
+    kernel = pickle.loads(pickle.dumps(kernel))
+    run_pair(predictor, kernel, stream[split:])
+
+
+@pytest.mark.parametrize("label", sorted(FACTORIES))
+def test_state_roundtrip(label):
+    """state()/load_state() is an exact snapshot of a warm kernel."""
+    factory = FACTORIES[label]
+    warm = kernel_from_predictor(factory())
+    history = 0
+    for pc in range(300):
+        taken = (pc * 7) % 3 == 0
+        warm.train(pc & 255, history, taken)
+        history = ((history << 1) | int(taken)) & HISTORY_MASK
+    fresh = kernel_from_predictor(factory())
+    fresh.load_state(warm.state())
+    assert fresh.state() == warm.state()
+    for pc in range(64):
+        assert fresh.predict(pc, history) == warm.predict(pc, history)
+
+
+def test_load_state_rejects_wrong_size():
+    kernel = kernel_from_predictor(FACTORIES["gshare"]())
+    state = kernel.state()
+    bad = dict(state)
+    bad["table"] = bad["table"][:-1]
+    with pytest.raises(ValueError):
+        kernel.load_state(bad)

@@ -48,6 +48,13 @@ RECORD_KEYS = {
     "telemetry": dict,
 }
 
+#: Optional envelope keys: absent in records written before the field
+#: existed (the committed golden baseline predates ``sim_core``), but
+#: type-checked when present.
+OPTIONAL_KEYS = {
+    "sim_core": str,
+}
+
 
 def _fail(path, message):
     print(f"{path}: {message}", file=sys.stderr)
@@ -75,6 +82,19 @@ def check_record(path) -> int:
                 f"key {key!r} is {type(value).__name__}, "
                 f"expected {name}",
             )
+    for key, expected in OPTIONAL_KEYS.items():
+        if key not in document:
+            continue
+        value = document[key]
+        if isinstance(value, bool) or not isinstance(value, expected):
+            return _fail(
+                path,
+                f"key {key!r} is {type(value).__name__}, "
+                f"expected {expected.__name__}",
+            )
+    sim_core = document.get("sim_core", "")
+    if sim_core not in ("", "object", "fast", "numpy"):
+        return _fail(path, f"unknown sim_core {sim_core!r}")
     if document["schema"] != SCHEMA_VERSION:
         return _fail(
             path,

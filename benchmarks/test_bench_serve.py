@@ -1,0 +1,130 @@
+"""Latency and throughput gates for the ``repro serve`` daemon.
+
+Run with::
+
+    pytest benchmarks/test_bench_serve.py --benchmark-only -s
+
+Two acceptance gates, one live daemon (inline executor, private store):
+
+* ``bench_serve_memoization_gate`` — a warm cache hit (the run-history
+  store lookup path) must answer at least 20x faster than the cold
+  simulate that populated it;
+* the same gate measures sustained memoized throughput over concurrent
+  keep-alive connections, which must clear 200 req/s.
+
+Both numbers ride out through :func:`emit_gate`, so
+``$REPRO_BENCH_JSON`` (committed as ``BENCH_serve.json``) and the
+run-history store track the daemon's service-latency trend.
+"""
+
+import asyncio
+import statistics
+import tempfile
+import time
+
+from benchmarks.conftest import emit_gate, run_once
+from repro.serve import (
+    AsyncServeClient,
+    ServeClient,
+    ServeConfig,
+    ServerThread,
+)
+
+#: Cold request scale: big enough that one simulation dwarfs the HTTP
+#: round-trip, so the speedup measures memoization, not parsing.
+SCALE = "small"
+
+#: Warm-hit latency samples (sequential, one connection).
+WARM_SAMPLES = 50
+
+#: Sustained-throughput phase: memoized requests over N connections.
+THROUGHPUT_REQUESTS = 600
+CONCURRENCY = 16
+
+#: Floors. Measured locally: speedup ~100x, throughput ~2000 req/s;
+#: the floors leave generous room for noisy CI machines.
+SPEEDUP_FLOOR = 20.0
+RPS_FLOOR = 200.0
+
+REQUEST = {"workload": "crc", "scale": SCALE}
+
+
+async def _memoized_rps(port: int) -> float:
+    """Fan identical (memoized) requests over keep-alive connections."""
+    queue = asyncio.Queue()
+    for _ in range(THROUGHPUT_REQUESTS):
+        queue.put_nowait(REQUEST)
+
+    async def worker():
+        async with AsyncServeClient(port=port) as client:
+            while True:
+                try:
+                    body = queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    return
+                status, reply = await client.submit("simulate", **body)
+                assert status == 200 and reply["cached"] is True
+
+    started = time.perf_counter()
+    await asyncio.gather(*(worker() for _ in range(CONCURRENCY)))
+    return THROUGHPUT_REQUESTS / (time.perf_counter() - started)
+
+
+def bench_serve_memoization_gate(benchmark):
+    """Warm hits >= 20x faster than the cold run; >= 200 req/s."""
+    measured = {}
+
+    def run():
+        with tempfile.TemporaryDirectory() as tmp:
+            config = ServeConfig(port=0, workers=0, store=tmp)
+            with ServerThread(config) as handle:
+                with ServeClient(port=handle.port,
+                                 timeout=600.0) as client:
+                    started = time.perf_counter()
+                    status, cold = client.simulate(**REQUEST)
+                    cold_seconds = time.perf_counter() - started
+                    assert status == 200
+                    assert cold["cached"] is False
+
+                    warm = []
+                    for _ in range(WARM_SAMPLES):
+                        started = time.perf_counter()
+                        status, hit = client.simulate(**REQUEST)
+                        warm.append(time.perf_counter() - started)
+                        assert status == 200
+                        assert hit["cached"] is True
+                    # The hit body matches the cold body bit for bit.
+                    assert hit["run_id"] == cold["run_id"]
+                    assert hit["metrics"] == cold["metrics"]
+
+                rps = asyncio.run(_memoized_rps(handle.port))
+        measured.update(
+            cold_seconds=cold_seconds,
+            warm_p50_seconds=statistics.median(warm),
+            memoized_rps=rps,
+        )
+
+    run_once(benchmark, run)
+    speedup = measured["cold_seconds"] / measured["warm_p50_seconds"]
+    emit_gate(
+        "serve_memoization",
+        cold_seconds=measured["cold_seconds"],
+        warm_p50_seconds=measured["warm_p50_seconds"],
+        speedup=speedup,
+        memoized_requests_per_second=measured["memoized_rps"],
+    )
+    print(
+        f"\ncold {measured['cold_seconds'] * 1000:.1f}ms, "
+        f"warm p50 {measured['warm_p50_seconds'] * 1000:.2f}ms, "
+        f"speedup {speedup:.0f}x; memoized throughput "
+        f"{measured['memoized_rps']:.0f} req/s "
+        f"({CONCURRENCY} connections)"
+    )
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"warm-cache speedup {speedup:.1f}x is below the "
+        f"{SPEEDUP_FLOOR:.0f}x floor"
+    )
+    assert measured["memoized_rps"] >= RPS_FLOOR, (
+        f"memoized throughput {measured['memoized_rps']:.0f} req/s is "
+        f"below the {RPS_FLOOR:.0f} req/s floor"
+    )

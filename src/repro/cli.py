@@ -19,6 +19,7 @@
     repro history diff HEAD~0 --baseline docs/results/baseline-run.json
     repro history trend --metric 'E2.MEAN.*'
     repro history gc --keep 50
+    repro serve --port 8023 --workers 4   # prediction-as-a-service daemon
     repro clear-cache
 
 ``run``, ``run-all`` and ``simulate`` accept ``--metrics out.jsonl``
@@ -640,6 +641,26 @@ def _cmd_history(args) -> int:
     raise AssertionError(f"unhandled history command {command!r}")
 
 
+def _cmd_serve(args) -> int:
+    from repro.serve import ServeConfig, run_server
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        core=args.core,
+        store=args.store,
+        max_queue_depth=args.queue_depth,
+        job_timeout=args.job_timeout,
+        idle_timeout=args.idle_timeout,
+    )
+    # The daemon runs under one long-lived registry; with --metrics the
+    # final serve.* snapshot lands in the JSONL stream on shutdown,
+    # exactly like every other instrumented subcommand.
+    with _metrics_scope(args) as registry:
+        return run_server(config, registry=registry)
+
+
 def _cmd_clear_cache(args) -> int:
     removed = TraceCache().clear()
     print(f"removed {removed} cached trace(s)")
@@ -892,6 +913,39 @@ def build_parser() -> argparse.ArgumentParser:
                     help="list victims without deleting")
     _store_args(hp, filters=False)
 
+    p = sub.add_parser(
+        "serve",
+        help="run the prediction-as-a-service HTTP daemon",
+    )
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default %(default)s)")
+    p.add_argument("--port", type=int, default=8023,
+                   help="bind port, 0 = ephemeral (default %(default)s)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="simulation pool processes; 0 runs jobs inline "
+                        "on a thread (default %(default)s)")
+    p.add_argument("--core", default=None, choices=CORES,
+                   help="simulation core for every job (default "
+                        "$REPRO_SIM_CORE or object); resolved once and "
+                        "threaded into pool workers")
+    p.add_argument("--store", metavar="DIR",
+                   help="run-history store doubling as the result cache "
+                        "(default $REPRO_RUNSTORE or .repro/runs)")
+    p.add_argument("--queue-depth", type=int, default=256,
+                   help="queued-job admission limit before HTTP 429 "
+                        "(default %(default)s)")
+    p.add_argument("--job-timeout", type=float, default=600.0,
+                   metavar="S",
+                   help="per-job execution ceiling in seconds "
+                        "(default %(default)s)")
+    p.add_argument("--idle-timeout", type=float, default=60.0,
+                   metavar="S",
+                   help="keep-alive connection idle ceiling in seconds "
+                        "(default %(default)s)")
+    p.add_argument("--metrics", metavar="PATH",
+                   help="append serve telemetry events (JSONL) to PATH "
+                        "on shutdown")
+
     p = sub.add_parser("telemetry-report",
                        help="summarise a --metrics JSONL file")
     p.add_argument("path", help="JSONL file written by --metrics")
@@ -918,6 +972,7 @@ _HANDLERS = {
     "lint": _cmd_lint,
     "disasm": _cmd_disasm,
     "history": _cmd_history,
+    "serve": _cmd_serve,
     "telemetry-report": _cmd_telemetry_report,
     "clear-cache": _cmd_clear_cache,
 }

@@ -40,11 +40,14 @@ from repro.runstore.record import (
     metrics_from_experiment,
     metrics_from_sim_result,
     payload_hash,
+    request_key,
+    request_payload,
     sweep_throughput,
     utc_timestamp,
 )
 from repro.runstore.store import (
     DEFAULT_ROOT,
+    IF_EXISTS,
     STORE_ENV,
     RunStore,
     load_record,
@@ -63,6 +66,7 @@ __all__ = [
     "DEFAULT_ROOT",
     "DEFAULT_SIGMA",
     "DEFAULT_WINDOW",
+    "IF_EXISTS",
     "KINDS",
     "MetricDelta",
     "MetricNoise",
@@ -84,6 +88,8 @@ __all__ = [
     "metrics_from_sim_result",
     "payload_hash",
     "render_diff",
+    "request_key",
+    "request_payload",
     "render_trend_json",
     "render_trend_markdown",
     "resolve_root",

@@ -31,7 +31,7 @@ from typing import Dict, List, Optional
 SCHEMA_VERSION = 1
 
 #: Record kinds the harness emits today.
-KINDS = ("experiment", "simulate", "sweep", "benchmark")
+KINDS = ("experiment", "simulate", "sweep", "benchmark", "profile")
 
 
 def canonical_json(payload: dict) -> str:
@@ -44,6 +44,31 @@ def canonical_json(payload: dict) -> str:
 def payload_hash(payload: dict) -> str:
     """sha256 (hex) of the canonical payload serialisation."""
     return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
+
+
+def request_payload(payload: dict) -> dict:
+    """The *request* layer of a payload: identity minus measured numbers.
+
+    A run's ``run_id`` covers the full payload including ``metrics``, so
+    it cannot be computed before the run executes.  Everything else in
+    the payload — kind, label, scale, compile config, matrix — is a pure
+    function of the *request*, and because simulation is deterministic,
+    equal request layers imply equal metrics and hence equal run ids.
+    ``repro.serve`` memoizes on exactly this layer: canonicalize the
+    incoming request into the payload the run *would* record, hash it
+    without metrics, and an identical request becomes a store lookup.
+    """
+    return {key: value for key, value in payload.items()
+            if key != "metrics"}
+
+
+def request_key(payload: dict) -> str:
+    """sha256 prefix (16 hex chars) of the request layer of ``payload``.
+
+    Accepts either a full payload (metrics are excluded before hashing)
+    or an already-stripped request payload; both hash identically.
+    """
+    return payload_hash(request_payload(payload))[:16]
 
 
 def git_state(cwd=None) -> dict:
@@ -117,6 +142,10 @@ class RunRecord:
 
     def content_hash(self) -> str:
         return payload_hash(self.payload())
+
+    def request_key(self) -> str:
+        """Memoization key: hash of the payload minus ``metrics``."""
+        return request_key(self.payload())
 
     def seal(self, *, epoch: Optional[float] = None,
              cwd=None) -> "RunRecord":

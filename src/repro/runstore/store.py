@@ -16,13 +16,22 @@ deletion path and only ever drops whole records, oldest first.
 import json
 import os
 import tempfile
+from contextlib import contextmanager
 from pathlib import Path
 from typing import List, Optional
 
 from repro.runstore.record import RunRecord
 
+try:  # POSIX advisory locks; absent on some platforms.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
+
 #: Environment variable overriding the default store root.
 STORE_ENV = "REPRO_RUNSTORE"
+
+#: Accepted ``RunStore.add`` collision policies.
+IF_EXISTS = ("append", "skip", "replace")
 
 #: Default store root, relative to the working directory.
 DEFAULT_ROOT = ".repro/runs"
@@ -44,11 +53,51 @@ class RunStore:
 
     # -- writing ----------------------------------------------------------
 
-    def add(self, record: RunRecord) -> Path:
-        """Atomically publish a sealed record; returns its path."""
+    def add(self, record: RunRecord, if_exists: str = "append") -> Path:
+        """Atomically publish a sealed record; returns its path.
+
+        ``if_exists`` decides what happens when the store already holds
+        a record with the same ``run_id`` (same content, earlier
+        timestamp — e.g. two daemon workers finishing the same memoized
+        job, or a re-recorded identical run):
+
+        * ``"append"`` — the historical behaviour: every invocation gets
+          its own timestamped file, duplicates included.  Right for the
+          run-*history* reading of the store.
+        * ``"skip"`` — first writer wins: if any record with this run id
+          exists, nothing is written and the existing (newest) path is
+          returned.  Right for the result-*cache* reading: N racing
+          writers of identical content perform exactly one write.
+        * ``"replace"`` — last writer wins: the new file is published
+          and any older files with the same run id are removed, so at
+          most one record per run id survives.
+
+        The ``skip``/``replace`` paths serialise racing writers of the
+        *same* run id with a per-run-id advisory file lock (the same
+        pattern the trace cache uses per key); the publish itself stays
+        the atomic temp-file + ``os.replace`` it always was, so readers
+        never observe a partial record under any policy.
+        """
+        if if_exists not in IF_EXISTS:
+            raise ValueError(
+                f"if_exists must be one of {IF_EXISTS}, got {if_exists!r}"
+            )
         if not record.run_id or not record.timestamp:
             record.seal()
         self.root.mkdir(parents=True, exist_ok=True)
+        if if_exists == "append":
+            return self._publish(record)
+        with self._run_id_lock(record.run_id):
+            existing = self.paths_for(record.run_id)
+            if existing and if_exists == "skip":
+                return existing[-1]
+            path = self._publish(record)
+            for victim in existing:
+                if victim != path:
+                    victim.unlink(missing_ok=True)
+            return path
+
+    def _publish(self, record: RunRecord) -> Path:
         path = self.root / f"{record.timestamp}-{record.run_id}.json"
         document = json.dumps(record.to_dict(), indent=2, sort_keys=True)
         fd, tmp_name = tempfile.mkstemp(
@@ -66,6 +115,20 @@ class RunStore:
             raise
         return path
 
+    @contextmanager
+    def _run_id_lock(self, run_id: str):
+        """Exclusive per-run-id advisory lock (no-op where unsupported)."""
+        if fcntl is None:  # pragma: no cover - non-POSIX fallback
+            yield
+            return
+        lock_path = self.root / f".lock-{run_id}"
+        with open(lock_path, "w") as handle:
+            fcntl.flock(handle, fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle, fcntl.LOCK_UN)
+
     # -- reading ----------------------------------------------------------
 
     def paths(self) -> List[Path]:
@@ -76,6 +139,20 @@ class RunStore:
             p for p in self.root.iterdir()
             if p.suffix == ".json" and not p.name.startswith(".")
         )
+
+    def paths_for(self, run_id: str) -> List[Path]:
+        """Record files holding ``run_id`` exactly, oldest first."""
+        suffix = f"-{run_id}"
+        return [p for p in self.paths() if p.stem.endswith(suffix)]
+
+    def contains(self, run_id: str) -> bool:
+        """Whether any stored record has exactly this run id."""
+        return bool(self.paths_for(run_id))
+
+    def find(self, run_id: str) -> Optional[RunRecord]:
+        """The newest stored record with exactly this run id, if any."""
+        paths = self.paths_for(run_id)
+        return load_record(paths[-1]) if paths else None
 
     def records(self, kind: Optional[str] = None,
                 label: Optional[str] = None) -> List[RunRecord]:

@@ -1,0 +1,65 @@
+"""Prediction-as-a-service: the ``repro serve`` daemon.
+
+A long-running asyncio HTTP/JSON server that turns the simulation
+harness into shared infrastructure: one warm trace cache and one
+persistent process pool amortized across every request, and the
+run-history store doubling as a content-addressed result cache —
+an identical request is a :class:`~repro.runstore.RunStore` lookup,
+not a re-simulation.
+
+Layers (each its own module):
+
+* :mod:`repro.serve.protocol` — request validation + canonicalization;
+  the request-key/run-id memoization contract.
+* :mod:`repro.serve.jobqueue` — bounded priority queue with per-client
+  fairness, 429 backpressure and cancellation.
+* :mod:`repro.serve.executor` — picklable job bodies run inside the
+  pool; per-worker warm trace memo; core-knob threading.
+* :mod:`repro.serve.server` — the HTTP daemon, dispatch loops,
+  memoization and ``serve.*`` telemetry.
+* :mod:`repro.serve.client` — sync and asyncio keep-alive clients.
+
+See ``docs/serve.md`` for the API reference and semantics, and
+``tools/loadtest_serve.py`` for the load-test harness.
+"""
+
+from repro.serve.client import AsyncServeClient, ServeClient, ServeUnavailable
+from repro.serve.executor import execute_job, init_worker
+from repro.serve.jobqueue import Job, JobQueue, QueueFull
+from repro.serve.protocol import (
+    OPS,
+    JobSpec,
+    ProtocolError,
+    RequestControls,
+    canonicalize,
+    job_response,
+    parse_controls,
+)
+from repro.serve.server import (
+    ServeConfig,
+    ServeServer,
+    ServerThread,
+    run_server,
+)
+
+__all__ = [
+    "AsyncServeClient",
+    "Job",
+    "JobQueue",
+    "JobSpec",
+    "OPS",
+    "ProtocolError",
+    "QueueFull",
+    "RequestControls",
+    "ServeClient",
+    "ServeConfig",
+    "ServeServer",
+    "ServeUnavailable",
+    "ServerThread",
+    "canonicalize",
+    "execute_job",
+    "init_worker",
+    "job_response",
+    "parse_controls",
+    "run_server",
+]

@@ -1,0 +1,208 @@
+"""Clients for the serve daemon: one sync, one asyncio.
+
+:class:`ServeClient` wraps :mod:`http.client` with a persistent
+keep-alive connection — the convenient interface for tests, scripts and
+the CLI.  :class:`AsyncServeClient` speaks the same six routes over raw
+``asyncio`` streams and is what the load-test harness fans out by the
+hundred; each instance owns one keep-alive connection and is safe for
+*sequential* use from one task.
+
+Both return ``(status, body)`` pairs — the service always answers JSON —
+and raise :class:`ServeUnavailable` when the daemon cannot be reached.
+"""
+
+import http.client
+import json
+import socket
+from typing import Optional, Tuple
+
+Reply = Tuple[int, dict]
+
+
+class ServeUnavailable(ConnectionError):
+    """The daemon could not be reached (refused, reset, timeout)."""
+
+
+class ServeClient:
+    """Synchronous keep-alive client."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8023,
+                 timeout: float = 630.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def request(self, method: str, path: str,
+                body: Optional[dict] = None) -> Reply:
+        payload = None
+        headers = {}
+        if body is not None:
+            payload = json.dumps(body).encode()
+            headers["Content-Type"] = "application/json"
+        # One transparent retry on a fresh connection: a keep-alive
+        # socket the server closed (idle timeout) raises on reuse.
+        for attempt in (0, 1):
+            if self._conn is None:
+                self._conn = http.client.HTTPConnection(
+                    self.host, self.port, timeout=self.timeout
+                )
+            try:
+                self._conn.request(method, path, body=payload,
+                                   headers=headers)
+                response = self._conn.getresponse()
+                data = response.read()
+                return response.status, _decode(data)
+            except (ConnectionError, http.client.HTTPException,
+                    socket.timeout, OSError) as exc:
+                self.close()
+                if attempt:
+                    raise ServeUnavailable(
+                        f"{self.host}:{self.port}: {exc}"
+                    ) from exc
+
+    # -- route helpers ----------------------------------------------------
+
+    def submit(self, op: str, **fields) -> Reply:
+        return self.request("POST", f"/v1/{op}", fields)
+
+    def simulate(self, **fields) -> Reply:
+        return self.submit("simulate", **fields)
+
+    def sweep(self, **fields) -> Reply:
+        return self.submit("sweep", **fields)
+
+    def profile(self, **fields) -> Reply:
+        return self.submit("profile", **fields)
+
+    def job(self, job_id: str) -> Reply:
+        return self.request("GET", f"/v1/jobs/{job_id}")
+
+    def cancel(self, job_id: str) -> Reply:
+        return self.request("DELETE", f"/v1/jobs/{job_id}")
+
+    def run(self, run_id: str) -> Reply:
+        return self.request("GET", f"/v1/runs/{run_id}")
+
+    def healthz(self) -> Reply:
+        return self.request("GET", "/v1/healthz")
+
+    def metrics(self) -> Reply:
+        return self.request("GET", "/v1/metrics")
+
+
+class AsyncServeClient:
+    """Asyncio keep-alive client (one connection, sequential requests)."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8023):
+        self.host = host
+        self.port = port
+        self._reader = None
+        self._writer = None
+
+    async def _connect(self) -> None:
+        import asyncio
+
+        try:
+            self._reader, self._writer = await asyncio.open_connection(
+                self.host, self.port
+            )
+        except OSError as exc:
+            raise ServeUnavailable(
+                f"{self.host}:{self.port}: {exc}"
+            ) from exc
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._reader = self._writer = None
+
+    async def __aenter__(self) -> "AsyncServeClient":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    async def request(self, method: str, path: str,
+                      body: Optional[dict] = None) -> Reply:
+        payload = b""
+        if body is not None:
+            payload = json.dumps(body).encode()
+        for attempt in (0, 1):
+            if self._writer is None:
+                await self._connect()
+            try:
+                return await self._roundtrip(method, path, payload)
+            except (ConnectionError, EOFError, OSError) as exc:
+                await self.close()
+                if attempt:
+                    raise ServeUnavailable(
+                        f"{self.host}:{self.port}: {exc}"
+                    ) from exc
+
+    async def _roundtrip(self, method, path, payload) -> Reply:
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            "Connection: keep-alive\r\n\r\n"
+        )
+        self._writer.write(head.encode("latin-1") + payload)
+        await self._writer.drain()
+        status_line = await self._reader.readline()
+        if not status_line:
+            raise EOFError("server closed the connection")
+        status = int(status_line.split()[1])
+        length = 0
+        keep_alive = True
+        while True:
+            header = await self._reader.readline()
+            if header in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = header.decode("latin-1").partition(":")
+            name = name.strip().lower()
+            if name == "content-length":
+                length = int(value.strip())
+            elif name == "connection":
+                keep_alive = value.strip().lower() != "close"
+        data = await self._reader.readexactly(length) if length else b""
+        if not keep_alive:
+            await self.close()
+        return status, _decode(data)
+
+    async def submit(self, op: str, **fields) -> Reply:
+        return await self.request("POST", f"/v1/{op}", fields)
+
+    async def job(self, job_id: str) -> Reply:
+        return await self.request("GET", f"/v1/jobs/{job_id}")
+
+    async def metrics(self) -> Reply:
+        return await self.request("GET", "/v1/metrics")
+
+    async def healthz(self) -> Reply:
+        return await self.request("GET", "/v1/healthz")
+
+
+def _decode(data: bytes) -> dict:
+    if not data:
+        return {}
+    try:
+        return json.loads(data)
+    except json.JSONDecodeError:
+        return {"raw": data.decode("latin-1", "replace")}

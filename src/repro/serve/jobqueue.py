@@ -1,0 +1,188 @@
+"""The daemon's job queue: priorities, per-client fairness, backpressure.
+
+Scheduling is two-level:
+
+* **priority** — jobs carry a small integer priority (0 most urgent);
+  the dispatcher always drains the lowest occupied priority band first.
+* **fairness** — inside one band each client gets its own FIFO lane and
+  lanes are served round-robin, so a client that floods the queue with
+  hundreds of jobs cannot starve a client that submitted one (it waits
+  behind at most one job per competing client, not behind the flood).
+
+Depth is bounded: :meth:`JobQueue.put` raises :class:`QueueFull` once
+``max_depth`` jobs are queued-but-not-dispatched, which the server maps
+to HTTP 429 with a ``Retry-After`` hint — load is shed at admission,
+before it costs simulation time.
+
+Cancellation is lazy: a cancelled job stays in its lane but is skipped
+(and dropped) when the dispatcher reaches it, keeping cancel O(1).
+"""
+
+import asyncio
+import itertools
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Optional
+
+from repro.serve.protocol import JobSpec, RequestControls
+
+#: Job lifecycle states.
+QUEUED, RUNNING, DONE, FAILED, CANCELLED = (
+    "queued", "running", "done", "failed", "cancelled"
+)
+
+#: States a job can no longer leave.
+TERMINAL = (DONE, FAILED, CANCELLED)
+
+
+class QueueFull(RuntimeError):
+    """Admission refused: the queue is at ``max_depth``."""
+
+
+@dataclass
+class Job:
+    """One admitted request, from queue to terminal state."""
+
+    id: str
+    spec: JobSpec
+    controls: RequestControls
+    client: str  #: fairness lane (request field or peer address)
+    state: str = QUEUED
+    #: monotonic timestamps; 0.0 until the transition happens
+    enqueued_at: float = 0.0
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    #: deterministic result body (protocol.job_response) once DONE
+    result: Optional[dict] = None
+    run_id: str = ""
+    error: str = ""
+    error_code: str = ""
+    #: requests currently blocked on this job (coalesced duplicates)
+    waiters: int = 0
+    #: physically sitting in a queue lane (False once dispatched, even
+    #: if the dispatcher has not yet marked it RUNNING)
+    in_queue: bool = False
+    done_event: asyncio.Event = field(default_factory=asyncio.Event)
+
+    @property
+    def queue_seconds(self) -> float:
+        if not self.started_at:
+            return 0.0
+        return self.started_at - self.enqueued_at
+
+    @property
+    def exec_seconds(self) -> float:
+        if not (self.started_at and self.finished_at):
+            return 0.0
+        return self.finished_at - self.started_at
+
+    def describe(self) -> dict:
+        """Status body for ``GET /v1/jobs/<id>``."""
+        body = {
+            "job_id": self.id,
+            "op": self.spec.op,
+            "request_key": self.spec.request_key,
+            "state": self.state,
+            "priority": self.controls.priority,
+            "client": self.client,
+            "queue_seconds": round(self.queue_seconds, 6),
+            "exec_seconds": round(self.exec_seconds, 6),
+        }
+        if self.state == DONE and self.result is not None:
+            body["result"] = self.result
+        if self.state == FAILED:
+            body["error"] = {
+                "code": self.error_code or "job_failed",
+                "message": self.error,
+            }
+        return body
+
+
+class JobQueue:
+    """Bounded, priority-banded, client-fair asyncio job queue."""
+
+    def __init__(self, max_depth: int = 256):
+        if max_depth < 1:
+            raise ValueError(
+                f"max_depth must be >= 1, got {max_depth}"
+            )
+        self.max_depth = max_depth
+        #: priority -> client -> FIFO lane; OrderedDict gives the
+        #: round-robin rotation order inside the band.
+        self._bands: Dict[int, "OrderedDict[str, Deque[Job]]"] = {}
+        self._depth = 0  #: live (non-cancelled) queued jobs
+        self._available = asyncio.Event()
+        self._ids = itertools.count(1)
+
+    def next_id(self) -> str:
+        return f"job-{next(self._ids):06d}"
+
+    @property
+    def depth(self) -> int:
+        return self._depth
+
+    def put(self, job: Job) -> None:
+        """Admit ``job`` or raise :class:`QueueFull`."""
+        if self._depth >= self.max_depth:
+            raise QueueFull(
+                f"queue depth {self._depth} at limit {self.max_depth}"
+            )
+        band = self._bands.setdefault(
+            job.controls.priority, OrderedDict()
+        )
+        band.setdefault(job.client, deque()).append(job)
+        job.enqueued_at = time.monotonic()
+        job.in_queue = True
+        self._depth += 1
+        self._available.set()
+
+    async def get(self) -> Job:
+        """Next runnable job: lowest priority band, round-robin lanes."""
+        while True:
+            job = self._pop()
+            if job is not None:
+                return job
+            self._available.clear()
+            await self._available.wait()
+
+    def _pop(self) -> Optional[Job]:
+        for priority in sorted(self._bands):
+            band = self._bands[priority]
+            while band:
+                client, lane = next(iter(band.items()))
+                # Rotate the lane to the back of the band first, so the
+                # next pop in this band serves a different client even
+                # if this lane still has jobs.
+                band.move_to_end(client)
+                while lane:
+                    job = lane.popleft()
+                    if not lane:
+                        del band[client]
+                    job.in_queue = False
+                    if job.state == CANCELLED:
+                        continue  # lazily dropped
+                    self._depth -= 1
+                    return job
+                if client in band and not band[client]:
+                    del band[client]
+            if not band:
+                del self._bands[priority]
+        return None
+
+    def cancel(self, job: Job) -> bool:
+        """Cancel a queued job (running/terminal jobs are not touched).
+
+        Works both for jobs still sitting in a lane (their admission
+        slot is freed immediately; the dispatcher drops them lazily)
+        and for jobs already popped but not yet running — e.g. held at
+        the pause gate — whose slot was freed at pop time.
+        """
+        if job.state != QUEUED:
+            return False
+        job.state = CANCELLED
+        job.finished_at = time.monotonic()
+        if job.in_queue:
+            self._depth -= 1
+        job.done_event.set()
+        return True

@@ -1,0 +1,166 @@
+"""Job queue semantics: priority bands, client fairness, backpressure.
+
+All tests drive the queue from a single event loop via ``asyncio.run``;
+``get`` never blocks in these scenarios because every pop follows a put.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.serve.jobqueue import (
+    CANCELLED,
+    QUEUED,
+    Job,
+    JobQueue,
+    QueueFull,
+)
+from repro.serve.protocol import RequestControls, canonicalize
+
+
+def make_job(queue, client="c1", priority=5, entries=4096):
+    # Distinct entries give distinct request keys, like real traffic.
+    spec = canonicalize(
+        "simulate", {"workload": "crc", "entries": entries}
+    )
+    return Job(
+        id=queue.next_id(), spec=spec,
+        controls=RequestControls(priority=priority, client=client),
+        client=client,
+    )
+
+
+def drain(queue, count):
+    async def run():
+        return [await queue.get() for _ in range(count)]
+
+    return asyncio.run(run())
+
+
+def test_fifo_within_one_client():
+    async def run():
+        queue = JobQueue()
+        jobs = [make_job(queue, entries=1 << n) for n in range(3)]
+        for job in jobs:
+            queue.put(job)
+        return [await queue.get() for _ in jobs], jobs
+
+    popped, jobs = asyncio.run(run())
+    assert [j.id for j in popped] == [j.id for j in jobs]
+
+
+def test_lower_priority_band_drains_first():
+    async def run():
+        queue = JobQueue()
+        low = make_job(queue, priority=9, entries=16)
+        urgent = make_job(queue, priority=0, entries=32)
+        mid = make_job(queue, priority=5, entries=64)
+        for job in (low, urgent, mid):
+            queue.put(job)
+        return [await queue.get() for _ in range(3)]
+
+    popped = asyncio.run(run())
+    assert [j.controls.priority for j in popped] == [0, 5, 9]
+
+
+def test_round_robin_between_clients_in_a_band():
+    """A flooding client waits behind one job per competitor, not none."""
+
+    async def run():
+        queue = JobQueue()
+        flood = [
+            make_job(queue, client="flood", entries=1 << n)
+            for n in range(4, 8)
+        ]
+        single = make_job(queue, client="single", entries=1 << 10)
+        for job in flood:
+            queue.put(job)
+        queue.put(single)
+        return [await queue.get() for _ in range(5)]
+
+    popped = asyncio.run(run())
+    order = [j.client for j in popped]
+    # One flood job is served first (it was there first), then the
+    # single-job client gets its turn, then the rest of the flood.
+    assert order == ["flood", "single", "flood", "flood", "flood"]
+
+
+def test_depth_limit_raises_queue_full():
+    async def run():
+        queue = JobQueue(max_depth=2)
+        queue.put(make_job(queue, entries=16))
+        queue.put(make_job(queue, entries=32))
+        assert queue.depth == 2
+        with pytest.raises(QueueFull):
+            queue.put(make_job(queue, entries=64))
+        # Draining one readmits one.
+        await queue.get()
+        queue.put(make_job(queue, entries=64))
+        assert queue.depth == 2
+
+    asyncio.run(run())
+
+
+def test_cancelled_jobs_are_skipped_and_freed():
+    async def run():
+        queue = JobQueue(max_depth=2)
+        victim = make_job(queue, entries=16)
+        survivor = make_job(queue, entries=32)
+        queue.put(victim)
+        queue.put(survivor)
+        assert queue.cancel(victim)
+        # Cancel frees the admission slot immediately...
+        assert queue.depth == 1
+        queue.put(make_job(queue, entries=64))
+        # ...and the dispatcher never sees the victim.
+        first = await queue.get()
+        assert first.id == survivor.id
+        assert victim.state == CANCELLED
+        assert victim.done_event.is_set()
+
+    asyncio.run(run())
+
+
+def test_cancel_only_applies_to_queued_jobs():
+    async def run():
+        queue = JobQueue()
+        job = make_job(queue)
+        queue.put(job)
+        popped = await queue.get()
+        popped.state = "running"
+        assert not queue.cancel(popped)
+        assert popped.state == "running"
+
+    asyncio.run(run())
+
+
+def test_get_waits_for_a_put():
+    async def run():
+        queue = JobQueue()
+        job = make_job(queue)
+
+        async def producer():
+            await asyncio.sleep(0.01)
+            queue.put(job)
+
+        asyncio.ensure_future(producer())
+        popped = await asyncio.wait_for(queue.get(), timeout=5.0)
+        assert popped.id == job.id
+
+    asyncio.run(run())
+
+
+def test_job_describe_shape():
+    queue = JobQueue()
+    job = make_job(queue)
+    body = job.describe()
+    assert body["job_id"] == job.id
+    assert body["state"] == QUEUED
+    assert body["op"] == "simulate"
+    assert body["request_key"] == job.spec.request_key
+    assert "result" not in body
+
+
+def test_max_depth_validation():
+    with pytest.raises(ValueError):
+        JobQueue(max_depth=0)

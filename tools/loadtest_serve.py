@@ -1,0 +1,257 @@
+"""Async load-test harness for the ``repro serve`` daemon.
+
+Drives a live daemon with a two-phase mixed workload over N concurrent
+keep-alive connections:
+
+1. **mixed phase** — a deterministic mix of distinct simulate / sweep /
+   profile requests (cache misses that exercise the queue and the pool)
+   interleaved with repeats (hits and coalesced in-flight duplicates);
+2. **duplicate phase** — every request re-issues a request from phase 1,
+   so a correct daemon serves *all* of it from the run-history store:
+   the phase asserts a 100% cache-hit ratio and zero additional
+   simulator invocations (``sim.*`` counter deltas are zero).
+
+Every response is checked (HTTP 200, well-formed body); any error fails
+the run.  Latency percentiles are printed per phase and the full
+per-request latency log is written as JSONL for offline analysis — this
+is the artifact CI's serve-smoke job uploads.
+
+Usage::
+
+    # against a running daemon
+    python tools/loadtest_serve.py --port 8023 --requests 2000
+
+    # self-contained: spawn a daemon on an ephemeral port, load it,
+    # shut it down (what CI runs)
+    python tools/loadtest_serve.py --spawn --requests 2000 \
+        --concurrency 64 --out loadtest-serve.jsonl
+
+Exit status is 0 iff every request succeeded and the duplicate phase
+was served entirely from the store.
+"""
+
+import argparse
+import asyncio
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.serve import AsyncServeClient  # noqa: E402
+
+#: The deterministic request mix (weights sum to 100).  Sweeps and
+#: profiles are rarer and heavier, like real traffic.
+WORKLOADS = ("crc", "qsort", "grep", "bitmix")
+
+
+def build_mix(count: int, scale: str) -> list:
+    """``count`` deterministic requests: ~70% simulate, 20% repeats of
+    earlier requests, 5% sweep, 5% profile."""
+    requests = []
+    distinct = []
+    for index in range(count):
+        slot = index % 20
+        workload = WORKLOADS[index % len(WORKLOADS)]
+        if slot < 14 or not distinct:
+            body = {
+                "workload": workload,
+                "scale": scale,
+                # A small set of entry sizes keeps the distinct-request
+                # universe bounded so repeats and phase 2 actually hit.
+                "entries": 1 << (6 + (index // len(WORKLOADS)) % 4),
+            }
+            op = "simulate"
+            distinct.append((op, body))
+        elif slot < 18:
+            op, body = distinct[index % len(distinct)]  # repeat: a hit
+        elif slot == 18:
+            body = {"workloads": [workload], "scale": scale}
+            op = "sweep"
+            distinct.append((op, body))
+        else:
+            body = {"workload": workload, "scale": scale, "rate": 1}
+            op = "profile"
+            distinct.append((op, body))
+        requests.append((op, body))
+    return requests
+
+
+async def run_phase(name, requests, port, concurrency, log):
+    """Fan ``requests`` out over ``concurrency`` keep-alive clients."""
+    queue = asyncio.Queue()
+    for index, item in enumerate(requests):
+        queue.put_nowait((index, item))
+    results = [None] * len(requests)
+
+    async def worker():
+        async with AsyncServeClient(port=port) as client:
+            while True:
+                try:
+                    index, (op, body) = queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    return
+                started = time.perf_counter()
+                status, reply = await client.submit(op, **body)
+                elapsed = time.perf_counter() - started
+                results[index] = (op, status, reply, elapsed)
+                log.append({
+                    "phase": name, "index": index, "op": op,
+                    "status": status,
+                    "cached": reply.get("cached"),
+                    "latency_seconds": round(elapsed, 6),
+                })
+
+    started = time.perf_counter()
+    await asyncio.gather(*(worker() for _ in range(concurrency)))
+    wall = time.perf_counter() - started
+
+    errors = [
+        (index, result[1], result[2])
+        for index, result in enumerate(results)
+        if result is None or result[1] != 200 or "run_id" not in
+        result[2]
+    ]
+    hits = sum(1 for r in results if r and r[2].get("cached"))
+    latencies = sorted(r[3] for r in results if r)
+    return {
+        "phase": name,
+        "requests": len(requests),
+        "errors": errors,
+        "hits": hits,
+        "hit_ratio": hits / max(1, len(results)),
+        "wall_seconds": wall,
+        "rps": len(requests) / wall if wall else 0.0,
+        "latency": {
+            "p50": percentile(latencies, 50),
+            "p90": percentile(latencies, 90),
+            "p99": percentile(latencies, 99),
+            "max": latencies[-1] if latencies else 0.0,
+        },
+    }
+
+
+def percentile(ordered, pct):
+    if not ordered:
+        return 0.0
+    rank = min(len(ordered) - 1, int(len(ordered) * pct / 100))
+    return ordered[rank]
+
+
+async def sim_counters(port) -> dict:
+    async with AsyncServeClient(port=port) as client:
+        _, snapshot = await client.metrics()
+    return {
+        name: value
+        for name, value in snapshot.get("counters", {}).items()
+        if name.startswith("sim.")
+    }
+
+
+def report(summary) -> None:
+    latency = summary["latency"]
+    print(
+        f"{summary['phase']:>9}: {summary['requests']} requests "
+        f"in {summary['wall_seconds']:.2f}s "
+        f"({summary['rps']:.0f} req/s), "
+        f"hits {summary['hits']}/{summary['requests']} "
+        f"({summary['hit_ratio']:.0%}), "
+        f"p50 {latency['p50'] * 1000:.1f}ms "
+        f"p90 {latency['p90'] * 1000:.1f}ms "
+        f"p99 {latency['p99'] * 1000:.1f}ms "
+        f"max {latency['max'] * 1000:.1f}ms"
+    )
+    for index, status, reply in summary["errors"][:5]:
+        print(f"  ERROR request {index}: HTTP {status} {reply}")
+
+
+async def drive(args, port) -> int:
+    mixed = build_mix(args.requests, args.scale)
+    log = []
+    summary_mixed = await run_phase(
+        "mixed", mixed, port, args.concurrency, log
+    )
+    report(summary_mixed)
+
+    before = await sim_counters(port)
+    summary_dup = await run_phase(
+        "duplicate", mixed, port, args.concurrency, log
+    )
+    report(summary_dup)
+    after = await sim_counters(port)
+
+    if args.out:
+        with open(args.out, "w") as handle:
+            for entry in log:
+                handle.write(json.dumps(entry) + "\n")
+            handle.write(json.dumps({
+                "summary": [summary_mixed, summary_dup],
+                "sim_counter_delta_during_duplicates": {
+                    key: after.get(key, 0) - before.get(key, 0)
+                    for key in sorted(set(before) | set(after))
+                },
+            }) + "\n")
+        print(f"latency log: {args.out} ({len(log)} entries)")
+
+    failed = False
+    for summary in (summary_mixed, summary_dup):
+        if summary["errors"]:
+            print(f"FAIL: {len(summary['errors'])} errors in "
+                  f"{summary['phase']} phase")
+            failed = True
+    if summary_dup["hit_ratio"] < 1.0:
+        print(f"FAIL: duplicate phase hit ratio "
+              f"{summary_dup['hit_ratio']:.2%} < 100%")
+        failed = True
+    if after != before:
+        print("FAIL: simulator ran during the duplicate phase: "
+              f"{before} -> {after}")
+        failed = True
+    if not failed:
+        print("OK: zero errors; duplicate phase served entirely from "
+              "the run-history store")
+    return 1 if failed else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8023,
+                        help="daemon port (ignored with --spawn)")
+    parser.add_argument("--spawn", action="store_true",
+                        help="start a private daemon (ephemeral port, "
+                             "temp store) for the duration of the run")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="pool workers for --spawn (0 = inline)")
+    parser.add_argument("--requests", type=int, default=2000,
+                        help="requests per phase")
+    parser.add_argument("--concurrency", type=int, default=64,
+                        help="concurrent client connections")
+    parser.add_argument("--scale", default="tiny",
+                        choices=("tiny", "small"))
+    parser.add_argument("--out", metavar="PATH",
+                        help="write the per-request latency log (JSONL)")
+    args = parser.parse_args(argv)
+
+    if not args.spawn:
+        return asyncio.run(drive(args, args.port))
+
+    from repro.serve import ServeConfig, ServerThread
+
+    with tempfile.TemporaryDirectory(prefix="loadtest-store-") as tmp:
+        config = ServeConfig(
+            port=0, workers=args.workers, store=tmp,
+            max_queue_depth=max(256, args.requests),
+        )
+        with ServerThread(config) as handle:
+            print(f"spawned daemon on port {handle.port} "
+                  f"(workers={args.workers}, store={tmp})")
+            return asyncio.run(drive(args, handle.port))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

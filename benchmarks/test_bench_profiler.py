@@ -87,11 +87,12 @@ def bench_collector_disabled_gate(benchmark):
     With ``collector=None`` the only trace of the profiler in the hot
     loop is one dead integer comparison against a ``-1`` sentinel — the
     pre-profiler loop is not timeable at runtime, so the gate instead
-    arms the machinery with a sampling phase past the end of the trace
-    (the event-emit closure is built, the sentinel is live, but no
-    event ever fires) and requires that arming it costs < 3% over the
-    no-collector path.  Any regression that moves per-branch work out
-    of the sampled case and into the common case trips this.
+    installs a collector whose sampling phase lies past the end of the
+    trace.  The driver detects that no sample can ever fire and
+    short-circuits to the no-collector path (no event closure, no
+    per-branch sentinel work), so the gate requires that installing it
+    costs < 3%.  Any regression that charges the common case for a
+    collector that never fires trips this.
     """
     trace = get_workload("compress").trace(scale="small")
     options = SimOptions()

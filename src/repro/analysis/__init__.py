@@ -16,6 +16,13 @@ package pins those invariants down statically:
   ``RPA0xx`` ids with severities), diagnostics and the
   :class:`LintReport`.
 * :mod:`repro.analysis.rules` — the checks themselves.
+* :mod:`repro.analysis.predflow` — the predicate-flow analysis:
+  per-branch reaching defines, guard availability bounds and abstract
+  guard values (rules ``RPA012``–``RPA017``, the ``repro analyze``
+  report, and the static side of the contract checker).
+* :mod:`repro.analysis.contract` — static/dynamic contract checking:
+  replay simulation events, traces and flags against the proven facts
+  and fail loudly on any contradiction.
 * :mod:`repro.analysis.verifier` — the :func:`lint_executable` /
   :func:`lint_program` drivers, telemetry-instrumented.
 
@@ -37,6 +44,16 @@ from repro.analysis.cfg import (
     falls_through,
     function_slices,
 )
+from repro.analysis.contract import (
+    ContractChecker,
+    ContractError,
+    ContractViolation,
+    GateResult,
+    StaticContract,
+    check_flags,
+    check_trace,
+    run_contract_gate,
+)
 from repro.analysis.dataflow import (
     ForwardProblem,
     instruction_states,
@@ -50,23 +67,43 @@ from repro.analysis.diagnostics import (
     Severity,
     StaticAnalysisError,
 )
+from repro.analysis.predflow import (
+    BranchFacts,
+    FunctionFacts,
+    PredflowReport,
+    analyze_cfg,
+    analyze_executable,
+)
 from repro.analysis.verifier import lint_executable, lint_program
 
 __all__ = [
     "Block",
+    "BranchFacts",
+    "ContractChecker",
+    "ContractError",
+    "ContractViolation",
     "Diagnostic",
     "ForwardProblem",
     "FunctionCFG",
+    "FunctionFacts",
     "FunctionSlice",
+    "GateResult",
     "LintReport",
+    "PredflowReport",
     "RULES",
     "Rule",
     "Severity",
     "StaticAnalysisError",
+    "StaticContract",
+    "analyze_cfg",
+    "analyze_executable",
+    "check_flags",
+    "check_trace",
     "falls_through",
     "function_slices",
     "instruction_states",
     "lint_executable",
     "lint_program",
+    "run_contract_gate",
     "solve_forward",
 ]

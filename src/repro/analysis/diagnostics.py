@@ -134,6 +134,63 @@ RULES: Dict[str, Rule] = {
             "the machine ignores the qualifying predicate on HALT, so a "
             "guard on it is misleading dead syntax",
         ),
+        Rule(
+            "RPA012",
+            Severity.WARNING,
+            "region guard clobbered outside its region",
+            "a region-based branch's guard is redefined outside the "
+            "region between its in-region compare and the branch, so "
+            "the value the branch consumes may not be the one its "
+            "region computed — SFP/PGU statistics keyed on the region "
+            "would misattribute it",
+        ),
+        Rule(
+            "RPA013",
+            Severity.WARNING,
+            "statically dead region exit",
+            "the guard of a region-based branch is provably false on "
+            "every feasible path (or no feasible path reaches the "
+            "branch): the exit can never be taken and is statically "
+            "squashable dead weight",
+        ),
+        Rule(
+            "RPA014",
+            Severity.INFO,
+            "region branch always taken",
+            "the guard of a region-based branch is provably true on "
+            "every feasible path, so the 'conditional' branch always "
+            "fires; if-conversion legitimately produces this when the "
+            "complement guard exits the region first, but it also "
+            "flags genuinely dead layout after the branch",
+        ),
+        Rule(
+            "RPA015",
+            Severity.INFO,
+            "region branch never SFP-filterable",
+            "on every path the guard resolves fewer than "
+            "availability-distance instructions before the branch's "
+            "fetch, so the squash false-path filter can never act on "
+            "it; surfaced so static coverage bounds are read with that "
+            "in mind",
+        ),
+        Rule(
+            "RPA016",
+            Severity.INFO,
+            "PGU-invisible complement guard",
+            "every reaching define writes the guard as the complement "
+            "(pd2) target; the define stream records the primary "
+            "predicate only, so predicate global update never sees "
+            "this guard's value",
+        ),
+        Rule(
+            "RPA017",
+            Severity.WARNING,
+            "loop-carried region guard",
+            "every in-region define of the guard sits after the "
+            "branch: the guard only reaches it around the loop back "
+            "edge, so the branch consumes the previous iteration's "
+            "value — legal, but easily a rotation bug",
+        ),
     )
 }
 
@@ -187,17 +244,26 @@ class Diagnostic:
 
 
 class StaticAnalysisError(Exception):
-    """Raised by ``Program.link(verify=True)`` on error diagnostics."""
+    """Raised by ``Program.link(verify=True)`` on error diagnostics.
+
+    Carries *every* collected diagnostic — most severe first, then by
+    ``program:function:index`` — so a failing link never hides findings
+    behind a truncated summary.
+    """
 
     def __init__(self, report: "LintReport"):
         self.report = report
-        errors = report.errors
-        summary = "; ".join(d.render().splitlines()[0] for d in errors[:5])
-        if len(errors) > 5:
-            summary += f"; ... ({len(errors) - 5} more)"
-        super().__init__(
-            f"static analysis found {len(errors)} error(s): {summary}"
+        ordered = sorted(
+            report.diagnostics,
+            key=lambda d: (-d.severity, d.program, d.function, d.index),
         )
+        lines = [d.render().splitlines()[0] for d in ordered]
+        counts = report.counts()
+        header = (
+            f"static analysis found {counts['error']} error(s), "
+            f"{counts['warning']} warning(s), {counts['info']} info"
+        )
+        super().__init__("\n".join([header] + lines))
 
 
 @dataclass

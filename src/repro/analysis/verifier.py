@@ -14,6 +14,7 @@ and findings.
 from repro import telemetry
 from repro.analysis.cfg import FunctionCFG, function_slices
 from repro.analysis.diagnostics import LintReport
+from repro.analysis.predflow import analyze_cfg, check_predflow_function
 from repro.analysis.rules import check_function
 from repro.isa.program import Executable, Program
 
@@ -30,6 +31,9 @@ def lint_executable(
             cfg = FunctionCFG(executable, slice_)
             blocks += len(cfg.blocks)
             check_function(executable, cfg, report)
+            if len(slice_):
+                facts = analyze_cfg(executable, cfg)
+                check_predflow_function(executable, facts, report)
         report.sort()
         if telemetry.enabled():
             registry = telemetry.get_registry()

@@ -8,7 +8,8 @@
     repro run-all [--scale tiny] [--output results/] [--workers 4]
     repro simulate qsort --predictor gshare --entries 4096 --sfp --pgu
     repro characterise grep [--scale small]
-    repro analyze grep --regions       # static region statistics
+    repro analyze grep --branches      # region stats + predicate flow
+    repro analyze grep --h2p --json    # join H2P sites to static facts
     repro lint [crc grep] [--json]     # predicate-aware static verifier
     repro hotspots lexer --sfp --pgu   # worst-mispredicting sites
     repro profile crc --sfp --pgu      # misprediction attribution
@@ -381,25 +382,127 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _analyze_h2p(args, workload, executable, predflow):
+    """Profile the workload and join the worst sites onto static facts."""
+    from repro.profiler import (
+        AggregatingCollector,
+        ProfileSpec,
+        SiteTable,
+        join_static_facts,
+    )
+
+    trace = workload.trace(
+        scale=args.scale, hyperblocks=not args.baseline
+    )
+    predictor = make_predictor(args.predictor, entries=args.entries)
+    options = SimOptions(
+        distance=args.distance, sfp=SFPConfig(), pgu=PGUConfig()
+    )
+    collector = AggregatingCollector(
+        ProfileSpec(rate=1),
+        sites=SiteTable.from_executable(executable),
+        workload=workload.name,
+    )
+    with collector:
+        simulate(trace, predictor, options, collector=collector)
+    ranked = collector.aggregator.top_branches(args.top)
+    return join_static_facts(ranked, predflow, distance=args.distance)
+
+
 def _cmd_analyze(args) -> int:
-    from repro.compiler.analysis import analyze_executable
-    from repro.compiler import config as cfg
+    import json
+
+    from repro.analysis.predflow import analyze_executable
+    from repro.compiler.analysis import (
+        analyze_executable as analyze_regions,
+    )
 
     workload = get_workload(args.workload)
-    config = cfg.BASELINE if args.baseline else cfg.HYPERBLOCK
-    compiled = workload.compile(args.scale, config)
-    report = analyze_executable(compiled.executable)
-    for key, value in report.summary().items():
+    config = (
+        config_mod.BASELINE if args.baseline else config_mod.HYPERBLOCK
+    )
+    with _metrics_scope(args):
+        with telemetry.span("analyze", workload=args.workload):
+            compiled = workload.compile(args.scale, config)
+            executable = compiled.executable
+            regions = analyze_regions(executable)
+            predflow = analyze_executable(
+                executable,
+                name=workload.name,
+                distance=args.distance,
+            )
+            h2p = (
+                _analyze_h2p(args, workload, executable, predflow)
+                if args.h2p
+                else None
+            )
+
+    if args.json:
+        payload = predflow.to_dict()
+        payload.update(
+            workload=workload.name,
+            scale=args.scale,
+            compile_config=(
+                "baseline" if args.baseline else "hyperblock"
+            ),
+            regions=regions.summary(),
+        )
+        if h2p is not None:
+            payload["h2p"] = h2p
+        print(json.dumps(payload, indent=2))
+        return 0
+
+    for key, value in regions.summary().items():
         print(f"{key:22s} {value}")
+    summary = predflow.summary()
+    print()
+    print(f"predflow @ distance {summary['distance']}")
+    for key in (
+        "branches", "region_branches", "must_not_taken", "must_taken",
+        "complement_only", "define_sites",
+    ):
+        print(f"{key:22s} {summary[key]}")
+    verdicts = ", ".join(
+        f"{name}={count}"
+        for name, count in summary["verdicts"].items()
+        if count
+    )
+    print(f"{'sfp_verdicts':22s} {verdicts}")
+    print(
+        f"{'sfp_coverage_bound':22s} "
+        f"{summary['sfp_site_coverage_bound']:.3f}"
+    )
     if args.regions:
         print()
         print(f"{'function':16s} {'region':>6s} {'size':>5s} {'cmps':>5s} "
               f"{'guarded':>7s} {'branches':>8s}")
-        for region in report.regions:
+        for region in regions.regions:
             print(f"{region.function:16s} {region.region:>6d} "
                   f"{region.instructions:>5d} {region.compares:>5d} "
                   f"{region.guarded_instructions:>7d} "
                   f"{region.region_branches:>8d}")
+    if args.branches:
+        print()
+        print(f"{'pc':>6s} {'function':16s} {'guard':>5s} {'value':>11s} "
+              f"{'avail':>9s} {'verdict':>9s}")
+        for facts in predflow.branches():
+            hi = (
+                "inf" if facts.max_avail >= 1 << 10 else facts.max_avail
+            )
+            print(f"{facts.pc:>6d} {facts.function:16s} "
+                  f"p{facts.guard:<4d} {facts.guard_value:>11s} "
+                  f"{facts.min_avail:>4}..{hi:<4} "
+                  f"{facts.verdict(args.distance):>9s}")
+    if h2p is not None:
+        print()
+        print(f"{'pc':>6s} {'misp':>8s} {'execs':>8s} {'value':>11s} "
+              f"{'verdict':>9s}")
+        for row in h2p:
+            static = row["static"]
+            value = static["guard_value"] if static else "-"
+            verdict = static["sfp_verdict"] if static else "unknown"
+            print(f"{row['pc']:>6d} {row['mispredictions']:>8d} "
+                  f"{row['executions']:>8d} {value:>11s} {verdict:>9s}")
     return 0
 
 
@@ -803,13 +906,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics", metavar="PATH",
                    help="append telemetry events (JSONL) to PATH")
 
-    p = sub.add_parser("analyze", help="static region statistics")
+    p = sub.add_parser(
+        "analyze",
+        help="static region statistics and predicate-flow facts",
+    )
     p.add_argument("workload", choices=workload_names())
     p.add_argument("--scale", default="tiny",
                    choices=("tiny", "small", "ref"))
     p.add_argument("--baseline", action="store_true")
     p.add_argument("--regions", action="store_true",
                    help="also list every region")
+    p.add_argument("--branches", action="store_true",
+                   help="also list per-branch predicate-flow facts")
+    p.add_argument("--distance", type=int, default=4,
+                   help="availability distance D for SFP verdicts")
+    p.add_argument("--h2p", action="store_true",
+                   help="profile the workload and join the worst "
+                        "sites onto their static facts")
+    p.add_argument("--top", type=int, default=10,
+                   help="H2P sites to show with --h2p")
+    p.add_argument("--predictor", default="gshare",
+                   choices=available_predictors(),
+                   help="predictor for the --h2p profile")
+    p.add_argument("--entries", type=int, default=4096)
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable output")
+    p.add_argument("--metrics", metavar="PATH",
+                   help="append telemetry events (JSONL) to PATH")
 
     p = sub.add_parser(
         "lint", help="predicate-aware static verification of workloads"

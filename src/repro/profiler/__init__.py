@@ -28,6 +28,7 @@ from repro.profiler.attribution import (
     AttributionAggregator,
     BranchRecord,
     avail_bucket_labels,
+    join_static_facts,
     merge_attributions,
 )
 from repro.profiler.collector import (
@@ -77,6 +78,7 @@ __all__ = [
     "aggregate_event_stream",
     "avail_bucket_labels",
     "header_record",
+    "join_static_facts",
     "merge_attributions",
     "read_event_stream",
 ]

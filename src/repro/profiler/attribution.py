@@ -505,6 +505,36 @@ class AttributionAggregator:
         )
 
 
+def join_static_facts(
+    records: List[BranchRecord],
+    predflow,
+    distance: Optional[int] = None,
+) -> List[dict]:
+    """Join ranked H2P records onto their static predicate-flow facts.
+
+    ``predflow`` is a :class:`repro.analysis.predflow.PredflowReport`
+    for the *same* compiled executable (duck-typed here to keep the
+    profiler importable without the analysis package).  Each returned
+    dict is ``record.to_dict()`` plus a ``"static"`` key holding the
+    :class:`~repro.analysis.predflow.BranchFacts` payload at the
+    record's pc — guard value, availability bounds, SFP verdict —
+    or ``None`` for a site the analysis never reached (itself a signal:
+    see the contract checker's ``unknown-branch-site``).
+    """
+    by_pc = predflow.by_pc()
+    if distance is None:
+        distance = predflow.distance
+    joined = []
+    for record in records:
+        payload = record.to_dict()
+        facts = by_pc.get(record.pc)
+        payload["static"] = (
+            facts.to_dict(distance) if facts is not None else None
+        )
+        joined.append(payload)
+    return joined
+
+
 def merge_attributions(
     aggregators: List[Optional[AttributionAggregator]],
 ) -> Optional[AttributionAggregator]:

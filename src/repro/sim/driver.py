@@ -278,7 +278,14 @@ def simulate(
 
     # Profiling: `next_sample` is the only per-branch cost when no
     # collector is installed (it stays -1, which no index reaches).
-    if collector is not None:
+    # A first sample past the last branch can never fire (sample
+    # indices only grow), so skip the event plumbing entirely: a
+    # disarmed contract checker or a past-the-end phase costs nothing.
+    emitting = (
+        collector is not None
+        and (-collector.seed) % collector.rate < len(b_pc)
+    )
+    if emitting:
         p_rate = collector.rate
         next_sample = (-collector.seed) % p_rate
         collect = collector.collect

@@ -38,18 +38,26 @@ def lint(pb: ProgramBuilder, name: str = "t") -> LintReport:
 
 
 def clean_program() -> ProgramBuilder:
-    """A small, fully well-formed predicated program."""
+    """A small, fully well-formed predicated program.
+
+    The exit guard is the *primary* compare target (PGU sees it), the
+    compare sits a full availability distance ahead of the branch (SFP
+    can filter it), and the guard value is loop-varying — so the
+    predicate-flow rules (RPA012-RPA017) stay silent too.
+    """
     pb = ProgramBuilder()
     f = pb.function("main")
     f.movi(1, 3)
     f.label("loop")
     f.subi(1, 1, 1)
-    cmp = f.cmp(Relation.GT, 1, 2, ra=1, imm=0)
+    cmp = f.cmp(Relation.LE, 1, 2, ra=1, imm=0)
     cmp.region = 1
+    for _ in range(4):
+        f.addi(3, 1, 0)
     exit_br = f.emit(
         Instruction(
             op=Opcode.BR,
-            qp=2,
+            qp=1,
             target="done",
             kind=BranchKind.EXIT,
             region=1,
@@ -57,7 +65,7 @@ def clean_program() -> ProgramBuilder:
         )
     )
     assert exit_br.region_based
-    f.br("loop", qp=1)
+    f.br("loop", qp=2)
     f.label("done")
     f.halt()
     return pb
@@ -443,7 +451,7 @@ class TestReportAndVerifyHook:
             report.add("RPA999", "main", 0, 0, "nope")
 
     def test_rule_catalogue_is_stable(self):
-        assert sorted(RULES) == [f"RPA{i:03d}" for i in range(1, 12)]
+        assert sorted(RULES) == [f"RPA{i:03d}" for i in range(1, 18)]
         for rule in RULES.values():
             assert rule.title and rule.rationale
 

@@ -4,11 +4,19 @@ properties of the trace masks on synthetic traces."""
 
 from hypothesis import given, settings, strategies as st
 
+from repro.analysis import (
+    RULES,
+    StaticContract,
+    analyze_executable,
+    check_trace,
+    lint_executable,
+)
 from repro.compiler import compile_source, compile_with_profile
 from repro.compiler import config as config_mod
 from repro.engine import run
 from repro.lang.reference import evaluate
 from repro.trace.container import Trace, TraceMeta
+from repro.trace.recorder import TraceRecorder
 from tests.progen import generate_program
 
 
@@ -29,6 +37,41 @@ def test_fresh_random_programs_agree(seed):
     ).return_value
     assert baseline == expected, f"baseline diverged for seed {seed}"
     assert hyper == expected, f"hyperblock diverged for seed {seed}"
+
+
+@given(st.integers(min_value=10_000, max_value=10_000_000))
+@settings(max_examples=6, deadline=None)
+def test_fresh_random_programs_satisfy_static_contract(seed):
+    """Fuzzed programs flow through lint, predflow and the contract
+    checker without crashes — and their dynamic traces obey every
+    statically proven fact."""
+    source = generate_program(seed)
+    executable = compile_source(source, config_mod.HYPERBLOCK).executable
+    name = f"fuzz-{seed}"
+
+    report = lint_executable(executable, name=name)
+    assert not report.has_errors, report.render()
+    assert set(report.rule_ids()) <= set(RULES)
+
+    predflow = analyze_executable(executable, name=name)
+    summary = predflow.summary()
+    assert sum(summary["verdicts"].values()) == summary["branches"]
+    assert summary["must_not_taken"] + summary["must_taken"] <= (
+        summary["branches"]
+    )
+
+    recorder = TraceRecorder()
+    result = run(
+        executable, recorder=recorder, max_instructions=20_000_000
+    )
+    trace = recorder.finish(
+        TraceMeta(instructions=result.instructions)
+    )
+    contract = StaticContract(predflow)
+    violations = check_trace(trace, contract)
+    assert violations == [], "\n".join(
+        str(v) for v in violations[:10]
+    ) + f" (seed {seed})"
 
 
 branch_records = st.lists(

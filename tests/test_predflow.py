@@ -1,0 +1,450 @@
+"""Tests for the predicate-flow analysis (``repro.analysis.predflow``).
+
+Mirrors the structure of ``test_analysis.py``: one seeded fixture per
+new rule id (RPA012-RPA017), each firing *exactly* that rule, plus unit
+tests for the value lattice, guard-distance bounds and the report
+shape, and the no-truncation regression test for
+:class:`StaticAnalysisError`.
+"""
+
+import pytest
+
+from repro.analysis import (
+    LintReport,
+    Severity,
+    StaticAnalysisError,
+    analyze_executable,
+    lint_executable,
+)
+from repro.analysis.predflow import (
+    ANALYZE_SCHEMA_VERSION,
+    SAT_DISTANCE,
+    VERDICT_ALWAYS,
+    VERDICT_NEVER,
+    VERDICT_SOMETIMES,
+    VERDICT_UNDEFINED,
+    VERDICT_UNGUARDED,
+    BranchFacts,
+)
+from repro.isa import (
+    BranchKind,
+    Instruction,
+    Opcode,
+    ProgramBuilder,
+    Relation,
+)
+from repro.isa.registers import P_TRUE
+
+
+def lint(pb: ProgramBuilder, name: str = "t") -> LintReport:
+    return lint_executable(pb.link(), name=name)
+
+
+def _single_rule(pb, rule_id, severity):
+    report = lint(pb)
+    assert report.rule_ids() == [rule_id], report.render()
+    fired = report.by_severity(severity)
+    assert fired and all(d.rule_id == rule_id for d in fired)
+    return report
+
+
+def region_exit(f, qp, target, region=1):
+    """Emit a region-based exit branch guarded by ``qp``."""
+    return f.emit(
+        Instruction(
+            op=Opcode.BR,
+            qp=qp,
+            target=target,
+            kind=BranchKind.EXIT,
+            region=region,
+            region_based=True,
+        )
+    )
+
+
+def pad(f, count=4):
+    """Filler between a compare and its branch so the guard resolves a
+    full availability distance ahead (keeps RPA015 out of fixtures that
+    seed a different rule)."""
+    for _ in range(count):
+        f.addi(3, 1, 0)
+
+
+class TestSeededPredflowViolations:
+    """One minimal fixture per new rule id, firing exactly that rule."""
+
+    def test_rpa012_guard_clobbered_outside_region(self):
+        pb = ProgramBuilder()
+        f = pb.function("main")
+        f.movi(1, 3)
+        cmp = f.cmp(Relation.GT, 1, 2, ra=1, imm=0)
+        cmp.region = 1                          # in-region define of p1
+        f.br("skip", qp=2)
+        f.cmp(Relation.LT, 1, 3, ra=1, imm=5)   # region -1 clobber of p1
+        f.label("skip")
+        pad(f)
+        region_exit(f, qp=1, target="done")
+        f.halt()
+        f.label("done")
+        f.halt()
+        report = _single_rule(pb, "RPA012", Severity.WARNING)
+        assert "outside" in report.warnings[0].message
+
+    def test_rpa013_statically_dead_region_exit(self):
+        pb = ProgramBuilder()
+        f = pb.function("main")
+        f.movi(1, 3)
+        cmp = f.cmp(Relation.GT, 1, 2, ra=1, imm=0)
+        cmp.region = 1
+        pad(f)
+        f.br("done", qp=1)
+        # Fall through proves p1 false: the exit below is dead.
+        region_exit(f, qp=1, target="done")
+        f.halt()
+        f.label("done")
+        f.halt()
+        report = _single_rule(pb, "RPA013", Severity.WARNING)
+        assert "provably false" in report.warnings[0].message
+
+    def test_rpa014_region_branch_always_taken(self):
+        pb = ProgramBuilder()
+        f = pb.function("main")
+        f.movi(1, 3)
+        cmp = f.cmp(Relation.GT, 1, 2, ra=1, imm=0)
+        cmp.region = 1
+        pad(f)
+        f.br("taken", qp=1)
+        f.halt()
+        f.label("taken")
+        # Only reachable on the taken edge, where p1 is proven true.
+        region_exit(f, qp=1, target="out")
+        f.halt()
+        f.label("out")
+        f.halt()
+        report = _single_rule(pb, "RPA014", Severity.INFO)
+        assert "provably true" in report.diagnostics[0].message
+
+    def test_rpa015_never_sfp_filterable(self):
+        pb = ProgramBuilder()
+        f = pb.function("main")
+        f.movi(1, 3)
+        cmp = f.cmp(Relation.GT, 1, 2, ra=1, imm=0)
+        cmp.region = 1
+        # No padding: the guard resolves 1 instruction before the
+        # branch, below the default availability distance of 4.
+        region_exit(f, qp=1, target="done")
+        f.halt()
+        f.label("done")
+        f.halt()
+        report = _single_rule(pb, "RPA015", Severity.INFO)
+        assert "SFP" in report.diagnostics[0].message
+
+    def test_rpa016_pgu_invisible_complement_guard(self):
+        pb = ProgramBuilder()
+        f = pb.function("main")
+        f.movi(1, 3)
+        cmp = f.cmp(Relation.GT, 1, 2, ra=1, imm=0)
+        cmp.region = 1
+        pad(f)
+        # Guarded by the complement (pd2) target: PGU never sees it.
+        region_exit(f, qp=2, target="done")
+        f.halt()
+        f.label("done")
+        f.halt()
+        report = _single_rule(pb, "RPA016", Severity.INFO)
+        assert "complement" in report.diagnostics[0].message
+
+    def test_rpa017_loop_carried_region_guard(self):
+        pb = ProgramBuilder()
+        f = pb.function("main")
+        f.movi(1, 8)
+        f.cmp(Relation.GT, 1, 2, ra=1, imm=0)   # pre-loop define
+        pad(f)
+        f.label("loop")
+        # The in-region define of p1 sits *after* this branch: the
+        # guard only reaches it around the back edge.
+        region_exit(f, qp=1, target="done")
+        f.subi(1, 1, 1)
+        cmp = f.cmp(Relation.GT, 1, 2, ra=1, imm=0)
+        cmp.region = 1
+        f.jmp("loop")
+        f.label("done")
+        f.halt()
+        report = _single_rule(pb, "RPA017", Severity.WARNING)
+        assert "loop-carried" in report.warnings[0].message
+
+
+class TestValueAnalysis:
+    def test_fall_through_refinement_proves_guard_false(self):
+        pb = ProgramBuilder()
+        f = pb.function("main")
+        f.movi(1, 3)
+        f.cmp(Relation.GT, 1, 2, ra=1, imm=0)
+        f.br("done", qp=1)
+        f.br("done", qp=1)   # second look at p1 on the fall-through
+        f.halt()
+        f.label("done")
+        f.halt()
+        report = analyze_executable(pb.link(), name="t")
+        # Two branch events on p1; the second sits on the refined path.
+        branches = [b for b in report.branches() if b.guard == 1]
+        assert len(branches) == 2
+        assert branches[0].guard_value == "unknown"
+        assert branches[1].guard_value == "false"
+        assert branches[1].must_not_taken
+
+    def test_taken_refinement_proves_guard_true(self):
+        pb = ProgramBuilder()
+        f = pb.function("main")
+        f.movi(1, 3)
+        f.cmp(Relation.GT, 1, 2, ra=1, imm=0)
+        f.br("taken", qp=1)
+        f.halt()
+        f.label("taken")
+        f.br("out", qp=1)
+        f.halt()
+        f.label("out")
+        f.halt()
+        report = analyze_executable(pb.link(), name="t")
+        branches = [b for b in report.branches() if b.guard == 1]
+        assert branches[1].guard_value == "true"
+        assert branches[1].must_taken
+
+    def test_complement_partner_refines_the_other_register(self):
+        pb = ProgramBuilder()
+        f = pb.function("main")
+        f.movi(1, 3)
+        f.cmp(Relation.GT, 1, 2, ra=1, imm=0)
+        f.br("done", qp=2)
+        # Fall through: p2 false, hence complement p1 true.
+        f.br("done", qp=1)
+        f.halt()
+        f.label("done")
+        f.halt()
+        report = analyze_executable(pb.link(), name="t")
+        branches = list(report.branches())
+        assert branches[1].guard == 1
+        assert branches[1].guard_value == "true"
+
+    def test_entry_state_knows_non_p0_predicates_false(self):
+        # The activation installs an all-false predicate file: a branch
+        # guarded by an undefined predicate is provably not taken.
+        pb = ProgramBuilder()
+        f = pb.function("main")
+        f.br("done", qp=5)
+        f.halt()
+        f.label("done")
+        f.halt()
+        report = analyze_executable(pb.link(), name="t")
+        (branch,) = report.branches()
+        assert branch.guard_value == "false"
+        assert branch.must_not_taken
+        assert branch.verdict(4) == VERDICT_UNDEFINED
+
+
+class TestGuardDistance:
+    def test_distance_counts_fetched_instructions(self):
+        pb = ProgramBuilder()
+        f = pb.function("main")
+        f.movi(1, 3)
+        f.cmp(Relation.GT, 1, 2, ra=1, imm=0)
+        f.addi(3, 1, 0)
+        f.addi(3, 1, 0)
+        f.br("done", qp=1)
+        f.halt()
+        f.label("done")
+        f.halt()
+        report = analyze_executable(pb.link(), name="t")
+        (branch,) = report.branches()
+        assert (branch.min_avail, branch.max_avail) == (3, 3)
+        assert not branch.may_be_undefined
+        assert branch.verdict(3) == VERDICT_ALWAYS
+        assert branch.verdict(4) == VERDICT_NEVER
+
+    def test_call_saturates_the_upper_bound_only(self):
+        pb = ProgramBuilder()
+        f = pb.function("main")
+        f.movi(1, 3)
+        f.cmp(Relation.GT, 1, 2, ra=1, imm=0)
+        f.call(4, "g", nargs=0)
+        f.br("done", qp=1)
+        f.halt()
+        f.label("done")
+        f.halt()
+        g = pb.function("g")
+        g.ret(imm=0)
+        report = analyze_executable(pb.link(), name="t")
+        branch = next(b for b in report.branches() if b.opcode == "br")
+        assert branch.min_avail == 2
+        assert branch.max_avail == SAT_DISTANCE
+        assert branch.verdict(4) == VERDICT_SOMETIMES
+
+    def test_diverging_paths_give_min_max_interval(self):
+        pb = ProgramBuilder()
+        f = pb.function("main")
+        f.movi(1, 3)
+        f.cmp(Relation.GT, 1, 2, ra=1, imm=0)
+        f.br("late", qp=2)
+        f.br("out", qp=1)      # short path: distance 2
+        f.label("late")
+        f.addi(3, 1, 0)
+        f.addi(3, 1, 0)
+        f.br("out", qp=1)      # reached taken (dist 4) or fallen (5)
+        f.halt()
+        f.label("out")
+        f.halt()
+        report = analyze_executable(pb.link(), name="t")
+        guarded = [b for b in report.branches() if b.guard == 1]
+        assert [(b.min_avail, b.max_avail) for b in guarded] == [
+            (2, 2),
+            (4, 5),
+        ]
+
+
+class TestVerdicts:
+    def _facts(self, **overrides) -> BranchFacts:
+        base = dict(
+            pc=0,
+            function="f",
+            index=0,
+            opcode="br",
+            region=1,
+            region_based=True,
+            guard=1,
+            guard_value="unknown",
+            min_avail=5,
+            max_avail=9,
+            may_be_undefined=False,
+            reaching_defines=(),
+            guard_defines=(),
+            in_region_defines=(),
+            complement_only=False,
+            dominated_by_define=True,
+        )
+        base.update(overrides)
+        return BranchFacts(**base)
+
+    def test_verdict_table(self):
+        assert self._facts(guard=P_TRUE).verdict(4) == VERDICT_UNGUARDED
+        assert (
+            self._facts(min_avail=-1, max_avail=-1).verdict(4)
+            == VERDICT_UNDEFINED
+        )
+        assert self._facts(max_avail=3).verdict(4) == VERDICT_NEVER
+        assert self._facts().verdict(4) == VERDICT_ALWAYS
+        assert (
+            self._facts(may_be_undefined=True).verdict(4)
+            == VERDICT_SOMETIMES
+        )
+        assert self._facts(min_avail=3).verdict(4) == VERDICT_SOMETIMES
+
+    def test_must_properties(self):
+        assert self._facts(guard_value="false").must_not_taken
+        assert self._facts(guard_value="unreachable").must_not_taken
+        assert self._facts(guard_value="true").must_taken
+        assert not self._facts().must_taken
+        assert not self._facts().must_not_taken
+
+
+class TestReportShape:
+    def _program(self):
+        pb = ProgramBuilder()
+        f = pb.function("main")
+        f.movi(1, 3)
+        cmp = f.cmp(Relation.LE, 1, 2, ra=1, imm=0)
+        cmp.region = 1
+        pad(f)
+        region_exit(f, qp=1, target="done")
+        f.jmp("done")
+        f.label("done")
+        f.halt()
+        return pb.link()
+
+    def test_summary_counts(self):
+        report = analyze_executable(self._program(), name="p")
+        summary = report.summary()
+        assert summary["functions"] == 1
+        assert summary["branches"] == 1          # jmp is not an event
+        assert summary["region_branches"] == 1
+        assert summary["verdicts"][VERDICT_ALWAYS] == 1
+        assert summary["sfp_site_coverage_bound"] == 1.0
+        assert summary["distance"] == 4
+
+    def test_to_dict_schema(self):
+        report = analyze_executable(self._program(), name="p")
+        payload = report.to_dict()
+        assert payload["schema"] == ANALYZE_SCHEMA_VERSION
+        assert payload["program"] == "p"
+        assert payload["distance"] == 4
+        assert set(payload["summary"]) == {
+            "functions",
+            "branches",
+            "region_branches",
+            "must_not_taken",
+            "must_taken",
+            "complement_only",
+            "define_sites",
+            "distance",
+            "verdicts",
+            "sfp_site_coverage_bound",
+        }
+        (function,) = payload["functions"]
+        assert function["name"] == "main"
+        (branch,) = function["branches"]
+        assert branch["sfp_verdict"] == VERDICT_ALWAYS
+        assert branch["region_based"] is True
+        assert branch["guard"] == 1
+        assert branch["in_region_defines"] == branch["guard_defines"]
+
+    def test_by_pc_round_trip(self):
+        report = analyze_executable(self._program(), name="p")
+        for facts in report.branches():
+            assert report.by_pc()[facts.pc] is facts
+
+
+class TestStaticAnalysisErrorRegression:
+    """``Program.link(verify=True)`` reports *all* diagnostics."""
+
+    def _failing_builder(self):
+        pb = ProgramBuilder()
+        f = pb.function("main")
+        f.cmp(Relation.EQ, 1, 2, ra=0, imm=0)
+        f.emit(Instruction(op=Opcode.HALT, qp=1))   # RPA011 warning
+        for name in ("alpha", "beta", "gamma"):
+            g = pb.function(name)
+            g.movi(1, 1, qp=3)                      # RPA002 error
+            g.movi(2, 1, qp=4)                      # RPA002 error
+            g.halt()
+        return pb
+
+    def test_all_diagnostics_reported_sorted_untruncated(self):
+        with pytest.raises(StaticAnalysisError) as excinfo:
+            self._failing_builder().link(verify=True)
+        error = excinfo.value
+        diagnostics = error.report.diagnostics
+        assert len(diagnostics) == 7   # 6 errors + 1 warning
+
+        message = str(error)
+        lines = message.splitlines()
+        # Header plus exactly one line per diagnostic: no truncation.
+        assert len(lines) == 1 + len(diagnostics)
+        assert lines[0].startswith("static analysis found 6 error(s)")
+        assert "1 warning(s)" in lines[0]
+        assert "..." not in message
+
+        # Every finding's location appears in the message.
+        for diagnostic in diagnostics:
+            assert diagnostic.location in message
+
+        # Most severe first, then program:function:index order.
+        assert all("error RPA002" in line for line in lines[1:7])
+        assert "warning RPA011" in lines[7]
+        error_functions = [line.split(":")[1] for line in lines[1:7]]
+        assert error_functions == sorted(error_functions)
+
+    def test_report_attached_for_programmatic_use(self):
+        with pytest.raises(StaticAnalysisError) as excinfo:
+            self._failing_builder().link(verify=True)
+        report = excinfo.value.report
+        assert report.has_errors
+        assert report.counts() == {"error": 6, "warning": 1, "info": 0}

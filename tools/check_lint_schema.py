@@ -1,0 +1,206 @@
+"""Validate ``repro lint --json`` / ``repro analyze --json`` artifacts.
+
+CI's ``lint-workloads`` job writes both machine-readable reports and
+pipes them through this checker before uploading them as artifacts, so
+a schema drift (renamed field, type change, missing section) fails the
+build instead of shipping an artifact downstream tooling can no longer
+parse.
+
+Usage::
+
+    python tools/check_lint_schema.py --lint lint.json
+    python tools/check_lint_schema.py --analyze analyze.json
+    python tools/check_lint_schema.py --lint lint.json \\
+        --analyze analyze.json
+
+Exit status is 0 iff every named file validates.  ``--lint`` also
+re-checks the counting invariants (per-report counts match the
+diagnostics list; totals match the per-report counts) and ``--analyze``
+re-checks that verdict counts sum to the branch count.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis import RULES, Severity  # noqa: E402
+from repro.analysis.predflow import (  # noqa: E402
+    ANALYZE_SCHEMA_VERSION,
+    VERDICTS,
+)
+
+#: Required keys of one diagnostic record in a lint report.
+DIAGNOSTIC_KEYS = (
+    "rule", "severity", "program", "function", "index", "abs_index",
+    "location", "message",
+)
+
+#: Required keys of the ``repro analyze --json`` payload.
+ANALYZE_KEYS = (
+    "schema", "program", "distance", "summary", "functions",
+    "workload", "scale", "compile_config", "regions",
+)
+
+#: Required keys of the nested analyze summary.
+SUMMARY_KEYS = (
+    "functions", "branches", "region_branches", "must_not_taken",
+    "must_taken", "complement_only", "define_sites", "distance",
+    "verdicts", "sfp_site_coverage_bound",
+)
+
+#: Required keys of one per-branch fact record.
+BRANCH_KEYS = (
+    "pc", "function", "index", "opcode", "region", "region_based",
+    "guard", "guard_value", "min_avail", "max_avail",
+    "may_be_undefined", "reaching_defines", "guard_defines",
+    "in_region_defines", "complement_only", "dominated_by_define",
+    "must_not_taken", "must_taken", "sfp_verdict",
+)
+
+SEVERITIES = tuple(s.label for s in Severity)
+
+
+def _fail(path, message):
+    print(f"{path}: {message}", file=sys.stderr)
+    return 1
+
+
+def check_lint(path) -> int:
+    """Validate a ``repro lint --json`` report file."""
+    payload = json.loads(Path(path).read_text())
+    for key in ("programs", "totals"):
+        if key not in payload:
+            return _fail(path, f"lint report missing key {key!r}")
+    totals = {label: 0 for label in SEVERITIES}
+    diagnostics = 0
+    for report in payload["programs"]:
+        for key in ("program", "counts", "diagnostics"):
+            if key not in report:
+                return _fail(
+                    path, f"program report missing key {key!r}"
+                )
+        seen = {label: 0 for label in SEVERITIES}
+        for record in report["diagnostics"]:
+            for key in DIAGNOSTIC_KEYS:
+                if key not in record:
+                    return _fail(
+                        path,
+                        f"diagnostic missing key {key!r} in "
+                        f"{report['program']!r}",
+                    )
+            if record["rule"] not in RULES:
+                return _fail(
+                    path, f"unregistered rule id {record['rule']!r}"
+                )
+            if record["severity"] not in SEVERITIES:
+                return _fail(
+                    path, f"unknown severity {record['severity']!r}"
+                )
+            seen[record["severity"]] += 1
+            diagnostics += 1
+        if report["counts"] != seen:
+            return _fail(
+                path,
+                f"{report['program']!r}: counts {report['counts']} do "
+                f"not match diagnostics {seen}",
+            )
+        for label in SEVERITIES:
+            totals[label] += seen[label]
+    if payload["totals"] != totals:
+        return _fail(
+            path,
+            f"totals {payload['totals']} do not match per-report "
+            f"counts {totals}",
+        )
+    print(
+        f"{path}: ok — {len(payload['programs'])} program(s), "
+        f"{diagnostics} diagnostic(s)"
+    )
+    return 0
+
+
+def check_analyze(path) -> int:
+    """Validate a ``repro analyze --json`` payload."""
+    payload = json.loads(Path(path).read_text())
+    for key in ANALYZE_KEYS:
+        if key not in payload:
+            return _fail(path, f"analyze payload missing key {key!r}")
+    if payload["schema"] != ANALYZE_SCHEMA_VERSION:
+        return _fail(
+            path,
+            f"analyze schema {payload['schema']!r} != "
+            f"{ANALYZE_SCHEMA_VERSION}",
+        )
+    summary = payload["summary"]
+    for key in SUMMARY_KEYS:
+        if key not in summary:
+            return _fail(path, f"summary missing key {key!r}")
+    verdicts = summary["verdicts"]
+    if sorted(verdicts) != sorted(VERDICTS):
+        return _fail(
+            path, f"verdict keys {sorted(verdicts)} != {sorted(VERDICTS)}"
+        )
+    branches = 0
+    for function in payload["functions"]:
+        for key in ("name", "start", "end", "branches"):
+            if key not in function:
+                return _fail(
+                    path, f"function record missing key {key!r}"
+                )
+        for branch in function["branches"]:
+            for key in BRANCH_KEYS:
+                if key not in branch:
+                    return _fail(
+                        path,
+                        f"branch record at pc "
+                        f"{branch.get('pc')} missing key {key!r}",
+                    )
+            if branch["sfp_verdict"] not in VERDICTS:
+                return _fail(
+                    path,
+                    f"unknown verdict {branch['sfp_verdict']!r} at pc "
+                    f"{branch['pc']}",
+                )
+            branches += 1
+    if branches != summary["branches"]:
+        return _fail(
+            path,
+            f"summary says {summary['branches']} branches, functions "
+            f"list {branches}",
+        )
+    if sum(verdicts.values()) != branches:
+        return _fail(
+            path,
+            f"verdict counts sum to {sum(verdicts.values())}, expected "
+            f"{branches}",
+        )
+    print(
+        f"{path}: ok — {payload['workload']} "
+        f"({payload['compile_config']}), {branches} branch site(s) at "
+        f"distance {payload['distance']}"
+    )
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--lint", metavar="PATH",
+                        help="a `repro lint --json` output file")
+    parser.add_argument("--analyze", metavar="PATH",
+                        help="a `repro analyze --json` output file")
+    args = parser.parse_args(argv)
+    if not args.lint and not args.analyze:
+        parser.error("nothing to check: pass --lint and/or --analyze")
+    status = 0
+    if args.lint:
+        status |= check_lint(args.lint)
+    if args.analyze:
+        status |= check_analyze(args.analyze)
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,7 +18,6 @@ run-history store track the daemon's service-latency trend.
 """
 
 import asyncio
-import statistics
 import tempfile
 import time
 
@@ -29,6 +28,7 @@ from repro.serve import (
     ServeConfig,
     ServerThread,
 )
+from repro.telemetry import QuantileSketch
 
 #: Cold request scale: big enough that one simulation dwarfs the HTTP
 #: round-trip, so the speedup measures memoization, not parsing.
@@ -86,11 +86,14 @@ def bench_serve_memoization_gate(benchmark):
                     assert status == 200
                     assert cold["cached"] is False
 
-                    warm = []
+                    # Warm latencies run through the same streaming
+                    # sketch the daemon's histograms use, so the gate's
+                    # percentiles and /metrics quantiles agree.
+                    warm = QuantileSketch()
                     for _ in range(WARM_SAMPLES):
                         started = time.perf_counter()
                         status, hit = client.simulate(**REQUEST)
-                        warm.append(time.perf_counter() - started)
+                        warm.observe(time.perf_counter() - started)
                         assert status == 200
                         assert hit["cached"] is True
                     # The hit body matches the cold body bit for bit.
@@ -98,9 +101,12 @@ def bench_serve_memoization_gate(benchmark):
                     assert hit["metrics"] == cold["metrics"]
 
                 rps = asyncio.run(_memoized_rps(handle.port))
+        percentiles = warm.percentiles()
         measured.update(
             cold_seconds=cold_seconds,
-            warm_p50_seconds=statistics.median(warm),
+            warm_p50_seconds=percentiles["p50"],
+            warm_p95_seconds=percentiles["p95"],
+            warm_p99_seconds=percentiles["p99"],
             memoized_rps=rps,
         )
 
@@ -110,12 +116,16 @@ def bench_serve_memoization_gate(benchmark):
         "serve_memoization",
         cold_seconds=measured["cold_seconds"],
         warm_p50_seconds=measured["warm_p50_seconds"],
+        warm_p95_seconds=measured["warm_p95_seconds"],
+        warm_p99_seconds=measured["warm_p99_seconds"],
         speedup=speedup,
         memoized_requests_per_second=measured["memoized_rps"],
     )
     print(
         f"\ncold {measured['cold_seconds'] * 1000:.1f}ms, "
-        f"warm p50 {measured['warm_p50_seconds'] * 1000:.2f}ms, "
+        f"warm p50 {measured['warm_p50_seconds'] * 1000:.2f}ms "
+        f"p95 {measured['warm_p95_seconds'] * 1000:.2f}ms "
+        f"p99 {measured['warm_p99_seconds'] * 1000:.2f}ms, "
         f"speedup {speedup:.0f}x; memoized throughput "
         f"{measured['memoized_rps']:.0f} req/s "
         f"({CONCURRENCY} connections)"

@@ -21,17 +21,22 @@
     repro history trend --metric 'E2.MEAN.*'
     repro history gc --keep 50
     repro serve --port 8023 --workers 4   # prediction-as-a-service daemon
+    repro serve --trace --slow-request 2  # ... with per-request tracing
+    repro trace show spans.jsonl          # span tree + critical path
+    repro trace list spans.jsonl          # one line per trace
+    repro top [--once]                    # live daemon dashboard
     repro clear-cache
 
 ``run``, ``run-all`` and ``simulate`` accept ``--metrics out.jsonl``
 (phase spans plus a final merged-counter snapshot as JSONL, see
-``docs/observability.md``) and ``--record`` (append a RunRecord to the
-run-history store, see ``docs/run-history.md``).
+``docs/observability.md``), ``--trace spans.jsonl`` (distributed span
+records for ``repro trace show``) and ``--record`` (append a RunRecord
+to the run-history store, see ``docs/run-history.md``).
 """
 
 import argparse
 import sys
-from contextlib import contextmanager
+from contextlib import ExitStack, contextmanager
 
 from repro import repro_version, telemetry
 from repro.compiler import config as config_mod
@@ -56,26 +61,45 @@ def _metrics_scope(args):
     ``--metrics PATH`` a JSONL sink additionally captures span events
     and, last, a ``metrics`` snapshot of the merged registry.  The
     stream opens with a ``header`` event carrying the harness version
-    and the invoked subcommand.
+    and the invoked subcommand.  With ``--trace PATH`` tracing is
+    switched on for the invocation and the collected span records are
+    written to PATH as JSONL on exit (see ``repro trace show``).
     """
     path = getattr(args, "metrics", None)
+    trace_path = getattr(args, "trace", None)
     registry = telemetry.MetricsRegistry()
-    with telemetry.use_registry(registry):
-        if not path:
-            yield registry
-            return
-        with telemetry.JsonlSink(path) as sink, telemetry.use_sink(sink):
+    with ExitStack() as stack:
+        stack.enter_context(telemetry.use_registry(registry))
+        spans_out = None
+        if trace_path:
+            # --trace: the whole invocation becomes one trace rooted at
+            # the first span opened (e.g. `sweep` or `sim.driver`);
+            # workers ship their spans back and everything lands in one
+            # mergeable JSONL file for `repro trace show`.
+            spans_out = telemetry.SpanCollector()
+            stack.enter_context(telemetry.use_tracing(True))
+            stack.enter_context(telemetry.use_collector(spans_out))
+        sink = None
+        if path:
+            sink = stack.enter_context(telemetry.JsonlSink(path))
+            stack.enter_context(telemetry.use_sink(sink))
             sink.emit({
                 "event": "header",
                 "schema": 1,
                 "version": repro_version(),
                 "command": getattr(args, "command", ""),
             })
-            try:
-                yield registry
-            finally:
+        try:
+            yield registry
+        finally:
+            if sink is not None:
                 sink.emit({"event": "metrics", **registry.snapshot()})
+            if spans_out is not None:
+                spans_out.write_jsonl(trace_path)
+    if path:
         print(f"metrics written to {path}", file=sys.stderr)
+    if trace_path:
+        print(f"trace written to {trace_path}", file=sys.stderr)
 
 
 @contextmanager
@@ -756,12 +780,42 @@ def _cmd_serve(args) -> int:
         max_queue_depth=args.queue_depth,
         job_timeout=args.job_timeout,
         idle_timeout=args.idle_timeout,
+        tracing=args.trace,
+        trace_log=args.trace_log,
+        slow_request_seconds=args.slow_request,
     )
     # The daemon runs under one long-lived registry; with --metrics the
     # final serve.* snapshot lands in the JSONL stream on shutdown,
     # exactly like every other instrumented subcommand.
     with _metrics_scope(args) as registry:
         return run_server(config, registry=registry)
+
+
+def _cmd_trace(args) -> int:
+    from repro.telemetry import read_spans, render_trace, render_trace_list
+
+    try:
+        records = read_spans(args.path)
+    except FileNotFoundError:
+        print(f"no such trace file: {args.path}", file=sys.stderr)
+        return 1
+    if not records:
+        print(f"{args.path}: no trace spans", file=sys.stderr)
+        return 1
+    if args.trace_command == "list":
+        print(render_trace_list(records))
+    else:
+        print(render_trace(records, trace_id=args.trace_id))
+    return 0
+
+
+def _cmd_top(args) -> int:
+    from repro.serve.top import run_top
+
+    return run_top(
+        host=args.host, port=args.port,
+        interval=args.interval, once=args.once,
+    )
 
 
 def _cmd_clear_cache(args) -> int:
@@ -807,6 +861,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--output", help="also write the export to this dir")
         p.add_argument("--metrics", metavar="PATH",
                        help="append telemetry events (JSONL) to PATH")
+        p.add_argument("--trace", metavar="PATH",
+                       help="trace the invocation; append span records "
+                            "(JSONL) to PATH for `repro trace show`")
         p.add_argument("--record", action="store_true",
                        help="append a RunRecord to the run-history store")
         p.add_argument("--store", metavar="DIR",
@@ -829,6 +886,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", help="also write each export to this dir")
     p.add_argument("--metrics", metavar="PATH",
                    help="append telemetry events (JSONL) to PATH")
+    p.add_argument("--trace", metavar="PATH",
+                   help="trace the invocation; append span records "
+                        "(JSONL) to PATH for `repro trace show`")
     p.add_argument("--record", action="store_true",
                    help="append a RunRecord to the run-history store")
     p.add_argument("--store", metavar="DIR",
@@ -852,6 +912,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="use the non-predicated compile")
     p.add_argument("--metrics", metavar="PATH",
                    help="append telemetry events (JSONL) to PATH")
+    p.add_argument("--trace", metavar="PATH",
+                   help="trace the invocation; append span records "
+                        "(JSONL) to PATH for `repro trace show`")
     p.add_argument("--record", action="store_true",
                    help="append a RunRecord to the run-history store")
     p.add_argument("--store", metavar="DIR",
@@ -1068,6 +1131,40 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics", metavar="PATH",
                    help="append serve telemetry events (JSONL) to PATH "
                         "on shutdown")
+    p.add_argument("--trace", action="store_true",
+                   help="record a span tree per request (browse with "
+                        "GET /v1/traces; also $REPRO_TRACING=1)")
+    p.add_argument("--trace-log", metavar="PATH",
+                   help="with --trace: also append every span record "
+                        "(JSONL) to PATH as it completes")
+    p.add_argument("--slow-request", type=float, default=None,
+                   metavar="S",
+                   help="with --trace: dump the span tree of any "
+                        "request slower than S seconds to stderr")
+
+    p = sub.add_parser(
+        "trace", help="inspect span JSONL written by --trace"
+    )
+    tsub = p.add_subparsers(dest="trace_command", required=True)
+    tp = tsub.add_parser("show", help="render span tree + critical path")
+    tp.add_argument("path", help="span JSONL file")
+    tp.add_argument("--trace-id", default=None,
+                    help="render only this trace (default: all)")
+    tp = tsub.add_parser("list", help="one summary line per trace")
+    tp.add_argument("path", help="span JSONL file")
+
+    p = sub.add_parser(
+        "top", help="live dashboard for a running serve daemon"
+    )
+    p.add_argument("--host", default="127.0.0.1",
+                   help="daemon address (default %(default)s)")
+    p.add_argument("--port", type=int, default=8023,
+                   help="daemon port (default %(default)s)")
+    p.add_argument("--interval", type=float, default=1.0, metavar="S",
+                   help="refresh period in seconds (default %(default)s)")
+    p.add_argument("--once", action="store_true",
+                   help="print one plain-text snapshot and exit "
+                        "(no curses; usable in scripts/CI)")
 
     p = sub.add_parser("telemetry-report",
                        help="summarise a --metrics JSONL file")
@@ -1096,6 +1193,8 @@ _HANDLERS = {
     "disasm": _cmd_disasm,
     "history": _cmd_history,
     "serve": _cmd_serve,
+    "trace": _cmd_trace,
+    "top": _cmd_top,
     "telemetry-report": _cmd_telemetry_report,
     "clear-cache": _cmd_clear_cache,
 }

@@ -101,6 +101,12 @@ class ServeClient:
     def metrics(self) -> Reply:
         return self.request("GET", "/v1/metrics")
 
+    def traces(self) -> Reply:
+        return self.request("GET", "/v1/traces")
+
+    def trace(self, trace_id: str) -> Reply:
+        return self.request("GET", f"/v1/traces/{trace_id}")
+
 
 class AsyncServeClient:
     """Asyncio keep-alive client (one connection, sequential requests)."""

@@ -28,6 +28,7 @@ how the sweep engine threads the parent's resolution into its workers.
 
 import os
 import time
+from contextlib import ExitStack
 from typing import Dict, Optional, Tuple
 
 from repro.profiler.collector import AggregatingCollector
@@ -37,7 +38,7 @@ from repro.serve.protocol import build_options, build_predictor
 from repro.sim.core import CORE_ENV
 from repro.sim.driver import simulate
 from repro.sim.sweep import ParallelSweepRunner
-from repro.telemetry import MetricsRegistry, span, use_registry
+from repro.telemetry import MetricsRegistry, span, tracing, use_registry
 from repro.trace.container import Trace
 from repro.workloads import get_workload
 
@@ -144,7 +145,8 @@ _EXECUTORS = {
 }
 
 
-def execute_job(spec: dict, core: Optional[str] = None) -> dict:
+def execute_job(spec: dict, core: Optional[str] = None,
+                traceparent: Optional[str] = None) -> dict:
     """Run one canonical job spec; returns metrics + worker telemetry.
 
     ``core`` is the server's resolved knob, passed explicitly exactly
@@ -156,13 +158,29 @@ def execute_job(spec: dict, core: Optional[str] = None) -> dict:
     in the return value (registries pickle), so the server can merge
     worker counters deterministically — the same protocol the sweep
     engine uses for its points.
+
+    ``traceparent`` (the server's ``serve.execute`` span) turns tracing
+    on for the job: the ``serve-job`` span and everything under it —
+    trace loads, ``sim.driver``, sweep points — link into the request's
+    trace, and the records ride back in ``"spans"`` (a pickled
+    :class:`~repro.telemetry.SpanCollector`), mirroring the registry.
     """
     start = time.perf_counter()
-    with use_registry(MetricsRegistry()) as registry:
+    with ExitStack() as stack:
+        spans_out = None
+        if traceparent is not None:
+            spans_out = tracing.SpanCollector()
+            stack.enter_context(tracing.use_tracing(True))
+            stack.enter_context(tracing.use_collector(spans_out))
+            stack.enter_context(tracing.use_context(
+                tracing.from_traceparent(traceparent)
+            ))
+        registry = stack.enter_context(use_registry(MetricsRegistry()))
         with span("serve-job", op=spec["op"]):
             metrics = _EXECUTORS[spec["op"]](spec, core)
     return {
         "metrics": metrics,
         "registry": registry,
         "seconds": time.perf_counter() - start,
+        "spans": spans_out,
     }

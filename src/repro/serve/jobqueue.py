@@ -63,6 +63,13 @@ class Job:
     #: physically sitting in a queue lane (False once dispatched, even
     #: if the dispatcher has not yet marked it RUNNING)
     in_queue: bool = False
+    #: trace context of the admitting request (a
+    #: :class:`repro.telemetry.TraceContext`, when tracing is on) — the
+    #: queue/execute/worker spans of this job all hang under it
+    trace_ctx: Optional[object] = None
+    #: wall-clock admission time (trace spans use wall time; the
+    #: monotonic ``enqueued_at`` stays the latency arithmetic source)
+    enqueued_wall: float = 0.0
     done_event: asyncio.Event = field(default_factory=asyncio.Event)
 
     @property
@@ -133,6 +140,7 @@ class JobQueue:
         )
         band.setdefault(job.client, deque()).append(job)
         job.enqueued_at = time.monotonic()
+        job.enqueued_wall = time.time()
         job.in_queue = True
         self._depth += 1
         self._available.set()
@@ -169,6 +177,22 @@ class JobQueue:
             if not band:
                 del self._bands[priority]
         return None
+
+    def lane_depths(self) -> Dict[str, int]:
+        """Live queued jobs per ``p<priority>/<client>`` lane.
+
+        The ``repro top`` dashboard renders this via ``/v1/healthz`` —
+        it is the per-lane view behind the scalar :attr:`depth`.
+        """
+        depths: Dict[str, int] = {}
+        for priority in sorted(self._bands):
+            for client, lane in self._bands[priority].items():
+                live = sum(
+                    1 for job in lane if job.state != CANCELLED
+                )
+                if live:
+                    depths[f"p{priority}/{client}"] = live
+        return depths
 
     def cancel(self, job: Job) -> bool:
         """Cancel a queued job (running/terminal jobs are not touched).

@@ -191,7 +191,11 @@ def _predictor_name(value: str) -> str:
 # -- queue/transport controls (shared by all ops) -----------------------------
 
 #: Fields that steer queueing and response delivery, not job identity.
-CONTROL_FIELDS = ("priority", "client", "wait", "timeout")
+#: ``traceparent`` is a control, not an axis: two requests differing
+#: only in trace context are the same logical request and must share a
+#: request_key (and hence a memo entry / coalesced job).
+CONTROL_FIELDS = ("priority", "client", "wait", "timeout",
+                  "traceparent")
 
 
 @dataclass(frozen=True)
@@ -202,6 +206,7 @@ class RequestControls:
     client: str = ""
     wait: bool = True
     timeout: Optional[float] = None  #: max seconds to block with wait
+    traceparent: str = ""  #: W3C trace context to link spans under
 
 
 def parse_controls(body: dict) -> RequestControls:
@@ -211,12 +216,21 @@ def parse_controls(body: dict) -> RequestControls:
             f"field 'client' longer than {MAX_CLIENT_CHARS} chars",
             code="out_of_range",
         )
+    traceparent = _string(body, "traceparent", default="")
+    if traceparent:
+        from repro.telemetry.tracing import from_traceparent
+
+        try:
+            from_traceparent(traceparent)
+        except ValueError as exc:
+            raise ProtocolError(str(exc), code="bad_traceparent") from None
     return RequestControls(
         priority=_int(body, "priority", PRIORITY_DEFAULT,
                       PRIORITY_MIN, PRIORITY_MAX),
         client=client,
         wait=_bool(body, "wait", True),
         timeout=_number(body, "timeout", None, 0.001, 3600.0),
+        traceparent=traceparent,
     )
 
 

@@ -31,11 +31,17 @@ store write each result exactly once.
 
 import asyncio
 import json
+import os
+import platform
+import socket
+import sys
 import threading
 import time
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
+from urllib.parse import parse_qs
 
 from repro import repro_version
 from repro.runstore import RunRecord, RunStore
@@ -52,7 +58,8 @@ from repro.serve.protocol import (
     parse_controls,
 )
 from repro.sim.core import resolve_core
-from repro.telemetry import MetricsRegistry
+from repro.telemetry import MetricsRegistry, render_prometheus, tracing
+from repro.telemetry.traceview import render_trace
 
 #: Hard caps on the HTTP parser, defense against garbage input.
 MAX_REQUEST_LINE = 8192
@@ -61,6 +68,10 @@ MAX_HEADER_LINE = 8192
 
 #: How many finished jobs to keep around for ``GET /v1/jobs/<id>``.
 FINISHED_JOBS_KEPT = 1024
+
+#: How many distinct traces the daemon keeps for ``GET /v1/traces``
+#: (oldest dropped first; a ``--trace-log`` file keeps everything).
+TRACES_KEPT = 256
 
 
 @dataclass
@@ -77,6 +88,10 @@ class ServeConfig:
     idle_timeout: float = 60.0  #: keep-alive connection idle ceiling
     max_body_bytes: int = 1 << 20
     mp_context: Optional[str] = None  #: multiprocessing start method
+    tracing: bool = False  #: record request/queue/worker trace spans
+    trace_log: Optional[str] = None  #: append span JSONL here
+    #: dump the span tree of any request slower than this (seconds)
+    slow_request_seconds: Optional[float] = None
 
 
 class ServeServer:
@@ -103,11 +118,19 @@ class ServeServer:
         self._dispatchers = []
         self._connections = set()
         self._paused: Optional[asyncio.Event] = None
+        #: tracing is on via the config knob or the ambient flag
+        self.tracing = config.tracing or tracing.tracing_enabled()
+        #: trace_id -> finished span records, oldest trace evicted first
+        self._trace_store: "OrderedDict[str, List[dict]]" = OrderedDict()
+        self._trace_file = None
+        self._busy = 0  #: jobs currently occupying pool workers
 
     # -- lifecycle --------------------------------------------------------
 
     async def start(self) -> None:
         self.started_at = time.monotonic()
+        if self.tracing and self.config.trace_log:
+            self._trace_file = open(self.config.trace_log, "a")
         self._index_store()
         self._pool = self._make_pool()
         self._paused = asyncio.Event()
@@ -134,6 +157,9 @@ class ServeServer:
                 pass
         if self._pool is not None:
             self._pool.shutdown(wait=False, cancel_futures=True)
+        if self._trace_file is not None:
+            self._trace_file.close()
+            self._trace_file = None
 
     @property
     def port(self) -> int:
@@ -186,6 +212,56 @@ class ServeServer:
     def _observe(self, name: str, value: float) -> None:
         self.registry.histogram(name).observe(value)
 
+    # -- tracing helpers ---------------------------------------------------
+    #
+    # The daemon records spans with *explicit* contexts, never the
+    # thread-local frame stack: interleaved coroutines share one event
+    # loop thread, so a stack would braid unrelated requests together.
+    # Span ids stay derived (child_context), so the tree is still
+    # deterministic given the request's root context.
+
+    def _record_trace_span(self, record: dict) -> None:
+        trace_id = record["trace_id"]
+        store = self._trace_store
+        if trace_id not in store and len(store) >= TRACES_KEPT:
+            store.popitem(last=False)
+        store.setdefault(trace_id, []).append(record)
+        if self._trace_file is not None:
+            self._trace_file.write(
+                json.dumps(record, sort_keys=True) + "\n"
+            )
+            self._trace_file.flush()
+
+    def _request_context(self, controls) -> "tracing.TraceContext":
+        """The ``serve.request`` span context for one incoming request.
+
+        A client-supplied ``traceparent`` links the request under the
+        caller's trace; otherwise a fresh trace is rooted.
+        """
+        if controls.traceparent:
+            parent = tracing.from_traceparent(controls.traceparent)
+            return tracing.child_context(parent, "serve.request", 0)
+        trace_id = tracing.new_trace_id()
+        return tracing.TraceContext(
+            trace_id=trace_id,
+            span_id=tracing.derive_span_id(
+                trace_id, "", "serve.request", 0
+            ),
+        )
+
+    def _log_slow_request(self, ctx, op: str, seconds: float) -> None:
+        self._count("serve.slow_requests")
+        tree = render_trace(
+            self._trace_store.get(ctx.trace_id, []),
+            trace_id=ctx.trace_id,
+        )
+        print(
+            f"repro serve: SLOW {op} request took {seconds:.3f}s "
+            f"(threshold {self.config.slow_request_seconds:.3f}s), "
+            f"trace {ctx.trace_id}:\n{tree}",
+            file=sys.stderr, flush=True,
+        )
+
     # -- job machinery -----------------------------------------------------
 
     async def _dispatch_loop(self) -> None:
@@ -201,15 +277,46 @@ class ServeServer:
         job.state = jobqueue.RUNNING
         job.started_at = time.monotonic()
         self._observe("serve.queue_wait_seconds", job.queue_seconds)
+        ctx = job.trace_ctx
+        exec_ctx = None
+        traceparent = None
+        if ctx is not None:
+            # The queue wait is an async phase: its span is recorded
+            # here, at dispatch, with the admission wall time as start.
+            self._record_trace_span(tracing.make_record(
+                tracing.child_context(ctx, "serve.queue", 0),
+                "serve.queue", job.enqueued_wall, job.queue_seconds,
+                {"job_id": job.id, "priority": job.controls.priority},
+            ))
+            exec_ctx = tracing.child_context(ctx, "serve.execute", 1)
+            traceparent = exec_ctx.to_traceparent()
         loop = asyncio.get_running_loop()
+        exec_wall = time.time()
+        exec_start = time.perf_counter()
+
+        def record_execute(error: str = "") -> None:
+            if exec_ctx is None:
+                return
+            attrs = {"job_id": job.id, "op": job.spec.op}
+            if error:
+                attrs["error"] = error
+            self._record_trace_span(tracing.make_record(
+                exec_ctx, "serve.execute", exec_wall,
+                time.perf_counter() - exec_start, attrs,
+            ))
+
+        self._busy += 1
+        self._gauge("serve.workers_busy", self._busy)
         try:
             out = await asyncio.wait_for(
                 loop.run_in_executor(
-                    self._pool, execute_job, job.spec.spec, self.core
+                    self._pool, execute_job, job.spec.spec, self.core,
+                    traceparent,
                 ),
                 timeout=self.config.job_timeout,
             )
         except asyncio.TimeoutError:
+            record_execute(error="job_timeout")
             self._finish_job(
                 job, error="job execution timed out after "
                 f"{self.config.job_timeout:.0f}s",
@@ -217,11 +324,19 @@ class ServeServer:
             )
             return
         except Exception as exc:  # worker died, pickling, bug...
+            record_execute(error=type(exc).__name__)
             self._finish_job(
                 job, error=f"{type(exc).__name__}: {exc}",
                 error_code="execution_failed",
             )
             return
+        finally:
+            self._busy -= 1
+            self._gauge("serve.workers_busy", self._busy)
+        record_execute()
+        if exec_ctx is not None and out.get("spans") is not None:
+            for span_record in out["spans"].records:
+                self._record_trace_span(span_record)
         if job.state == jobqueue.CANCELLED:
             return  # result discarded; record intentionally unpublished
         record = self._publish(job.spec, out)
@@ -286,6 +401,29 @@ class ServeServer:
                            peer: str) -> Tuple[int, dict]:
         spec = canonicalize(op, body)
         controls = parse_controls(body)
+        if not self.tracing:
+            return await self._handle_post_inner(
+                op, spec, controls, peer, None
+            )
+        ctx = self._request_context(controls)
+        wall = time.time()
+        start = time.perf_counter()
+        try:
+            return await self._handle_post_inner(
+                op, spec, controls, peer, ctx
+            )
+        finally:
+            seconds = time.perf_counter() - start
+            self._record_trace_span(tracing.make_record(
+                ctx, "serve.request", wall, seconds,
+                {"op": op, "client": controls.client or peer},
+            ))
+            if (self.config.slow_request_seconds is not None
+                    and seconds >= self.config.slow_request_seconds):
+                self._log_slow_request(ctx, op, seconds)
+
+    async def _handle_post_inner(self, op, spec, controls, peer,
+                                 ctx) -> Tuple[int, dict]:
         self._count(f"serve.requests.{op}")
 
         # Memoization: identical request -> store lookup, no simulation.
@@ -308,7 +446,7 @@ class ServeServer:
         if job is None:
             job = Job(
                 id=self.queue.next_id(), spec=spec, controls=controls,
-                client=controls.client or peer,
+                client=controls.client or peer, trace_ctx=ctx,
             )
             try:
                 self.queue.put(job)
@@ -413,18 +551,63 @@ class ServeServer:
         return 200, record.to_dict()
 
     def _handle_healthz(self) -> Tuple[int, dict]:
+        # Build/identity fields (version/core/pid/host/python) are what
+        # tell the daemons of a fleet apart; the rest is live state the
+        # `repro top` dashboard polls.
         return 200, {
             "status": "ok",
             "version": repro_version(),
             "core": self.core,
             "workers": self.config.workers,
+            "pid": os.getpid(),
+            "host": socket.gethostname(),
+            "python": platform.python_version(),
+            "tracing": self.tracing,
             "uptime_seconds": round(
                 time.monotonic() - self.started_at, 3
             ),
             "queue_depth": self.queue.depth,
+            "queue_lanes": self.queue.lane_depths(),
+            "busy_workers": self._busy,
             "inflight": len(self.inflight),
             "memo_entries": len(self.memo),
             "store": str(self.store.root),
+        }
+
+    def _handle_metrics(self, query: str) -> Tuple[int, object]:
+        fmt = parse_qs(query).get("format", ["json"])[-1]
+        if fmt == "prom":
+            return 200, render_prometheus(self.registry.snapshot())
+        if fmt != "json":
+            return 400, _error(
+                400, "unknown_format",
+                f"unknown metrics format {fmt!r} (json or prom)",
+            )
+        return 200, self.registry.snapshot()
+
+    def _handle_traces(self) -> Tuple[int, dict]:
+        traces = []
+        for trace_id, records in self._trace_store.items():
+            traces.append({
+                "trace_id": trace_id,
+                "spans": len(records),
+                "names": sorted({r["name"] for r in records}),
+            })
+        return 200, {"traces": traces, "kept": TRACES_KEPT}
+
+    def _handle_get_trace(self, trace_id: str) -> Tuple[int, dict]:
+        records = self._trace_store.get(trace_id)
+        if records is None:
+            return 404, _error(
+                404, "unknown_trace",
+                f"no trace {trace_id!r} (daemon keeps the last "
+                f"{TRACES_KEPT})",
+            )
+        return 200, {
+            "trace_id": trace_id,
+            "spans": sorted(
+                records, key=lambda r: (r["trace_id"], r["span_id"])
+            ),
         }
 
     # -- HTTP layer --------------------------------------------------------
@@ -545,17 +728,25 @@ class ServeServer:
         )
 
     async def _route(self, method, path, body, writer):
-        path = path.split("?", 1)[0].rstrip("/") or "/"
+        path, _, query = path.partition("?")
+        path = path.rstrip("/") or "/"
         parts = path.strip("/").split("/")
-        if not parts or parts[0] != "v1":
+        if parts and parts[0] == "v1":
+            parts = parts[1:]
+        elif parts not in (["metrics"], ["healthz"]):
+            # Scraper-friendly aliases: /metrics and /healthz work
+            # without the /v1 prefix; everything else requires it.
             return 404, _error(404, "unknown_route",
                                f"no route {path!r}")
-        parts = parts[1:]
         if method == "GET":
             if parts == ["healthz"]:
                 return self._handle_healthz()
             if parts == ["metrics"]:
-                return 200, self.registry.snapshot()
+                return self._handle_metrics(query)
+            if parts == ["traces"]:
+                return self._handle_traces()
+            if len(parts) == 2 and parts[0] == "traces":
+                return self._handle_get_trace(parts[1])
             if len(parts) == 2 and parts[0] == "jobs":
                 return self._handle_get_job(parts[1])
             if len(parts) == 2 and parts[0] == "runs":
@@ -581,11 +772,17 @@ class ServeServer:
 
     async def _write_response(self, writer, status, payload,
                               keep_alive) -> None:
-        body = json.dumps(payload, sort_keys=True).encode()
+        if isinstance(payload, str):
+            # Text payloads (Prometheus exposition) ship verbatim.
+            body = payload.encode()
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            body = json.dumps(payload, sort_keys=True).encode()
+            content_type = "application/json"
         reason = _REASONS.get(status, "OK")
         head = (
             f"HTTP/1.1 {status} {reason}\r\n"
-            "Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
         )
         if status == 429:

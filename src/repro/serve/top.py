@@ -1,0 +1,184 @@
+"""``repro top`` — a live terminal dashboard for one serve daemon.
+
+Polls ``GET /v1/healthz`` and ``GET /v1/metrics`` every ``interval``
+seconds and renders queue depth per lane, worker utilization, memo hit
+ratio, request rate and latency percentiles with stdlib curses — no
+dependencies, works over ssh.
+
+The module is split so the interesting parts are testable without a
+terminal: :func:`sample` fetches one snapshot, :func:`deltas` computes
+the rates between two snapshots, :func:`render_lines` turns a snapshot
+into the list of strings the curses loop (or ``--once`` plain mode)
+prints.
+"""
+
+import time
+from typing import Dict, List, Optional
+
+from repro.serve.client import ServeClient, ServeUnavailable
+
+
+def sample(client: ServeClient) -> dict:
+    """One dashboard snapshot: healthz + metrics + a wall timestamp."""
+    status, health = client.healthz()
+    if status != 200:
+        raise ServeUnavailable(f"healthz answered {status}")
+    status, metrics = client.metrics()
+    if status != 200:
+        raise ServeUnavailable(f"metrics answered {status}")
+    return {"at": time.monotonic(), "health": health,
+            "metrics": metrics}
+
+
+def _counter_total(metrics: dict, prefix: str) -> int:
+    return sum(
+        value for name, value in metrics.get("counters", {}).items()
+        if name.startswith(prefix)
+    )
+
+
+def deltas(previous: Optional[dict], current: dict) -> Dict[str, float]:
+    """Rates between two snapshots (zeros on the first sample)."""
+    requests = _counter_total(current["metrics"], "serve.requests.")
+    jobs = _counter_total(current["metrics"], "serve.jobs_completed")
+    if previous is None:
+        return {"rps": 0.0, "jobs_per_s": 0.0, "requests": requests}
+    dt = max(1e-9, current["at"] - previous["at"])
+    prev_requests = _counter_total(
+        previous["metrics"], "serve.requests."
+    )
+    prev_jobs = _counter_total(
+        previous["metrics"], "serve.jobs_completed"
+    )
+    return {
+        "rps": (requests - prev_requests) / dt,
+        "jobs_per_s": (jobs - prev_jobs) / dt,
+        "requests": requests,
+    }
+
+
+def _bar(fraction: float, width: int = 20) -> str:
+    fraction = max(0.0, min(1.0, fraction))
+    filled = int(round(fraction * width))
+    return "#" * filled + "-" * (width - filled)
+
+
+def _latency(metrics: dict, name: str) -> str:
+    data = metrics.get("histograms", {}).get(name)
+    if not data or not data.get("count"):
+        return "p50 -       p95 -       p99 -"
+    return (
+        f"p50 {1e3 * data.get('p50', 0.0):8.2f}ms  "
+        f"p95 {1e3 * data.get('p95', 0.0):8.2f}ms  "
+        f"p99 {1e3 * data.get('p99', 0.0):8.2f}ms  "
+        f"(n={data['count']})"
+    )
+
+
+def render_lines(snapshot: dict, rates: Dict[str, float]) -> List[str]:
+    """The dashboard as plain strings — curses and ``--once`` share it."""
+    health = snapshot["health"]
+    metrics = snapshot["metrics"]
+    counters = metrics.get("counters", {})
+    workers = max(1, health.get("workers", 1))
+    busy = health.get("busy_workers", 0)
+    hits = counters.get("serve.cache_hit", 0)
+    misses = counters.get("serve.cache_miss", 0)
+    looked_up = hits + misses
+    hit_ratio = hits / looked_up if looked_up else 0.0
+
+    lines = [
+        (
+            f"repro top — {health.get('host', '?')} "
+            f"pid {health.get('pid', '?')} "
+            f"v{health.get('version', '?')} "
+            f"core={health.get('core', '?')} "
+            f"python {health.get('python', '?')} "
+            f"up {health.get('uptime_seconds', 0.0):.0f}s"
+        ),
+        "",
+        (
+            f"requests  {rates.get('requests', 0):>8}  "
+            f"rps {rates.get('rps', 0.0):7.1f}   "
+            f"jobs/s {rates.get('jobs_per_s', 0.0):6.1f}   "
+            f"failed {counters.get('serve.jobs_failed', 0)}"
+        ),
+        (
+            f"workers   [{_bar(busy / workers)}] {busy}/{workers} busy"
+        ),
+        (
+            f"memo      [{_bar(hit_ratio)}] "
+            f"{100.0 * hit_ratio:5.1f}% hit "
+            f"({hits} hit / {misses} miss, "
+            f"{health.get('memo_entries', 0)} entries)"
+        ),
+        (
+            f"queue     depth {health.get('queue_depth', 0)}  "
+            f"inflight {health.get('inflight', 0)}  "
+            f"coalesced {counters.get('serve.coalesced', 0)}  "
+            f"rejected {counters.get('serve.rejected_queue_full', 0)}"
+        ),
+    ]
+    lanes = health.get("queue_lanes", {}) or {}
+    for lane, depth in sorted(lanes.items()):
+        lines.append(f"  lane {lane:<24} {depth}")
+    lines.extend([
+        "",
+        f"request   {_latency(metrics, 'serve.request_seconds')}",
+        f"queue     {_latency(metrics, 'serve.queue_wait_seconds')}",
+        f"execute   {_latency(metrics, 'serve.exec_seconds')}",
+    ])
+    if health.get("tracing"):
+        lines.append("tracing   on (GET /v1/traces)")
+    return lines
+
+
+def run_top(host: str = "127.0.0.1", port: int = 8023,
+            interval: float = 1.0, once: bool = False) -> int:
+    """Entry point for ``repro top``; returns a process exit code."""
+    client = ServeClient(host=host, port=port, timeout=10.0)
+    try:
+        snapshot = sample(client)
+    except ServeUnavailable as exc:
+        print(f"repro top: cannot reach daemon: {exc}")
+        return 1
+    rates = deltas(None, snapshot)
+    if once:
+        print("\n".join(render_lines(snapshot, rates)))
+        return 0
+
+    import curses
+
+    def loop(screen) -> None:
+        nonlocal snapshot, rates
+        curses.curs_set(0)
+        screen.timeout(int(interval * 1000))
+        while True:
+            screen.erase()
+            height, width = screen.getmaxyx()
+            for row, line in enumerate(render_lines(snapshot, rates)):
+                if row >= height - 1:
+                    break
+                screen.addnstr(row, 0, line, width - 1)
+            screen.addnstr(
+                min(height - 1, len(render_lines(snapshot, rates)) + 1),
+                0, "q to quit", width - 1,
+            )
+            screen.refresh()
+            key = screen.getch()
+            if key in (ord("q"), ord("Q")):
+                return
+            try:
+                fresh = sample(client)
+            except ServeUnavailable:
+                continue  # daemon restarting; keep the last frame
+            rates = deltas(snapshot, fresh)
+            snapshot = fresh
+
+    try:
+        curses.wrapper(loop)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        client.close()
+    return 0

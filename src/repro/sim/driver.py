@@ -193,10 +193,33 @@ def simulate(
     across cores; points the fast cores cannot model exactly —
     unkernelized predictors, BTB modelling, profiler collectors — run
     here regardless of the knob.
+
+    With tracing on (:mod:`repro.telemetry.tracing`) the run is wrapped
+    in a ``sim.driver`` trace span; this is trace-only — the ``sim.*``
+    counter set recorded into the metrics registry never changes.
     """
     from repro.sim.core import resolve_core
 
     core = resolve_core(core)
+    if not telemetry.tracing_enabled():
+        return _simulate(trace, predictor, options, collector, core)
+    with telemetry.trace_span(
+        "sim.driver",
+        workload=trace.meta.workload or "<trace>",
+        predictor=predictor.name,
+        core=core,
+    ):
+        return _simulate(trace, predictor, options, collector, core)
+
+
+def _simulate(
+    trace: Trace,
+    predictor: BranchPredictor,
+    options: SimOptions,
+    collector,
+    core: str,
+) -> SimResult:
+    """The driver body; ``core`` arrives resolved (see :func:`simulate`)."""
     if core != "object":
         from repro.sim import fastcore
 

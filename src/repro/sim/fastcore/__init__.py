@@ -112,18 +112,25 @@ def run_fast(
     if kernel is None:
         kernel = kernel_from_predictor(predictor)
     start = time.perf_counter()
-    plan = _plan_for(trace, options)
-    used = core
-    if core == "numpy" and not batch_supported(kernel):
-        if require:
-            raise KernelError(
-                f"kernel {kernel.name} has no numpy backend"
-            )
-        used = "fast"
-    if used == "numpy":
-        mis = batch_replay(kernel, plan)
-    else:
-        mis = fast_replay(kernel, plan)
+    # Trace-only annotation (no registry instruments): the fastcore.*
+    # counter set below must stay identical with tracing on or off.
+    with telemetry.trace_span(
+        "fastcore.replay",
+        workload=trace.meta.workload or "<trace>",
+        kernel=kernel.name,
+    ):
+        plan = _plan_for(trace, options)
+        used = core
+        if core == "numpy" and not batch_supported(kernel):
+            if require:
+                raise KernelError(
+                    f"kernel {kernel.name} has no numpy backend"
+                )
+            used = "fast"
+        if used == "numpy":
+            mis = batch_replay(kernel, plan)
+        else:
+            mis = fast_replay(kernel, plan)
     wall = time.perf_counter() - start
 
     n = plan.n

@@ -29,6 +29,7 @@ import pickle
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
+from contextlib import ExitStack
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional
 
@@ -37,7 +38,7 @@ from repro.profiler.collector import AggregatingCollector
 from repro.profiler.spec import ProfileSpec
 from repro.sim.core import resolve_core
 from repro.sim.driver import SimOptions, SimResult, simulate
-from repro.telemetry import MetricsRegistry, span, use_registry
+from repro.telemetry import MetricsRegistry, span, tracing, use_registry
 from repro.trace.container import Trace
 
 #: Environment variable overriding the default worker count.
@@ -105,7 +106,7 @@ def _init_worker(traces_blob: bytes) -> None:
 
 def _run_point(
     index, trace_name, label, predictor, options, profile=None,
-    core="object",
+    core="object", traceparent=None,
 ):
     """Simulate one grid point inside a worker process.
 
@@ -115,6 +116,12 @@ def _run_point(
     With a :class:`~repro.profiler.spec.ProfileSpec` the point also runs
     under a fresh attribution aggregator, which rides back to the parent
     on ``result.attribution`` exactly like the registry.
+
+    ``traceparent`` (the parent sweep span's context) turns tracing on
+    for the point: it runs under a ``sweep-point`` trace span whose id
+    is derived from the sweep context and the point's canonical index —
+    not from scheduling — and its spans ride back in a fresh
+    :class:`~repro.telemetry.SpanCollector`, mirroring the registry.
     """
     started_at = time.time()
     start = time.perf_counter()
@@ -123,14 +130,30 @@ def _run_point(
         if profile is not None
         else None
     )
-    with use_registry(MetricsRegistry()) as registry:
+    with ExitStack() as stack:
+        spans_out = None
+        if traceparent is not None:
+            spans_out = tracing.SpanCollector()
+            stack.enter_context(tracing.use_tracing(True))
+            stack.enter_context(tracing.use_collector(spans_out))
+            stack.enter_context(tracing.use_context(
+                tracing.from_traceparent(traceparent), next_seq=index
+            ))
+            stack.enter_context(tracing.trace_span(
+                "sweep-point", index=index, workload=trace_name,
+                predictor=label,
+            ))
+        registry = stack.enter_context(use_registry(MetricsRegistry()))
         result = simulate(
             _WORKER_TRACES[trace_name], predictor, options,
             collector=collector, core=core,
         )
     result.workload = trace_name
     result.predictor = label
-    return index, result, time.perf_counter() - start, registry, started_at
+    return (
+        index, result, time.perf_counter() - start, registry,
+        started_at, spans_out,
+    )
 
 
 # -- parent side --------------------------------------------------------------
@@ -241,8 +264,23 @@ class ParallelSweepRunner:
                 )
             )
 
+    @staticmethod
+    def _sweep_context():
+        """The sweep span's trace context, if tracing is active.
+
+        Inside ``run()``'s ``span("sweep")`` this is the context every
+        per-point ``sweep-point`` span hangs off — the serial loop and
+        the pool workers both derive point contexts from it by canonical
+        index, which is what makes the two span sets identical.
+        """
+        if not tracing.tracing_enabled():
+            return None
+        return tracing.current_context()
+
     def _run_serial(self, traces, points, profile=None, core="object"):
         parent_registry = telemetry.get_registry()
+        sweep_ctx = self._sweep_context()
+        parent_spans = tracing.get_collector() if sweep_ctx else None
         results = []
         for point, predictor in points:
             start = time.perf_counter()
@@ -253,8 +291,26 @@ class ParallelSweepRunner:
             )
             try:
                 # Same shape as the parallel path: the point runs under
-                # its own registry, merged back in canonical order.
-                with use_registry(MetricsRegistry()) as registry:
+                # its own registry (and, when tracing, its own span
+                # collector and derived context), merged back in
+                # canonical order.
+                with ExitStack() as stack:
+                    if sweep_ctx is not None:
+                        point_spans = tracing.SpanCollector()
+                        stack.enter_context(
+                            tracing.use_collector(point_spans)
+                        )
+                        stack.enter_context(tracing.use_context(
+                            sweep_ctx, next_seq=point.index
+                        ))
+                        stack.enter_context(tracing.trace_span(
+                            "sweep-point", index=point.index,
+                            workload=point.workload,
+                            predictor=point.predictor,
+                        ))
+                    registry = stack.enter_context(
+                        use_registry(MetricsRegistry())
+                    )
                     result = simulate(
                         traces[point.workload], predictor, point.options,
                         collector=collector, core=core,
@@ -262,6 +318,8 @@ class ParallelSweepRunner:
             except Exception as exc:
                 raise SweepError(self._describe_failure(point, exc)) from exc
             parent_registry.merge(registry)
+            if sweep_ctx is not None:
+                parent_spans.merge(point_spans)
             result.workload = point.workload
             result.predictor = point.predictor
             results.append(result)
@@ -273,6 +331,13 @@ class ParallelSweepRunner:
         slots: List[Optional[SimResult]] = [None] * len(points)
         registries: List[Optional[MetricsRegistry]] = [None] * len(points)
         queue_waits: List[float] = [0.0] * len(points)
+        sweep_ctx = self._sweep_context()
+        traceparent = (
+            sweep_ctx.to_traceparent() if sweep_ctx is not None else None
+        )
+        span_sets: List[Optional[tracing.SpanCollector]] = (
+            [None] * len(points)
+        )
         completed = 0
         max_workers = min(self.workers, len(points))
         with ProcessPoolExecutor(
@@ -294,15 +359,17 @@ class ParallelSweepRunner:
                         point.options,
                         profile,
                         core,
+                        traceparent,
                     )
                 ] = point
                 submitted_at[point.index] = time.time()
             for future in as_completed(futures):
                 point = futures[future]
                 try:
-                    index, result, seconds, registry, started_at = (
-                        future.result()
-                    )
+                    (
+                        index, result, seconds, registry,
+                        started_at, point_spans,
+                    ) = future.result()
                 except BrokenProcessPool as exc:
                     raise SweepError(
                         "sweep worker process died unexpectedly (while "
@@ -319,6 +386,7 @@ class ParallelSweepRunner:
                     ) from exc
                 slots[index] = result
                 registries[index] = registry
+                span_sets[index] = point_spans
                 queue_waits[index] = max(
                     0.0, started_at - submitted_at[index]
                 )
@@ -337,6 +405,13 @@ class ParallelSweepRunner:
             )
             for wait in queue_waits:
                 queue_wait.observe(wait)
+        if sweep_ctx is not None:
+            # Same protocol for spans: canonical point order, so the
+            # merged record list matches the serial path exactly.
+            parent_spans = tracing.get_collector()
+            for point_spans in span_sets:
+                if point_spans is not None:
+                    parent_spans.merge(point_spans)
         return slots
 
     @staticmethod

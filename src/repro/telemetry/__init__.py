@@ -13,6 +13,12 @@ Three small pieces, composable and individually optional:
 * :mod:`repro.telemetry.sinks` — pluggable event sinks.  The default is
   a :class:`NullSink`, so instrumented hot paths cost nothing until a
   real sink (:class:`MemorySink`, :class:`JsonlSink`) is installed.
+* :mod:`repro.telemetry.tracing` — distributed trace contexts
+  (trace_id / span_id / parent_id) propagated across process
+  boundaries, collected into a mergeable :class:`SpanCollector`, and
+  rendered by :mod:`repro.telemetry.traceview` (``repro trace show``).
+* :mod:`repro.telemetry.prom` — Prometheus text exposition of a
+  registry snapshot (``GET /metrics?format=prom``).
 
 Typical use (what ``repro run E2 --metrics run.jsonl`` does)::
 
@@ -29,12 +35,15 @@ See ``docs/observability.md`` for metric names, the span hierarchy and
 the JSONL schema.
 """
 
+from repro.telemetry.prom import render_prometheus
 from repro.telemetry.registry import (
     DEFAULT_BUCKETS,
+    PERCENTILES,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
+    QuantileSketch,
     disabled,
     enabled,
     get_registry,
@@ -61,9 +70,33 @@ from repro.telemetry.sinks import (
     use_sink,
 )
 from repro.telemetry.spans import current_path, span
+from repro.telemetry.tracing import (
+    SpanCollector,
+    TraceContext,
+    child_context,
+    current_context,
+    from_traceparent,
+    get_collector,
+    new_trace_id,
+    read_spans,
+    record_span,
+    set_collector,
+    set_tracing,
+    trace_span,
+    tracing_enabled,
+    use_collector,
+    use_context,
+    use_tracing,
+)
+from repro.telemetry.traceview import (
+    critical_path,
+    render_trace,
+    render_trace_list,
+)
 
 __all__ = [
     "DEFAULT_BUCKETS",
+    "PERCENTILES",
     "Counter",
     "Gauge",
     "Histogram",
@@ -71,23 +104,44 @@ __all__ = [
     "MemorySink",
     "MetricsRegistry",
     "NullSink",
+    "QuantileSketch",
     "Sink",
+    "SpanCollector",
+    "TraceContext",
+    "child_context",
+    "critical_path",
+    "current_context",
     "current_path",
     "disabled",
     "enabled",
+    "from_traceparent",
+    "get_collector",
     "get_registry",
     "get_sink",
+    "new_trace_id",
     "read_events",
     "read_events_lenient",
+    "read_spans",
+    "record_span",
     "render_history_trend",
     "render_profile_events",
     "render_profile_markdown",
+    "render_prometheus",
     "render_report",
+    "render_trace",
+    "render_trace_list",
+    "set_collector",
     "set_enabled",
     "set_registry",
     "set_sink",
+    "set_tracing",
     "span",
     "summarize_events",
+    "trace_span",
+    "tracing_enabled",
+    "use_collector",
+    "use_context",
     "use_registry",
     "use_sink",
+    "use_tracing",
 ]

@@ -1,0 +1,104 @@
+"""Prometheus text exposition for a :class:`MetricsRegistry` snapshot.
+
+``GET /metrics?format=prom`` on the serve daemon renders the same
+snapshot the JSON endpoint returns, but in the Prometheus text format
+(version 0.0.4) so a scraper can ingest it directly:
+
+* counters become ``<name>_total`` counter series,
+* gauges become gauge series,
+* histograms become the conventional ``_bucket{le=...}`` /
+  ``_sum`` / ``_count`` trio **plus** one
+  ``<name>{quantile="0.5|0.95|0.99"}`` gauge series per percentile,
+  read from the embedded quantile sketch.
+
+Metric names are sanitised to the Prometheus grammar
+(``[a-zA-Z_:][a-zA-Z0-9_:]*``): every other character — the dots and
+dashes of ``serve.request.seconds`` — maps to ``_``.  The renderer is a
+pure function of the snapshot dict, so it works on live registries and
+on snapshots read back from JSONL alike.
+"""
+
+import re
+from typing import List
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SANITIZE = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: Histogram quantiles exported as ``{quantile="..."}`` series.
+PROM_QUANTILES = (("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99"))
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Map an internal metric name onto the Prometheus grammar."""
+    sanitized = _SANITIZE.sub("_", name)
+    if not sanitized or not _NAME_OK.match(sanitized):
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _fmt(value: float) -> str:
+    """A float in Prometheus text form (integers without the dot)."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def render_prometheus(snapshot: dict) -> str:
+    """Render a registry snapshot as Prometheus text exposition.
+
+    ``snapshot`` is what :meth:`MetricsRegistry.snapshot` returns (or
+    the ``metrics`` payload of the serve daemon).  Output ends with a
+    newline, as the format requires.
+    """
+    lines: List[str] = []
+
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        metric = sanitize_metric_name(name)
+        if not metric.endswith("_total"):
+            metric += "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_fmt(value)}")
+
+    for name, value in sorted(snapshot.get("gauges", {}).items()):
+        metric = sanitize_metric_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_fmt(value)}")
+
+    for name, data in sorted(snapshot.get("histograms", {}).items()):
+        metric = sanitize_metric_name(name)
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        bounds = data.get("buckets", [])
+        counts = data.get("counts", [])
+        for bound, count in zip(bounds, counts):
+            cumulative += count
+            lines.append(
+                f'{metric}_bucket{{le="{_fmt(bound)}"}} {cumulative}'
+            )
+        if len(counts) > len(bounds):
+            cumulative += counts[len(bounds)]
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {cumulative}')
+        lines.append(f"{metric}_sum {_fmt(data.get('total', 0.0))}")
+        lines.append(f"{metric}_count {data.get('count', 0)}")
+        quantiles = [
+            (label, data[key])
+            for label, key in PROM_QUANTILES
+            if key in data
+        ]
+        if quantiles:
+            lines.append(f"# TYPE {metric}_quantile gauge")
+            for label, value in quantiles:
+                lines.append(
+                    f'{metric}_quantile{{quantile="{label}"}} '
+                    f"{_fmt(value)}"
+                )
+
+    return "\n".join(lines) + "\n"

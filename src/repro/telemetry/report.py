@@ -66,9 +66,13 @@ def summarize_events(events: List[dict]) -> str:
                 "count": count,
                 "total": total,
                 "mean": total / count if count else 0.0,
+                "p50": data.get("p50", 0.0),
+                "p95": data.get("p95", 0.0),
+                "p99": data.get("p99", 0.0),
             })
         sections.append(_format_table(
-            rows, ["histogram", "count", "total", "mean"],
+            rows,
+            ["histogram", "count", "total", "mean", "p50", "p95", "p99"],
             title="histograms",
         ))
 

@@ -19,6 +19,7 @@ import threading
 import time
 from contextlib import contextmanager
 
+from repro.telemetry import tracing
 from repro.telemetry.registry import enabled, get_registry
 from repro.telemetry.sinks import get_sink
 
@@ -36,6 +37,11 @@ def span(name: str, **attrs):
 
     ``attrs`` are attached verbatim to the emitted event (they must be
     JSON-serialisable).  Yields the full span path.
+
+    With tracing on (:mod:`repro.telemetry.tracing`) the span also
+    opens a trace context — children link to it across nesting and, via
+    the propagation plumbing, across processes — and records a
+    ``trace-span`` into the current :class:`SpanCollector` on exit.
     """
     if not enabled():
         yield name
@@ -45,6 +51,8 @@ def span(name: str, **attrs):
         names = _stack.names = []
     names.append(name)
     path = "/".join(names)
+    ctx = tracing.push_span(name) if tracing.tracing_enabled() else None
+    wall_start = time.time() if ctx is not None else 0.0
     start = time.perf_counter()
     try:
         yield path
@@ -63,4 +71,10 @@ def span(name: str, **attrs):
         }
         if attrs:
             event["attrs"] = attrs
+        if ctx is not None:
+            tracing.pop_span(ctx, name, wall_start, seconds,
+                             attrs or None)
+            event["trace_id"] = ctx.trace_id
+            event["span_id"] = ctx.span_id
+            event["parent_id"] = ctx.parent_id
         get_sink().emit(event)

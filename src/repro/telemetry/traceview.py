@@ -1,0 +1,169 @@
+"""Render collected trace spans: tree, critical path, per-span self-time.
+
+``repro trace show run-trace.jsonl`` reads the span JSONL a traced run
+(or the serve daemon's ``--trace-log``) wrote and prints, per trace:
+
+* the span **tree**, indented by parent links, with wall time, self
+  time (own duration minus direct children) and the recording pid —
+  the pid column is what makes the cross-process hand-offs visible;
+* the **critical path** — from each root, repeatedly descend into the
+  child that finished last — flagged with ``*`` in the tree and
+  restated as a chain, since that is the chain a latency fix has to
+  shorten.
+
+Everything here is a pure function of the record list, so tests and
+the slow-request log reuse the same renderer.
+"""
+
+from typing import Dict, List, Optional, Tuple
+
+
+def _by_trace(records: List[dict]) -> Dict[str, List[dict]]:
+    grouped: Dict[str, List[dict]] = {}
+    for record in records:
+        grouped.setdefault(record["trace_id"], []).append(record)
+    return grouped
+
+
+def build_tree(
+    records: List[dict],
+) -> Tuple[List[dict], Dict[str, List[dict]]]:
+    """Roots and a parent->children map for one trace's records.
+
+    A span whose ``parent_id`` is empty — or names a span that was never
+    collected (its parent ran in a process whose collector was not
+    merged) — counts as a root.  Children are ordered by start time,
+    with the deterministic span id as tie-break.
+    """
+    ids = {record["span_id"] for record in records}
+    roots: List[dict] = []
+    children: Dict[str, List[dict]] = {}
+    for record in records:
+        parent = record.get("parent_id", "")
+        if parent and parent in ids:
+            children.setdefault(parent, []).append(record)
+        else:
+            roots.append(record)
+
+    def order(record: dict):
+        return (record.get("start", 0.0), record["span_id"])
+
+    roots.sort(key=order)
+    for siblings in children.values():
+        siblings.sort(key=order)
+    return roots, children
+
+
+def self_seconds(record: dict,
+                 children: Dict[str, List[dict]]) -> float:
+    """Own duration minus the duration of direct children (floored at 0)."""
+    own = record.get("seconds", 0.0)
+    spent = sum(
+        child.get("seconds", 0.0)
+        for child in children.get(record["span_id"], [])
+    )
+    return max(0.0, own - spent)
+
+
+def critical_path(root: dict,
+                  children: Dict[str, List[dict]]) -> List[dict]:
+    """From ``root`` down, always take the child that finished last."""
+    path = [root]
+    node = root
+    while True:
+        branch = children.get(node["span_id"])
+        if not branch:
+            return path
+        node = max(
+            branch,
+            key=lambda r: (
+                r.get("start", 0.0) + r.get("seconds", 0.0),
+                r["span_id"],
+            ),
+        )
+        path.append(node)
+
+
+def render_trace(records: List[dict],
+                 trace_id: Optional[str] = None) -> str:
+    """Render the span tree(s) in ``records`` as text.
+
+    With several traces present, ``trace_id`` picks one; by default all
+    are rendered, separated by blank lines.
+    """
+    grouped = _by_trace(records)
+    if trace_id is not None:
+        if trace_id not in grouped:
+            return f"(no spans for trace {trace_id})"
+        grouped = {trace_id: grouped[trace_id]}
+    if not grouped:
+        return "(no trace spans)"
+
+    sections = []
+    for tid in sorted(grouped):
+        trace = grouped[tid]
+        roots, children = build_tree(trace)
+        marked = set()
+        chains = []
+        for root in roots:
+            chain = critical_path(root, children)
+            chains.append(chain)
+            marked.update(span["span_id"] for span in chain)
+
+        lines = [f"trace {tid}  ({len(trace)} span(s))"]
+
+        def walk(record: dict, depth: int) -> None:
+            flag = "*" if record["span_id"] in marked else " "
+            own = record.get("seconds", 0.0)
+            self_s = self_seconds(record, children)
+            attrs = record.get("attrs") or {}
+            suffix = (
+                "  " + " ".join(
+                    f"{key}={value}"
+                    for key, value in sorted(attrs.items())
+                )
+                if attrs else ""
+            )
+            lines.append(
+                f"{flag} {'  ' * depth}{record['name']}"
+                f"  {own * 1e3:10.3f} ms"
+                f"  self {self_s * 1e3:9.3f} ms"
+                f"  pid {record.get('pid', '?')}{suffix}"
+            )
+            for child in children.get(record["span_id"], []):
+                walk(child, depth + 1)
+
+        for root in roots:
+            walk(root, 0)
+
+        for chain in chains:
+            total = sum(self_seconds(r, children) for r in chain)
+            lines.append(
+                "critical path: "
+                + " -> ".join(span["name"] for span in chain)
+                + f"  ({chain[0].get('seconds', 0.0) * 1e3:.3f} ms, "
+                f"self-time sum {total * 1e3:.3f} ms)"
+            )
+        sections.append("\n".join(lines))
+    return "\n\n".join(sections)
+
+
+def render_trace_list(records: List[dict]) -> str:
+    """One line per trace: id, root span, span count, wall time."""
+    grouped = _by_trace(records)
+    if not grouped:
+        return "(no trace spans)"
+    lines = []
+    for tid in sorted(grouped):
+        trace = grouped[tid]
+        roots, _children = build_tree(trace)
+        root_name = roots[0]["name"] if roots else "?"
+        wall = max(
+            (r.get("start", 0.0) + r.get("seconds", 0.0) for r in trace),
+            default=0.0,
+        ) - min((r.get("start", 0.0) for r in trace), default=0.0)
+        lines.append(
+            f"{tid}  root={root_name}  spans={len(trace)}"
+            f"  wall={wall * 1e3:.3f} ms"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,245 @@
+"""Serve-daemon tracing: span trees, prom exposition, operations.
+
+The acceptance assertions from the issue live here:
+
+* one ``POST /v1/simulate`` against a traced daemon with a real pool
+  worker yields a single trace of at least four parent-linked spans
+  crossing the worker process boundary (request -> queue/execute on the
+  server pid; serve-job and below on the worker pid);
+* ``GET /metrics?format=prom`` returns a parsable Prometheus text
+  exposition with p50/p95/p99 quantile series for every histogram;
+* responses stay byte-identical with tracing on — trace ids never leak
+  into bodies, and ``traceparent`` is a control field, not part of the
+  request key;
+* ``/v1/healthz`` carries the build/fleet fields and live queue lanes;
+* a request slower than ``--slow-request`` dumps its span tree.
+"""
+
+import re
+from contextlib import contextmanager
+
+from repro.serve import ServeClient, ServeConfig, ServerThread
+from repro.telemetry import new_trace_id
+from repro.telemetry.tracing import TraceContext, derive_span_id
+
+TINY = {"workload": "crc", "scale": "tiny"}
+
+
+@contextmanager
+def serve(store, **overrides):
+    overrides.setdefault("workers", 0)
+    overrides.setdefault("tracing", True)
+    config = ServeConfig(port=0, store=str(store), **overrides)
+    with ServerThread(config) as handle:
+        with ServeClient(port=handle.port, timeout=120.0) as client:
+            yield handle, client
+
+
+def spans_by_name(spans):
+    return {record["name"]: record for record in spans}
+
+
+class TestSpanTree:
+    def test_request_produces_linked_tree_across_processes(
+        self, tmp_path
+    ):
+        # A real spawned pool worker: the trace must cross pids.
+        with serve(tmp_path / "runs", workers=1) as (_, client):
+            status, reply = client.simulate(**TINY)
+            assert status == 200 and reply["cached"] is False
+
+            status, listing = client.traces()
+            assert status == 200
+            assert len(listing["traces"]) == 1
+            trace_id = listing["traces"][0]["trace_id"]
+
+            status, body = client.trace(trace_id)
+            assert status == 200
+            spans = body["spans"]
+            named = spans_by_name(spans)
+
+            # The tentpole acceptance bar: >= 4 spans in one trace,
+            # parent-linked, crossing the worker boundary.
+            assert len(spans) >= 4
+            assert {s["trace_id"] for s in spans} == {trace_id}
+            linked = [s for s in spans if s["parent_id"]]
+            assert len(linked) >= 4
+            assert len({s["pid"] for s in spans}) == 2
+
+            root = named["serve.request"]
+            assert root["parent_id"] == ""
+            by_id = {s["span_id"]: s for s in spans}
+            for name in ("serve.queue", "serve.execute"):
+                assert named[name]["parent_id"] == root["span_id"]
+                assert named[name]["pid"] == root["pid"]
+            job = named["serve-job"]
+            assert job["parent_id"] == named["serve.execute"]["span_id"]
+            assert job["pid"] != root["pid"]
+            driver = named["sim.driver"]
+            parent = by_id[driver["parent_id"]]
+            assert parent["pid"] == driver["pid"]  # worker-side link
+
+    def test_client_traceparent_becomes_the_parent(self, tmp_path):
+        trace_id = new_trace_id()
+        span_id = derive_span_id(trace_id, "", "client-root", 0)
+        header = TraceContext(
+            trace_id=trace_id, span_id=span_id
+        ).to_traceparent()
+        with serve(tmp_path / "runs") as (_, client):
+            status, reply = client.simulate(
+                **TINY, traceparent=header
+            )
+            assert status == 200
+            status, body = client.trace(trace_id)
+            assert status == 200
+            root = spans_by_name(body["spans"])["serve.request"]
+            assert root["trace_id"] == trace_id
+            assert root["parent_id"] == span_id
+
+    def test_bad_traceparent_is_structured_400(self, tmp_path):
+        with serve(tmp_path / "runs") as (_, client):
+            status, reply = client.simulate(
+                **TINY, traceparent="not-a-traceparent"
+            )
+            assert status == 400
+            assert reply["error"]["code"] == "bad_traceparent"
+
+    def test_traceparent_is_not_part_of_the_request_key(
+        self, tmp_path
+    ):
+        with serve(tmp_path / "runs") as (_, client):
+            status, first = client.simulate(**TINY)
+            assert status == 200 and first["cached"] is False
+            trace_id = new_trace_id()
+            header = TraceContext(
+                trace_id=trace_id,
+                span_id=derive_span_id(trace_id, "", "r", 0),
+            ).to_traceparent()
+            status, second = client.simulate(
+                **TINY, traceparent=header
+            )
+            assert status == 200
+            assert second["cached"] is True  # same key despite header
+
+            # Byte identity modulo the cached flag: no trace ids leak
+            # into response bodies.
+            a, b = dict(first), dict(second)
+            a.pop("cached"), b.pop("cached")
+            assert a == b
+
+    def test_trace_store_is_bounded_and_misses_404(self, tmp_path):
+        with serve(tmp_path / "runs") as (_, client):
+            status, body = client.trace("f" * 32)
+            assert status == 404
+            assert body["error"]["code"] == "unknown_trace"
+
+    def test_tracing_off_keeps_routes_quiet(self, tmp_path):
+        with serve(tmp_path / "runs", tracing=False) as (_, client):
+            status, reply = client.simulate(**TINY)
+            assert status == 200
+            status, listing = client.traces()
+            assert status == 200
+            assert listing["traces"] == []
+            status, health = client.healthz()
+            assert health["tracing"] is False
+
+    def test_trace_log_file_carries_every_span(self, tmp_path):
+        from repro.telemetry import read_spans
+
+        log = tmp_path / "trace.jsonl"
+        with serve(
+            tmp_path / "runs", trace_log=str(log)
+        ) as (_, client):
+            status, _reply = client.simulate(**TINY)
+            assert status == 200
+            status, listing = client.traces()
+            kept = listing["traces"][0]["spans"]
+        records = read_spans(log)
+        assert len(records) == kept
+        assert {r["event"] for r in records} == {"trace-span"}
+
+
+class TestSlowRequestLog:
+    def test_slow_request_dumps_its_tree(self, tmp_path, capfd):
+        with serve(
+            tmp_path / "runs", slow_request_seconds=0.0
+        ) as (_, client):
+            status, _reply = client.simulate(**TINY)
+            assert status == 200
+            _, snapshot = client.metrics()
+            assert snapshot["counters"]["serve.slow_requests"] == 1
+        err = capfd.readouterr().err
+        assert "SLOW simulate request" in err
+        assert "serve.request" in err
+        assert "critical path:" in err
+
+
+class TestPromExposition:
+    def test_prom_text_parses_with_quantile_series(self, tmp_path):
+        with serve(tmp_path / "runs") as (handle, client):
+            status, _reply = client.simulate(**TINY)
+            assert status == 200
+
+            import http.client as hc
+
+            conn = hc.HTTPConnection("127.0.0.1", handle.port)
+            conn.request("GET", "/v1/metrics?format=prom")
+            response = conn.getresponse()
+            text = response.read().decode()
+            content_type = response.getheader("Content-Type")
+            conn.close()
+
+        assert response.status == 200
+        assert content_type == "text/plain; version=0.0.4; charset=utf-8"
+        assert text.endswith("\n")
+        sample = re.compile(
+            r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? "
+            r"(-?\d+(\.\d+)?([eE][+-]?\d+)?|NaN|[+-]Inf)$"
+        )
+        histograms, quantiles = set(), {}
+        for line in text.splitlines():
+            if line.startswith("# TYPE") and line.endswith("histogram"):
+                histograms.add(line.split()[2])
+                continue
+            if not line or line.startswith("#"):
+                continue
+            assert sample.match(line), f"unparsable: {line!r}"
+            if "_quantile{" in line:
+                name = line.split("_quantile{", 1)[0]
+                match = re.search(r'quantile="([^"]+)"', line)
+                quantiles.setdefault(name, set()).add(match.group(1))
+        assert "serve_request_seconds" in histograms
+        for name in histograms:
+            assert quantiles[name] == {"0.5", "0.95", "0.99"}
+        # Counters carry the _total convention.
+        assert re.search(r"^serve_requests_simulate_total \d+$",
+                         text, re.M)
+
+    def test_unknown_format_is_structured_400(self, tmp_path):
+        with serve(tmp_path / "runs") as (_, client):
+            status, body = client.request(
+                "GET", "/v1/metrics?format=xml"
+            )
+            assert status == 400
+            assert body["error"]["code"] == "unknown_format"
+
+
+class TestHealthz:
+    def test_build_and_fleet_fields(self, tmp_path):
+        import os
+        import platform
+
+        with serve(tmp_path / "runs") as (_, client):
+            client.simulate(**TINY)
+            status, health = client.healthz()
+        assert status == 200
+        assert health["status"] == "ok"
+        assert health["pid"] != os.getpid() or True  # present and int
+        assert isinstance(health["pid"], int)
+        assert health["python"] == platform.python_version()
+        assert health["host"]
+        assert health["version"]
+        assert health["tracing"] is True
+        assert health["busy_workers"] == 0
+        assert health["queue_lanes"] == {}
+        assert health["uptime_seconds"] >= 0.0

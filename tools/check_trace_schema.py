@@ -1,0 +1,209 @@
+"""Validate distributed-tracing artifacts against the published schema.
+
+CI's ``trace-smoke`` job runs an instrumented sweep (``--trace``) and a
+traced serve request, then pipes the span JSONL and the Prometheus
+exposition through this checker before uploading them as artifacts, so
+a schema drift (renamed field, malformed id, broken parent link) fails
+the build instead of shipping an artifact downstream tooling can no
+longer parse.
+
+Usage::
+
+    python tools/check_trace_schema.py --spans spans.jsonl
+    python tools/check_trace_schema.py --spans spans.jsonl \\
+        --min-spans 4 --min-pids 2
+    python tools/check_trace_schema.py --prom metrics.prom
+
+Exit status is 0 iff every named file validates.  ``--spans`` checks
+per-record shape (required fields, 32/16-hex ids, non-negative
+timings) and per-trace structure (every non-empty ``parent_id``
+resolves inside its trace; at least one root; no span is its own
+parent).  ``--min-spans`` / ``--min-pids`` additionally require the
+largest trace to link that many spans across that many processes — the
+cross-worker propagation invariant.  ``--prom`` checks the text
+exposition parses line by line and carries the three quantile series
+for every histogram.
+"""
+
+import argparse
+import re
+import sys
+from collections import defaultdict
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.telemetry import read_spans  # noqa: E402
+
+#: Required fields of one span record, with their types.
+SPAN_FIELDS = {
+    "event": str,
+    "trace_id": str,
+    "span_id": str,
+    "parent_id": str,
+    "name": str,
+    "start": (int, float),
+    "seconds": (int, float),
+    "pid": int,
+    "attrs": dict,
+}
+
+_HEX32 = re.compile(r"^[0-9a-f]{32}$")
+_HEX16 = re.compile(r"^[0-9a-f]{16}$")
+
+#: One Prometheus text-format sample line:  name{labels} value
+_PROM_SAMPLE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? "
+    r"(-?\d+(\.\d+)?([eE][+-]?\d+)?|NaN|[+-]Inf)$"
+)
+
+
+def fail(problems, message) -> None:
+    problems.append(message)
+
+
+def check_spans(path, problems, min_spans=0, min_pids=0) -> None:
+    records = read_spans(path)
+    if not records:
+        fail(problems, f"{path}: no span records")
+        return
+
+    for index, record in enumerate(records):
+        where = f"{path}: span {index}"
+        for field, kind in SPAN_FIELDS.items():
+            if field not in record:
+                fail(problems, f"{where}: missing field {field!r}")
+            elif not isinstance(record[field], kind):
+                fail(problems,
+                     f"{where}: field {field!r} is "
+                     f"{type(record[field]).__name__}")
+        if record.get("event") != "trace-span":
+            fail(problems, f"{where}: event != 'trace-span'")
+        if not _HEX32.match(record.get("trace_id", "")):
+            fail(problems, f"{where}: trace_id is not 32 hex chars")
+        if not _HEX16.match(record.get("span_id", "")):
+            fail(problems, f"{where}: span_id is not 16 hex chars")
+        parent = record.get("parent_id", "")
+        if parent and not _HEX16.match(parent):
+            fail(problems, f"{where}: parent_id is not 16 hex chars")
+        if parent and parent == record.get("span_id"):
+            fail(problems, f"{where}: span is its own parent")
+        for field in ("start", "seconds"):
+            value = record.get(field, 0)
+            if isinstance(value, (int, float)) and value < 0:
+                fail(problems, f"{where}: negative {field}")
+
+    traces = defaultdict(list)
+    for record in records:
+        traces[record.get("trace_id", "?")].append(record)
+    for trace_id, spans in sorted(traces.items()):
+        ids = {span.get("span_id") for span in spans}
+        if len(ids) != len(spans):
+            fail(problems,
+                 f"{path}: trace {trace_id}: duplicate span ids")
+        roots = [s for s in spans if not s.get("parent_id")]
+        if not roots:
+            fail(problems, f"{path}: trace {trace_id}: no root span")
+        for span in spans:
+            parent = span.get("parent_id")
+            if parent and parent not in ids:
+                fail(problems,
+                     f"{path}: trace {trace_id}: span "
+                     f"{span.get('name')!r} has unknown parent "
+                     f"{parent}")
+
+    largest = max(traces.values(), key=len)
+    linked = sum(1 for s in largest if s.get("parent_id"))
+    pids = {s.get("pid") for s in largest}
+    if min_spans and len(largest) < min_spans:
+        fail(problems,
+             f"{path}: largest trace has {len(largest)} span(s), "
+             f"need >= {min_spans}")
+    if min_spans and linked < min_spans - 1:
+        fail(problems,
+             f"{path}: largest trace has {linked} parent-linked "
+             f"span(s), need >= {min_spans - 1}")
+    if min_pids and len(pids) < min_pids:
+        fail(problems,
+             f"{path}: largest trace spans {len(pids)} process(es), "
+             f"need >= {min_pids}")
+    print(f"{path}: {len(records)} span(s) in {len(traces)} trace(s); "
+          f"largest links {linked + 1} span(s) across "
+          f"{len(pids)} process(es)")
+
+
+def check_prom(path, problems) -> None:
+    text = Path(path).read_text()
+    if not text.endswith("\n"):
+        fail(problems, f"{path}: exposition must end with a newline")
+    histograms = set()
+    quantiles = defaultdict(set)
+    samples = 0
+    for number, line in enumerate(text.splitlines(), start=1):
+        if not line or line.startswith("#"):
+            if line.startswith("# TYPE ") and line.endswith(" histogram"):
+                histograms.add(line.split()[2])
+            continue
+        if not _PROM_SAMPLE.match(line):
+            fail(problems, f"{path}:{number}: unparsable sample: "
+                           f"{line!r}")
+            continue
+        samples += 1
+        name = line.split("{", 1)[0].split(" ", 1)[0]
+        if name.endswith("_quantile"):
+            match = re.search(r'quantile="([^"]+)"', line)
+            if match:
+                quantiles[name[:-len("_quantile")]].add(match.group(1))
+    if not samples:
+        fail(problems, f"{path}: no samples")
+    for name in sorted(histograms):
+        got = quantiles.get(name, set())
+        if got != {"0.5", "0.95", "0.99"}:
+            fail(problems,
+                 f"{path}: histogram {name} has quantile series "
+                 f"{sorted(got)}, want ['0.5', '0.95', '0.99']")
+    print(f"{path}: {samples} sample(s), {len(histograms)} "
+          f"histogram(s), quantile series complete")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("--spans", metavar="PATH", action="append",
+                        default=[], help="span JSONL file to validate")
+    parser.add_argument("--min-spans", type=int, default=0,
+                        help="require the largest trace to link this "
+                             "many spans")
+    parser.add_argument("--min-pids", type=int, default=0,
+                        help="require the largest trace to cross this "
+                             "many processes")
+    parser.add_argument("--prom", metavar="PATH", action="append",
+                        default=[],
+                        help="Prometheus exposition file to validate")
+    args = parser.parse_args(argv)
+    if not args.spans and not args.prom:
+        parser.error("nothing to check: pass --spans and/or --prom")
+
+    problems = []
+    for path in args.spans:
+        try:
+            check_spans(path, problems, min_spans=args.min_spans,
+                        min_pids=args.min_pids)
+        except FileNotFoundError:
+            fail(problems, f"{path}: no such file")
+    for path in args.prom:
+        try:
+            check_prom(path, problems)
+        except FileNotFoundError:
+            fail(problems, f"{path}: no such file")
+
+    for problem in problems:
+        print(f"FAIL: {problem}", file=sys.stderr)
+    if not problems:
+        print("OK")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -41,6 +41,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.serve import AsyncServeClient  # noqa: E402
+from repro.telemetry import QuantileSketch  # noqa: E402
 
 #: The deterministic request mix (weights sum to 100).  Sweeps and
 #: profiles are rarer and heavier, like real traffic.
@@ -115,7 +116,14 @@ async def run_phase(name, requests, port, concurrency, log):
         result[2]
     ]
     hits = sum(1 for r in results if r and r[2].get("cached"))
-    latencies = sorted(r[3] for r in results if r)
+    # Same streaming sketch the daemon's registry uses for its
+    # histograms, so loadtest numbers and /metrics quantiles agree.
+    sketch = QuantileSketch()
+    peak = 0.0
+    for r in results:
+        if r:
+            sketch.observe(r[3])
+            peak = max(peak, r[3])
     return {
         "phase": name,
         "requests": len(requests),
@@ -124,20 +132,8 @@ async def run_phase(name, requests, port, concurrency, log):
         "hit_ratio": hits / max(1, len(results)),
         "wall_seconds": wall,
         "rps": len(requests) / wall if wall else 0.0,
-        "latency": {
-            "p50": percentile(latencies, 50),
-            "p90": percentile(latencies, 90),
-            "p99": percentile(latencies, 99),
-            "max": latencies[-1] if latencies else 0.0,
-        },
+        "latency": dict(sketch.percentiles(), max=peak),
     }
-
-
-def percentile(ordered, pct):
-    if not ordered:
-        return 0.0
-    rank = min(len(ordered) - 1, int(len(ordered) * pct / 100))
-    return ordered[rank]
 
 
 async def sim_counters(port) -> dict:
@@ -159,7 +155,7 @@ def report(summary) -> None:
         f"hits {summary['hits']}/{summary['requests']} "
         f"({summary['hit_ratio']:.0%}), "
         f"p50 {latency['p50'] * 1000:.1f}ms "
-        f"p90 {latency['p90'] * 1000:.1f}ms "
+        f"p95 {latency['p95'] * 1000:.1f}ms "
         f"p99 {latency['p99'] * 1000:.1f}ms "
         f"max {latency['max'] * 1000:.1f}ms"
     )
